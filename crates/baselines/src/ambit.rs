@@ -1,0 +1,139 @@
+//! Ambit: bulk-bitwise PIM in commodity DRAM (paper §II-C1).
+//!
+//! Ambit activates three DRAM rows at once and lets charge sharing drive
+//! the sense amplifier to the majority value; with a control row of `0`s
+//! that computes AND, with `1`s OR. The operation is destructive, so
+//! operands are first duplicated with RowClone, and inverted operands come
+//! from dual-contact cells (DCC). XOR therefore decomposes into two
+//! AND-with-inverted plus an OR.
+//!
+//! The cost unit is the *AAP* (ACTIVATE-ACTIVATE-PRECHARGE) command pair;
+//! with the paper's Table II DRAM timing one AAP is `tRAS + tRP` memory
+//! cycles. Command counts per operation follow the Ambit paper's
+//! primitives: a two-operand AND/OR takes four AAPs (two RowClones, the
+//! triple-row activation, and the result copy), XOR takes seven.
+
+use crate::BaselineCost;
+use coruscant_mem::timing::DeviceTiming;
+use serde::{Deserialize, Serialize};
+
+/// Energy per DRAM row activation-precharge, in pJ (a full 8 KB row at
+/// ~0.25 nJ per activation, scaled per 512-bit tile slice). Used for
+/// relative comparisons only.
+const AAP_ENERGY_PJ: f64 = 250.0;
+
+/// The Ambit cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ambit {
+    timing: DeviceTiming,
+    /// Cycles of one AAP command pair.
+    aap_cycles: u64,
+    /// Cycles of one 8-bit addition step (DrAcc-style carry-lookahead on
+    /// Ambit primitives; calibrated so the Ambit/ELP²IM CNN gap matches
+    /// Table IV).
+    add_step_cycles: u64,
+}
+
+impl Ambit {
+    /// The model with the paper's DRAM timing.
+    pub fn paper() -> Ambit {
+        let timing = DeviceTiming::DRAM_PAPER;
+        Ambit {
+            timing,
+            aap_cycles: timing.t_ras + timing.t_rp,
+            add_step_cycles: 46,
+        }
+    }
+
+    /// Cycles of one AAP.
+    pub fn aap_cycles(&self) -> u64 {
+        self.aap_cycles
+    }
+
+    /// Cost of a two-operand bulk AND/OR/NAND/NOR over one row pair:
+    /// 4 AAPs (RowClone ×2, TRA, result copy).
+    pub fn bitwise2(&self) -> BaselineCost {
+        BaselineCost::new(4 * self.aap_cycles, 4.0 * AAP_ENERGY_PJ)
+    }
+
+    /// Cost of a two-operand bulk XOR/XNOR: 7 AAPs (two DCC inversions,
+    /// two ANDs, one OR, per the Ambit decomposition).
+    pub fn xor2(&self) -> BaselineCost {
+        BaselineCost::new(7 * self.aap_cycles, 7.0 * AAP_ENERGY_PJ)
+    }
+
+    /// Cost of a bulk NOT via a dual-contact cell: 2 AAPs.
+    pub fn not(&self) -> BaselineCost {
+        BaselineCost::new(2 * self.aap_cycles, 2.0 * AAP_ENERGY_PJ)
+    }
+
+    /// A `k`-operand bitwise op decomposes into `k − 1` two-operand ops —
+    /// Ambit has no multi-operand primitive (the CORUSCANT advantage in
+    /// Fig. 12).
+    pub fn bitwise_k(&self, k: usize) -> BaselineCost {
+        assert!(k >= 2, "need at least two operands");
+        self.bitwise2().repeat((k - 1) as u64)
+    }
+
+    /// One packed-row addition step (all lanes in parallel), DrAcc-style.
+    pub fn add_step(&self) -> BaselineCost {
+        BaselineCost::new(self.add_step_cycles, 8.0 * AAP_ENERGY_PJ)
+    }
+
+    /// Reduction of `n` packed rows by a binary addition tree:
+    /// `ceil(log2 n)` sequential steps (rows in one level add in parallel
+    /// across subarrays, paper §IV-A).
+    pub fn reduce_rows(&self, n: u64) -> BaselineCost {
+        if n <= 1 {
+            return BaselineCost::default();
+        }
+        let levels = 64 - (n - 1).leading_zeros() as u64;
+        self.add_step().repeat(levels)
+    }
+}
+
+impl Default for Ambit {
+    fn default() -> Self {
+        Ambit::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aap_is_ras_plus_rp() {
+        let a = Ambit::paper();
+        assert_eq!(a.aap_cycles(), 28);
+    }
+
+    #[test]
+    fn xor_costs_more_than_and() {
+        let a = Ambit::paper();
+        assert!(a.xor2().cycles > a.bitwise2().cycles);
+        assert!(a.not().cycles < a.bitwise2().cycles);
+    }
+
+    #[test]
+    fn multi_operand_scales_linearly() {
+        let a = Ambit::paper();
+        assert_eq!(a.bitwise_k(2).cycles, a.bitwise2().cycles);
+        assert_eq!(a.bitwise_k(5).cycles, 4 * a.bitwise2().cycles);
+    }
+
+    #[test]
+    fn reduction_tree_is_logarithmic() {
+        let a = Ambit::paper();
+        assert_eq!(a.reduce_rows(1).cycles, 0);
+        assert_eq!(a.reduce_rows(2).cycles, a.add_step().cycles);
+        // Paper §IV-A: 362 additions -> 9 steps.
+        assert_eq!(a.reduce_rows(362).cycles, 9 * a.add_step().cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "two operands")]
+    fn bitwise_k_needs_two() {
+        Ambit::paper().bitwise_k(1);
+    }
+}

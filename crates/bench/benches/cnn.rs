@@ -1,0 +1,39 @@
+//! Criterion benches of the CNN mapping model (Tables IV and VI).
+
+use coruscant_nn::layers::{conv2d, maxpool};
+use coruscant_nn::mapping::{model_fps, Scheme};
+use coruscant_nn::models::{alexnet, lenet5};
+use coruscant_nn::quant::Precision;
+use coruscant_nn::tensor::Tensor3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cnn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cnn");
+    g.bench_function("table4_full_sweep", |b| {
+        let nets = [alexnet(), lenet5()];
+        b.iter(|| {
+            for net in &nets {
+                for trd in [3usize, 5, 7] {
+                    black_box(model_fps(Scheme::Coruscant(trd), net, Precision::Twn));
+                }
+                black_box(model_fps(Scheme::Elp2im, net, Precision::Twn));
+            }
+        });
+    });
+    g.bench_function("functional_conv_16x16", |b| {
+        let mut input = Tensor3::zeros(3, 16, 16);
+        input.fill_pattern(1, 8);
+        let mut w = Tensor3::zeros(3, 3, 3);
+        w.fill_pattern(2, 4);
+        let weights = vec![w; 8];
+        b.iter(|| {
+            let out = conv2d(black_box(&input), &weights, 8, 3);
+            black_box(maxpool(&out, 2))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cnn);
+criterion_main!(benches);

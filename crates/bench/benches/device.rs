@@ -1,0 +1,63 @@
+//! Criterion benches of the device-level primitives: shift, point access,
+//! transverse read/write on a single nanowire and on a full DBC.
+
+use coruscant_mem::{Dbc, MemoryConfig, Row};
+use coruscant_racetrack::{CostMeter, Nanowire, NanowireSpec, PortId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_nanowire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nanowire");
+    g.bench_function("shift_roundtrip", |b| {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        let mut m = CostMeter::new();
+        b.iter(|| {
+            wire.shift(black_box(5), &mut m).unwrap();
+            wire.shift(black_box(-5), &mut m).unwrap();
+        });
+    });
+    g.bench_function("transverse_read", |b| {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        for i in 0..7 {
+            wire.set_segment_bit(i, i % 2 == 0).unwrap();
+        }
+        b.iter(|| black_box(wire.transverse_read_full().unwrap()));
+    });
+    g.bench_function("transverse_write", |b| {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        let mut m = CostMeter::new();
+        b.iter(|| black_box(wire.transverse_write(true, &mut m).unwrap()));
+    });
+    g.bench_function("point_rw", |b| {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        let mut m = CostMeter::new();
+        b.iter(|| {
+            wire.write(PortId::LEFT, true, &mut m).unwrap();
+            black_box(wire.read(PortId::LEFT, &mut m).unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_dbc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbc");
+    let config = MemoryConfig::tiny();
+    g.bench_function("row_write_read", |b| {
+        let mut dbc = Dbc::pim_enabled(&config);
+        let row = Row::from_u64_words(64, &[0xDEAD_BEEF]);
+        let mut m = CostMeter::new();
+        b.iter(|| {
+            dbc.write_row(black_box(5), &row, &mut m).unwrap();
+            black_box(dbc.read_row(5, &mut m).unwrap());
+        });
+    });
+    g.bench_function("transverse_read_all", |b| {
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut m = CostMeter::new();
+        b.iter(|| black_box(dbc.transverse_read_all(&mut m).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nanowire, bench_dbc);
+criterion_main!(benches);

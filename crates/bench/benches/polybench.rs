@@ -1,0 +1,27 @@
+//! Criterion benches of the memory-wall comparison (Figs. 10-11).
+
+use coruscant_mem::MemoryConfig;
+use coruscant_workloads::memwall::compare;
+use coruscant_workloads::polybench::{reference, suite};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_polybench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polybench");
+    g.bench_function("memwall_suite_n48", |b| {
+        let config = MemoryConfig::paper();
+        let kernels = suite(48);
+        b.iter(|| {
+            for k in &kernels {
+                black_box(compare(k, &config));
+            }
+        });
+    });
+    g.bench_function("reference_gemm_n24", |b| {
+        b.iter(|| black_box(reference::run_gemm(24, 7)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_polybench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: the transverse-write segmented shift vs conventional row
+//! rotation in the max function (paper SS IV-B: TW saves 28.5% at TRD=7).
+
+use coruscant_bench::header;
+use coruscant_core::maxpool::MaxExecutor;
+use coruscant_mem::{Dbc, MemoryConfig, Row};
+use coruscant_racetrack::CostMeter;
+
+fn main() {
+    header("Ablation: transverse write in the max function (8-bit words)");
+    let config = MemoryConfig::tiny();
+    let candidates: Vec<Row> = (0..7u64)
+        .map(|k| Row::pack(64, 8, &[(k * 37) % 256; 8]))
+        .collect();
+
+    let max = MaxExecutor::new(&config);
+    let mut dbc = Dbc::pim_enabled(&config);
+    let mut m_tw = CostMeter::new();
+    let with_tw = max
+        .max_rows(&mut dbc, &candidates, 8, &mut m_tw)
+        .expect("max");
+
+    let mut dbc2 = Dbc::pim_enabled(&config);
+    for (i, c) in candidates.iter().enumerate() {
+        dbc2.poke_row(10 + i, c).expect("poke");
+    }
+    let mut m_shift = CostMeter::new();
+    let without_tw = max
+        .max_rows_without_tw(&mut dbc2, 10, 7, 8, &mut m_shift)
+        .expect("max");
+
+    assert_eq!(with_tw, without_tw, "both variants agree functionally");
+    let tw = m_tw.total().cycles as f64;
+    let base = m_shift.total().cycles as f64;
+    println!("with TW:     {tw:>6.0} cycles");
+    println!("without TW:  {base:>6.0} cycles");
+    println!(
+        "saving:      {:>5.1}% (paper: 28.5% at TRD = 7)",
+        (base - tw) / base * 100.0
+    );
+}

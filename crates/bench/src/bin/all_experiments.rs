@@ -1,0 +1,180 @@
+//! Runs every experiment and prints a consolidated reproduced-vs-paper
+//! summary (the data behind EXPERIMENTS.md).
+
+use coruscant_baselines::dwm_pim::SerialDwmPim;
+use coruscant_bench::{deviation, header};
+use coruscant_core::area::{overhead_1pim, PimDesign};
+use coruscant_core::cost_model::MeasuredCosts;
+use coruscant_mem::MemoryConfig;
+use coruscant_nn::mapping::{model_fps, paper_fps, Scheme};
+use coruscant_nn::models::{alexnet, lenet5};
+use coruscant_nn::quant::Precision;
+use coruscant_reliability::model::OpReliability;
+use coruscant_workloads::bitmap::{cost_coruscant, cost_elp2im};
+use coruscant_workloads::memwall::{compare, geomean, MemWallResult};
+use coruscant_workloads::polybench::suite;
+
+struct Scorecard {
+    rows: Vec<(String, f64, f64)>,
+}
+
+impl Scorecard {
+    fn new() -> Scorecard {
+        Scorecard { rows: Vec::new() }
+    }
+    fn add(&mut self, what: &str, ours: f64, paper: f64) {
+        self.rows.push((what.to_string(), ours, paper));
+    }
+    fn print(&self) {
+        header("Consolidated scorecard (reproduced vs paper)");
+        println!(
+            "{:<44} {:>12} {:>12} {:>9}",
+            "metric", "reproduced", "paper", "dev"
+        );
+        let mut within_25 = 0;
+        for (what, ours, paper) in &self.rows {
+            let d = deviation(*ours, *paper);
+            if d.abs() <= 0.25 {
+                within_25 += 1;
+            }
+            println!(
+                "{:<44} {:>12.3} {:>12.3} {:>+8.0}%",
+                what,
+                ours,
+                paper,
+                d * 100.0
+            );
+        }
+        println!(
+            "\n{} of {} metrics within 25% of the paper's value",
+            within_25,
+            self.rows.len()
+        );
+    }
+}
+
+fn main() {
+    let mut sc = Scorecard::new();
+
+    // Table I.
+    for d in PimDesign::ALL {
+        sc.add(
+            &format!("Table I area overhead {d}"),
+            overhead_1pim(d, 32, 16) * 100.0,
+            d.paper_overhead() * 100.0,
+        );
+    }
+
+    // Table III.
+    let m3 = MeasuredCosts::measure(3).expect("trd 3");
+    let m7 = MeasuredCosts::measure(7).expect("trd 7");
+    sc.add(
+        "Table III 2op add TR3 (cycles)",
+        m3.add2.cycles as f64,
+        19.0,
+    );
+    sc.add(
+        "Table III 5op add TR7 (cycles)",
+        m7.add_max.cycles as f64,
+        26.0,
+    );
+    sc.add("Table III mult TR3 (cycles)", m3.mult.cycles as f64, 105.0);
+    sc.add("Table III mult TR7 (cycles)", m7.mult.cycles as f64, 64.0);
+    sc.add("Table III 2op add TR3 (pJ)", m3.add2.energy_pj, 10.15);
+    sc.add("Table III 5op add TR7 (pJ)", m7.add_max.energy_pj, 22.14);
+    let spim = SerialDwmPim::spim();
+    sc.add(
+        "speedup vs SPIM, 5op add lat-opt",
+        spim.add_k_latency_opt(5, 8).cycles as f64 / 26.0,
+        6.9,
+    );
+    sc.add(
+        "speedup vs SPIM, mult (paper cycles)",
+        spim.mult2(8).cycles as f64 / 64.0,
+        2.3,
+    );
+
+    // Figs. 10-11.
+    let config = MemoryConfig::paper();
+    let results: Vec<MemWallResult> = suite(48).iter().map(|k| compare(k, &config)).collect();
+    sc.add(
+        "Fig10 avg speedup vs CPU+DWM",
+        geomean(results.iter().map(MemWallResult::speedup_vs_dwm)),
+        2.07,
+    );
+    sc.add(
+        "Fig10 avg speedup vs CPU+DRAM",
+        geomean(results.iter().map(MemWallResult::speedup_vs_dram)),
+        2.20,
+    );
+    sc.add(
+        "Fig11 avg energy reduction",
+        geomean(results.iter().map(MemWallResult::energy_reduction)),
+        25.2,
+    );
+
+    // Fig. 12.
+    for (w, paper) in [(2usize, 1.6), (3, 2.2), (4, 3.4)] {
+        let cor = cost_coruscant(16_000_000, w, &config).cycles as f64;
+        let elp = cost_elp2im(16_000_000, w, 512).cycles as f64;
+        sc.add(
+            &format!("Fig12 speedup over ELP2IM, {} criteria", w + 1),
+            elp / cor,
+            paper,
+        );
+    }
+
+    // Table IV (a representative subset; C7 values are anchors).
+    for (scheme, net, precision, label) in [
+        (
+            Scheme::Spim,
+            alexnet(),
+            Precision::Full,
+            "Table IV SPIM alexnet full",
+        ),
+        (
+            Scheme::Coruscant(3),
+            alexnet(),
+            Precision::Full,
+            "Table IV C3 alexnet full",
+        ),
+        (
+            Scheme::Coruscant(3),
+            alexnet(),
+            Precision::Twn,
+            "Table IV C3 alexnet TWN",
+        ),
+        (
+            Scheme::Elp2im,
+            alexnet(),
+            Precision::Twn,
+            "Table IV ELP2IM alexnet TWN",
+        ),
+        (
+            Scheme::Ambit,
+            lenet5(),
+            Precision::Bwn,
+            "Table IV Ambit lenet BWN",
+        ),
+        (
+            Scheme::Coruscant(5),
+            lenet5(),
+            Precision::Twn,
+            "Table IV C5 lenet TWN",
+        ),
+    ] {
+        let ours = model_fps(scheme, &net, precision);
+        if let Some(p) = paper_fps(scheme, &net.name, precision) {
+            sc.add(label, ours, p);
+        }
+    }
+
+    // Table V.
+    let r7 = OpReliability::at(7);
+    sc.add("Table V mult error rate C7 (x1e-5)", r7.mult8 * 1e5, 7.6);
+    sc.add("Table V add error rate (x1e-6)", r7.add8 * 1e6, 8.0);
+
+    sc.print();
+    println!("\nRun the individual binaries (table1..6, fig10..12, sensitivity,");
+    println!("ablation_tw) for the full tables; see EXPERIMENTS.md for analysis.");
+}

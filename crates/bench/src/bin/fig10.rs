@@ -1,0 +1,32 @@
+//! Regenerates Fig. 10: normalized DWM latency over polybench kernels
+//! (CPU+DRAM and CPU+DWM vs CORUSCANT PIM; baseline without PIM is 1).
+
+use coruscant_bench::header;
+use coruscant_mem::MemoryConfig;
+use coruscant_workloads::memwall::{compare, geomean, MemWallResult};
+use coruscant_workloads::polybench::suite;
+
+fn main() {
+    header("Fig. 10: normalized latency (higher = PIM faster); N = 48 kernels");
+    let config = MemoryConfig::paper();
+    let results: Vec<MemWallResult> = suite(48).iter().map(|k| compare(k, &config)).collect();
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "kernel", "CPU+DRAM cyc", "CPU+DWM cyc", "PIM cyc", "vs DWM", "vs DRAM"
+    );
+    for r in &results {
+        println!(
+            "{:<10} {:>14} {:>14} {:>12} {:>11.2}x {:>11.2}x",
+            r.kernel,
+            r.cpu_dram_cycles,
+            r.cpu_dwm_cycles,
+            r.pim_cycles,
+            r.speedup_vs_dwm(),
+            r.speedup_vs_dram()
+        );
+    }
+    let vs_dwm = geomean(results.iter().map(MemWallResult::speedup_vs_dwm));
+    let vs_dram = geomean(results.iter().map(MemWallResult::speedup_vs_dram));
+    println!("\nAverage speedup vs CPU+DWM:  {vs_dwm:.2}x (paper: 2.07x)");
+    println!("Average speedup vs CPU+DRAM: {vs_dram:.2}x (paper: 2.20x)");
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 12: bitmap-index query latency normalized to a
+//! standard DRAM-CPU system (16M users, male AND active last w weeks).
+
+use coruscant_bench::header;
+use coruscant_mem::MemoryConfig;
+use coruscant_workloads::bitmap::{
+    cost_ambit, cost_coruscant, cost_dram_cpu, cost_elp2im, run_coruscant, BitmapDataset,
+};
+
+fn main() {
+    header("Fig. 12: bitmap indices query speedup over DRAM-CPU (16M users)");
+    let users = 16_000_000;
+    let config = MemoryConfig::paper();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "criteria", "Ambit", "ELP2IM", "CORUSCANT", "COR/ELP2IM"
+    );
+    for w in 2..=4 {
+        let cpu = cost_dram_cpu(users, w).cycles as f64;
+        let amb = cpu / cost_ambit(users, w, 512).cycles as f64;
+        let elp = cpu / cost_elp2im(users, w, 512).cycles as f64;
+        let cor = cpu / cost_coruscant(users, w, &config).cycles as f64;
+        println!(
+            "{:<10} {:>11.1}x {:>11.1}x {:>11.1}x {:>11.2}x",
+            w + 1,
+            amb,
+            elp,
+            cor,
+            cor / elp
+        );
+    }
+    println!("(paper: CORUSCANT is 1.6x / 2.2x / 3.4x over ELP2IM for 3 / 4 / 5 criteria)");
+
+    // Functional verification on a down-scaled dataset: the PIM answer
+    // must match the reference popcount exactly.
+    println!("\nFunctional check (100k users, tiny config):");
+    let ds = BitmapDataset::generate(100_000, 4, 2026);
+    let small = MemoryConfig::tiny();
+    for w in 2..=4 {
+        let out = run_coruscant(&ds, w, &small).expect("query");
+        let reference = ds.reference_count(w);
+        assert_eq!(out.count, reference, "PIM result must be exact");
+        println!(
+            "  w={w}: {} matching users (verified exact), {} cycles",
+            out.count, out.cycles
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! TRD sensitivity study: operation costs, area, and CNN throughput at
+//! TRD in {3, 5, 7} (paper SS III-A, Table IV columns, Table I).
+
+use coruscant_bench::header;
+use coruscant_core::area::{overhead_1pim, PimDesign};
+use coruscant_core::cost_model::MeasuredCosts;
+use coruscant_nn::mapping::{model_fps, Scheme};
+use coruscant_nn::models::alexnet;
+use coruscant_nn::quant::Precision;
+
+fn main() {
+    header("TRD sensitivity study");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "TRD", "add cyc", "mult cyc", "bulk cyc", "max cyc", "max ops"
+    );
+    for trd in [3usize, 5, 7] {
+        let m = MeasuredCosts::measure(trd).expect("measure");
+        let max_ops = if trd >= 4 { trd - 2 } else { trd - 1 };
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            trd, m.add_max.cycles, m.mult.cycles, m.bulk.cycles, m.max.cycles, max_ops
+        );
+    }
+
+    println!("\nArea overhead (Table I designs):");
+    for d in PimDesign::ALL {
+        println!(
+            "  {:<14} TRD={}  {:.1}%",
+            d.to_string(),
+            d.trd(),
+            overhead_1pim(d, 32, 16) * 100.0
+        );
+    }
+
+    println!("\nAlexNet FPS by TRD (full precision / TWN):");
+    let net = alexnet();
+    for trd in [3usize, 5, 7] {
+        let full = model_fps(Scheme::Coruscant(trd), &net, Precision::Full);
+        let twn = model_fps(Scheme::Coruscant(trd), &net, Precision::Twn);
+        println!("  TRD={trd}: {full:>7.1} / {twn:>7.1}");
+    }
+    println!("(paper: TRD 3->5 gains 30-40%, 5->7 another 10-20%)");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table I: PIM area overhead vs the base DWM main memory.
+
+use coruscant_bench::{header, vs_paper};
+use coruscant_core::area::{overhead_1pim, PimDesign};
+
+fn main() {
+    header("Table I: PIM area overhead vs base DWM main memory (1-PIM tile per subarray)");
+    println!("{:<16} {:>12} {:>12}", "Design", "Reproduced", "Paper");
+    for design in PimDesign::ALL {
+        let ours = overhead_1pim(design, 32, 16) * 100.0;
+        let paper = design.paper_overhead() * 100.0;
+        println!(
+            "{:<16} {:>11.2}% {:>11.1}%",
+            design.to_string(),
+            ours,
+            paper
+        );
+    }
+    println!("\nComponent model constants are in coruscant-core::area (F^2 units),");
+    println!("calibrated against the FreePDK45 synthesis the paper reports.");
+    let _ = vs_paper(0.0, 1.0);
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table II: the DWM system parameters the simulators use.
+
+use coruscant_bench::header;
+use coruscant_mem::timing::DeviceTiming;
+use coruscant_mem::MemoryConfig;
+use coruscant_racetrack::params::CpuEnergyParams;
+
+fn main() {
+    header("Table II: DWM parameters");
+    let c = MemoryConfig::paper();
+    println!(
+        "Memory size            {} GB ({} Gb)",
+        c.capacity_bytes() >> 30,
+        c.capacity_bits() >> 30
+    );
+    println!("Bus speed              {} MHz", c.bus_mhz);
+    println!("Memory cycle           {} ns", c.memory_cycle_ns);
+    println!("Number of banks        {}", c.banks);
+    println!("Subarrays per bank     {}", c.subarrays_per_bank);
+    println!("Tiles per subarray     {}", c.tiles_per_subarray);
+    println!(
+        "DBCs per tile          {} ({} + {}-PIM)",
+        c.dbcs_per_tile,
+        c.dbcs_per_tile - c.pim_dbcs_per_tile,
+        c.pim_dbcs_per_tile
+    );
+    println!(
+        "DBC geometry           {} nanowires x {} rows, TRD = {}",
+        c.nanowires_per_dbc, c.rows_per_dbc, c.trd
+    );
+    let e = CpuEnergyParams::PAPER;
+    println!("CPU add (32-bit)       {} pJ/op", e.add32_pj);
+    println!("CPU mult (32-bit)      {} pJ/op", e.mult32_pj);
+    println!("E_trans                {} pJ/byte", e.transfer_pj_per_byte);
+    let d = DeviceTiming::DRAM_PAPER;
+    println!(
+        "DRAM tRAS-tRCD-tRP-tCAS-tWR   {}-{}-{}-{}-{}",
+        d.t_ras, d.t_rcd, d.t_rp, d.t_cas, d.t_wr
+    );
+    let w = DeviceTiming::DWM_PAPER;
+    println!(
+        "DWM  tRAS-tRCD-S-tCAS-tWR     {}-{}-S-{}-{}",
+        w.t_ras, w.t_rcd, w.t_cas, w.t_wr
+    );
+    println!("(S = data-placement-dependent shift cycles replacing precharge)");
+}

@@ -1,0 +1,98 @@
+//! Regenerates Table III: operation comparison of CORUSCANT vs DW-NN vs
+//! SPIM (speed in cycles, energy in pJ, area in um^2 for 8-bit units).
+
+use coruscant_baselines::dwm_pim::SerialDwmPim;
+use coruscant_bench::header;
+use coruscant_core::area::unit_area_um2;
+use coruscant_core::cost_model::{MeasuredCosts, TABLE3_CORUSCANT};
+
+fn main() {
+    header("Table III: operation comparison (8-bit operands)");
+
+    println!("-- CORUSCANT (measured by the functional simulators) --");
+    println!(
+        "{:<18} {:>8} {:>8} | {:>10} {:>10} | {:>8}",
+        "Unit", "cycles", "paper", "energy pJ", "paper", "area um2"
+    );
+    let m3 = MeasuredCosts::measure(3).expect("trd 3");
+    let m7 = MeasuredCosts::measure(7).expect("trd 7");
+    let rows = [
+        ("2op add (TR=3)", m3.add2, TABLE3_CORUSCANT[0]),
+        ("2op add (TR=7)", m7.add2, TABLE3_CORUSCANT[1]),
+        ("5op add (TR=7)", m7.add_max, TABLE3_CORUSCANT[2]),
+        ("mult (TR=3)", m3.mult, TABLE3_CORUSCANT[3]),
+        ("mult (TR=7)", m7.mult, TABLE3_CORUSCANT[4]),
+    ];
+    for (name, got, paper) in rows {
+        println!(
+            "{:<18} {:>8} {:>8} | {:>10.2} {:>10.2} | {:>8.2}",
+            name,
+            got.cycles,
+            paper.cycles,
+            got.energy_pj,
+            paper.energy_pj,
+            unit_area_um2(paper.unit).unwrap_or(f64::NAN)
+        );
+    }
+
+    for model in [SerialDwmPim::dw_nn(), SerialDwmPim::spim()] {
+        println!("\n-- {} (fitted to its published column) --", model.name);
+        println!(
+            "{:<22} {:>8} {:>12} {:>10}",
+            "Unit", "cycles", "energy pJ", "area um2"
+        );
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>10.1}",
+            "2op add",
+            model.add2(8).cycles,
+            model.add2(8).energy_pj,
+            model.adder_area_um2
+        );
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>10.1}",
+            "5op add (area opt)",
+            model.add_k_area_opt(5, 8).cycles,
+            model.add_k_area_opt(5, 8).energy_pj,
+            model.adder_area_um2
+        );
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>10.1}",
+            "5op add (lat opt)",
+            model.add_k_latency_opt(5, 8).cycles,
+            model.add_k_latency_opt(5, 8).energy_pj,
+            model.add_latency_opt_area_um2(5)
+        );
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>10.1}",
+            "2op mult",
+            model.mult2(8).cycles,
+            model.mult2(8).energy_pj,
+            model.mult_area_um2
+        );
+    }
+
+    println!(
+        "\n-- Headline speedups vs SPIM (paper: 1.9x / 9.4x / 6.9x / 2.3x on paper cycles) --"
+    );
+    let s = SerialDwmPim::spim();
+    println!(
+        "2op add:            {:.2}x (measured) / {:.2}x (paper cycles)",
+        s.add2(8).cycles as f64 / m7.add2.cycles as f64,
+        s.add2(8).cycles as f64 / 26.0
+    );
+    println!(
+        "5op add (area opt): {:.2}x (measured) / {:.2}x (paper cycles)",
+        s.add_k_area_opt(5, 8).cycles as f64 / m7.add_max.cycles as f64,
+        s.add_k_area_opt(5, 8).cycles as f64 / 26.0
+    );
+    println!(
+        "5op add (lat opt):  {:.2}x (measured) / {:.2}x (paper cycles)",
+        s.add_k_latency_opt(5, 8).cycles as f64 / m7.add_max.cycles as f64,
+        s.add_k_latency_opt(5, 8).cycles as f64 / 26.0
+    );
+    println!(
+        "2op mult:           {:.2}x (measured) / {:.2}x (paper cycles)",
+        s.mult2(8).cycles as f64 / m7.mult.cycles as f64,
+        s.mult2(8).cycles as f64 / 64.0
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates Table IV: CNN inference FPS across schemes.
+
+use coruscant_bench::header;
+use coruscant_mem::MemoryConfig;
+use coruscant_nn::mapping::{layer_breakdown, model_fps, paper_fps, Scheme};
+use coruscant_nn::models::{alexnet, lenet5};
+use coruscant_nn::quant::Precision;
+use coruscant_nn::throughput;
+
+fn row(scheme: Scheme, net: &coruscant_nn::models::Network, precision: Precision) {
+    let got = model_fps(scheme, net, precision);
+    match paper_fps(scheme, &net.name, precision) {
+        Some(p) => println!(
+            "{:<14} {:>10.1} (paper {:>8.1})",
+            scheme.to_string(),
+            got,
+            p
+        ),
+        None => println!("{:<14} {:>10.1}", scheme.to_string(), got),
+    }
+}
+
+fn main() {
+    header("Table IV: CNN application comparison (FPS)");
+    for net in [alexnet(), lenet5()] {
+        println!("\n--- {} ---", net.name);
+        println!("Full-precision CNN inference:");
+        for s in [
+            Scheme::Spim,
+            Scheme::Coruscant(3),
+            Scheme::Coruscant(5),
+            Scheme::Coruscant(7),
+        ] {
+            row(s, &net, Precision::Full);
+        }
+        println!("ReRAM crossbar CNN inference:");
+        row(Scheme::Isaac, &net, Precision::Full);
+        println!("Binary weight network (NID):");
+        for s in [Scheme::Ambit, Scheme::Elp2im] {
+            row(s, &net, Precision::Bwn);
+        }
+        println!("Ternary weight network (DrAcc):");
+        for s in [
+            Scheme::Ambit,
+            Scheme::Elp2im,
+            Scheme::Coruscant(3),
+            Scheme::Coruscant(5),
+            Scheme::Coruscant(7),
+        ] {
+            row(s, &net, Precision::Twn);
+        }
+    }
+    println!("\nAlexNet TWN per-layer work shares (CORUSCANT-7 vs ELP2IM):");
+    let net = alexnet();
+    let cor = layer_breakdown(Scheme::Coruscant(7), &net, Precision::Twn);
+    let elp = layer_breakdown(Scheme::Elp2im, &net, Precision::Twn);
+    println!("{:<8} {:>12} {:>12}", "layer", "C7 share", "ELP2IM share");
+    for ((name, _, fc), (_, _, fe)) in cor.iter().zip(&elp) {
+        println!("{:<8} {:>11.1}% {:>11.1}%", name, fc * 100.0, fe * 100.0);
+    }
+
+    let p = throughput::peak(&MemoryConfig::paper());
+    println!(
+        "\nPeak convolution throughput: {:.1} TOPS, {:.0} GOPJ (paper: 26 TOPS, 108 GOPJ)",
+        p.tops, p.gopj
+    );
+    println!(
+        "FPGA comparison point: {} TOPS, {} GOPJ",
+        throughput::FPGA_TOPS,
+        throughput::FPGA_GOPJ
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates Table VI: CORUSCANT CNN inference under N-modular
+//! redundancy.
+
+use coruscant_bench::header;
+use coruscant_nn::mapping::{model_fps_nmr, Scheme};
+use coruscant_nn::models::{alexnet, lenet5};
+use coruscant_nn::quant::Precision;
+
+/// One Table VI block: network, precision, paper FPS at N = 3 for
+/// C3/C5/C7, at N = 5 for C5/C7, and at N = 7 for C7.
+type PaperBlock = (&'static str, Precision, [f64; 3], [f64; 2], f64);
+
+const PAPER: &[PaperBlock] = &[
+    // (network, precision, N=3 for C3/C5/C7, N=5 for C5/C7, N=7 for C7)
+    (
+        "alexnet",
+        Precision::Full,
+        [17.7, 26.9, 29.0],
+        [16.2, 17.5],
+        12.5,
+    ),
+    (
+        "alexnet",
+        Precision::Twn,
+        [90.2, 134.8, 155.8],
+        [81.1, 93.7],
+        67.0,
+    ),
+    (
+        "lenet5",
+        Precision::Twn,
+        [5907.0, 8074.0, 9862.0],
+        [0.0, 0.0],
+        4253.0,
+    ),
+];
+
+fn main() {
+    header("Table VI: CORUSCANT CNN with N-modular redundancy (FPS)");
+    for (net_name, precision, p3, p5, p7) in PAPER {
+        let net = if *net_name == "alexnet" {
+            alexnet()
+        } else {
+            lenet5()
+        };
+        println!("\n--- {} {:?} ---", net.name, precision);
+        print!("N=3: ");
+        for (i, trd) in [3usize, 5, 7].iter().enumerate() {
+            let got = model_fps_nmr(Scheme::Coruscant(*trd), &net, *precision, 3);
+            print!("C{trd} {got:.1} (paper {:.1})  ", p3[i]);
+        }
+        println!();
+        print!("N=5: ");
+        for (i, trd) in [5usize, 7].iter().enumerate() {
+            let got = model_fps_nmr(Scheme::Coruscant(*trd), &net, *precision, 5);
+            if p5[i] > 0.0 {
+                print!("C{trd} {got:.1} (paper {:.1})  ", p5[i]);
+            } else {
+                print!("C{trd} {got:.1}  ");
+            }
+        }
+        println!();
+        let got7 = model_fps_nmr(Scheme::Coruscant(7), &net, *precision, 7);
+        println!("N=7: C7 {got7:.1} (paper {p7:.1})");
+    }
+    println!("\n(The paper's ISO-area observation: CORUSCANT with TMR remains faster");
+    println!("than Ambit/ELP2IM without any fault tolerance on ternary AlexNet.)");
+}

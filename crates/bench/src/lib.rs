@@ -1,0 +1,38 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper: it computes the reproduced values from the simulators/models and
+//! prints them next to the paper's reported numbers so deviations are
+//! visible at a glance (EXPERIMENTS.md records the analysis).
+
+/// Prints a table header with a title and a rule.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn times(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a reproduced-vs-paper pair.
+pub fn vs_paper(ours: f64, paper: f64) -> String {
+    format!("{ours:>10.2} (paper {paper:>8.2})")
+}
+
+/// Relative deviation of a reproduced value from the paper's.
+pub fn deviation(ours: f64, paper: f64) -> f64 {
+    (ours - paper) / paper
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(times(1.6), "1.60x");
+        assert!(vs_paper(25.0, 26.0).contains("paper"));
+        assert!((deviation(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+}

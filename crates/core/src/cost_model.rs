@@ -1,0 +1,269 @@
+//! Closed-form and measured operation costs (paper Table III).
+//!
+//! The cycle counts of CORUSCANT operations follow directly from the
+//! micro-operation recipes of §III (see [`crate::add`] and
+//! [`crate::mult`]); this module provides:
+//!
+//! * closed-form formulas for addition, derived in §V-B: an `n`-bit
+//!   `k`-operand add costs `setup + 2n` cycles, where setup is one write
+//!   plus one shift per operand slot;
+//! * **measured** costs for every operation, obtained by running the
+//!   functional simulators on a scratch DBC — a single source of truth
+//!   that keeps the analytic tables and the functional machine consistent;
+//! * the paper's reported Table III values for comparison.
+
+use crate::add::MultiOperandAdder;
+use crate::bulk::{BulkExecutor, BulkOp};
+use crate::maxpool::MaxExecutor;
+use crate::mult::{MultStrategy, Multiplier};
+use crate::Result;
+use coruscant_mem::{Dbc, MemoryConfig, Row};
+use coruscant_racetrack::{Cost, CostMeter};
+use serde::{Deserialize, Serialize};
+
+/// Closed-form cycle count of an `n`-bit multi-operand addition at a given
+/// TRD: operand placement plus a 2-cycle TR/write step per bit.
+pub fn add_cycles(trd: usize, bits: usize) -> u64 {
+    let setup = if trd >= 4 {
+        2 * (trd - 2) as u64 // k writes + k shifts for k = TRD - 2 operands
+    } else {
+        3 // 2 writes + 1 shift at TRD = 3
+    };
+    setup + 2 * bits as u64
+}
+
+/// Closed-form energy (pJ) of an `n`-bit multi-operand addition for a
+/// single `n`-wire processing unit, using the calibrated
+/// [`coruscant_racetrack::params::EnergyParams`].
+pub fn add_energy_pj(trd: usize, bits: usize) -> f64 {
+    let e = coruscant_racetrack::params::EnergyParams::PAPER;
+    let n = bits as f64;
+    let (k, writes_per_step) = if trd >= 4 {
+        ((trd - 2) as f64, 3.0)
+    } else {
+        ((trd - 1) as f64, 2.0)
+    };
+    let shifts = if trd >= 4 { k } else { k - 1.0 };
+    n * k * e.write
+        + n * shifts * e.shift_per_step
+        + n * (e.transverse_read(trd) + writes_per_step * e.write)
+}
+
+/// Measured costs of the CORUSCANT operation set at one TRD, produced by
+/// running the functional simulators (8-bit operands, as Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredCosts {
+    /// Transverse-read distance.
+    pub trd: usize,
+    /// Two-operand 8-bit addition.
+    pub add2: Cost,
+    /// Maximum-operand (TRD − 2) 8-bit addition.
+    pub add_max: Cost,
+    /// Two-operand 8-bit multiplication (carry-save strategy).
+    pub mult: Cost,
+    /// Two-operand 8-bit multiplication (repeated-addition strategy).
+    pub mult_arbitrary: Cost,
+    /// Seven-operand (or TRD-operand) bulk-bitwise operation.
+    pub bulk: Cost,
+    /// Max over TRD 8-bit words (with transverse writes).
+    pub max: Cost,
+}
+
+impl MeasuredCosts {
+    /// Runs the functional simulators at `trd` and records their costs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (none are expected for the supported
+    /// TRD values 3, 5, 7).
+    pub fn measure(trd: usize) -> Result<MeasuredCosts> {
+        // Table III compares single processing units: an 8-bit adder is an
+        // 8-wire slice, an 8-bit multiplier a 16-wire slice (double-width
+        // product lane). Cycle counts are width-independent; energies are
+        // per-unit at these widths.
+        let mut add_config = MemoryConfig::tiny().with_trd(trd);
+        add_config.nanowires_per_dbc = 8;
+        let mut mul_config = MemoryConfig::tiny().with_trd(trd);
+        mul_config.nanowires_per_dbc = 16;
+        let max_ops = add_config.max_add_operands();
+
+        let row8 = |v: u64| Row::pack(8, 8, &[v]);
+        let row16 = |v: u64| Row::pack(16, 16, &[v]);
+
+        // 2-operand add.
+        let mut dbc = Dbc::pim_enabled(&add_config);
+        let adder = MultiOperandAdder::new(&add_config);
+        let mut m = CostMeter::new();
+        adder.add_rows(&mut dbc, &[row8(201), row8(99)], 8, &mut m)?;
+        let add2 = m.total();
+
+        // Max-operand add.
+        let mut dbc = Dbc::pim_enabled(&add_config);
+        let ops: Vec<Row> = (1..=max_ops as u64).map(row8).collect();
+        let mut m = CostMeter::new();
+        if ops.len() >= 2 {
+            adder.add_rows(&mut dbc, &ops, 8, &mut m)?;
+        }
+        let add_max = m.total();
+
+        // Multiplications (8-bit operands in 16-bit lanes).
+        let mut dbc = Dbc::pim_enabled(&mul_config);
+        let mult = Multiplier::new(&mul_config);
+        let mut m = CostMeter::new();
+        mult.multiply_packed(&mut dbc, &row16(173), &row16(219), 8, &mut m)?;
+        let mult_cost = m.total();
+
+        let mut dbc = Dbc::pim_enabled(&mul_config);
+        let mult_arb = Multiplier::new(&mul_config).with_strategy(MultStrategy::Arbitrary);
+        let mut m = CostMeter::new();
+        mult_arb.multiply_packed(&mut dbc, &row16(173), &row16(219), 8, &mut m)?;
+        let mult_arbitrary = m.total();
+
+        // Bulk-bitwise over the full segment (8-bit unit).
+        let mut dbc = Dbc::pim_enabled(&add_config);
+        let exec = BulkExecutor::new(&add_config);
+        let operands: Vec<Row> = (0..trd as u64).map(|k| row8(k * 17)).collect();
+        let mut m = CostMeter::new();
+        exec.execute(&mut dbc, BulkOp::Or, &operands, &mut m)?;
+        let bulk = m.total();
+
+        // Max over TRD 8-bit words.
+        let mut dbc = Dbc::pim_enabled(&add_config);
+        let maxe = MaxExecutor::new(&add_config);
+        let cands: Vec<Row> = (0..trd as u64).map(|k| row8(k * 31)).collect();
+        let mut m = CostMeter::new();
+        maxe.max_rows(&mut dbc, &cands, 8, &mut m)?;
+        let max = m.total();
+
+        Ok(MeasuredCosts {
+            trd,
+            add2,
+            add_max,
+            mult: mult_cost,
+            mult_arbitrary,
+            bulk,
+            max,
+        })
+    }
+}
+
+/// One row of the paper's Table III (speed in cycles, energy in pJ, area
+/// in µm² at 32 nm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Entry {
+    /// Operation label.
+    pub unit: &'static str,
+    /// Latency in device cycles.
+    pub cycles: u64,
+    /// Energy in pJ.
+    pub energy_pj: f64,
+    /// Area in µm².
+    pub area_um2: f64,
+}
+
+/// The paper's reported CORUSCANT column of Table III.
+pub const TABLE3_CORUSCANT: [Table3Entry; 5] = [
+    Table3Entry {
+        unit: "2op add (TR=3)",
+        cycles: 19,
+        energy_pj: 10.15,
+        area_um2: 2.16,
+    },
+    Table3Entry {
+        unit: "2op add (TR=7)",
+        cycles: 26,
+        energy_pj: 22.14,
+        area_um2: 3.60,
+    },
+    Table3Entry {
+        unit: "5op add (TR=7)",
+        cycles: 26,
+        energy_pj: 22.14,
+        area_um2: 4.94,
+    },
+    Table3Entry {
+        unit: "mult (TR=3)",
+        cycles: 105,
+        energy_pj: 92.01,
+        area_um2: 3.80,
+    },
+    Table3Entry {
+        unit: "mult (TR=7)",
+        cycles: 64,
+        energy_pj: 57.39,
+        area_um2: 5.07,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_add_matches_table3() {
+        assert_eq!(add_cycles(3, 8), 19);
+        assert_eq!(add_cycles(7, 8), 26);
+        assert!((add_energy_pj(3, 8) - 10.15).abs() < 0.01);
+        assert!((add_energy_pj(7, 8) - 22.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn measured_add_matches_closed_form() {
+        for trd in [3usize, 5, 7] {
+            let mc = MeasuredCosts::measure(trd).unwrap();
+            if trd >= 4 {
+                assert_eq!(mc.add_max.cycles, add_cycles(trd, 8), "trd {trd}");
+            } else {
+                assert_eq!(mc.add2.cycles, add_cycles(trd, 8));
+            }
+        }
+    }
+
+    #[test]
+    fn measured_mult_shape_matches_table3() {
+        // We do not require exact agreement with the paper's 105/64 cycle
+        // counts (scheduling details differ) but the shape must hold:
+        // TRD = 7 multiplication is substantially faster than TRD = 3, and
+        // both are within 2x of the paper's values.
+        let m3 = MeasuredCosts::measure(3).unwrap();
+        let m7 = MeasuredCosts::measure(7).unwrap();
+        assert!(m7.mult.cycles < m3.mult.cycles);
+        let ratio = m3.mult.cycles as f64 / m7.mult.cycles as f64;
+        assert!(ratio > 1.2, "TRD-7 speedup ratio {ratio}");
+        assert!(
+            (m7.mult.cycles as f64) < 2.0 * 64.0 && (m7.mult.cycles as f64) > 0.5 * 64.0,
+            "TR7 mult {} vs paper 64",
+            m7.mult.cycles
+        );
+        assert!(
+            (m3.mult.cycles as f64) < 2.0 * 105.0 && (m3.mult.cycles as f64) > 0.5 * 105.0,
+            "TR3 mult {} vs paper 105",
+            m3.mult.cycles
+        );
+    }
+
+    #[test]
+    fn csa_beats_arbitrary_in_measured_costs() {
+        let m7 = MeasuredCosts::measure(7).unwrap();
+        assert!(m7.mult.cycles < m7.mult_arbitrary.cycles);
+    }
+
+    #[test]
+    fn bulk_is_single_tr_after_placement() {
+        let m7 = MeasuredCosts::measure(7).unwrap();
+        // 7 writes + 6 shifts + 1 TR.
+        assert_eq!(m7.bulk.cycles, 14);
+    }
+
+    #[test]
+    fn energy_grows_with_trd_for_add() {
+        assert!(add_energy_pj(3, 8) < add_energy_pj(5, 8));
+        assert!(add_energy_pj(5, 8) < add_energy_pj(7, 8));
+    }
+
+    #[test]
+    fn paper_table_entries_consistent() {
+        assert_eq!(TABLE3_CORUSCANT.len(), 5);
+        assert!(TABLE3_CORUSCANT.iter().all(|e| e.cycles > 0));
+    }
+}

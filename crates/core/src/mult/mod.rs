@@ -1,0 +1,506 @@
+//! Two-operand multiplication (paper §III-D).
+//!
+//! CORUSCANT multiplies by summing shifted copies of the multiplicand:
+//!
+//! * **Constant multiplication** ([`constant`]) recodes a compile-time
+//!   multiplier in canonical signed digits and resolves it in a handful of
+//!   grouped additions.
+//! * **Arbitrary multiplication** generates one partial product per
+//!   multiplier bit (a shifted copy of `A`, zeroed per lane where the
+//!   corresponding bit of `B` is `0` — the predicated copy of §III-D2)
+//!   and sums the survivors with repeated multi-operand additions.
+//! * **Optimized multiplication** ([`csa`]) instead collapses the partial
+//!   products with O(1) carry-save `7 → 3` reductions until at most
+//!   `TRD − 2` remain, then performs a single chained addition — making
+//!   multiplication O(n) instead of O(n log n) in operand width.
+
+pub mod constant;
+pub mod csa;
+
+pub use constant::{csd_digits, csd_terms, ConstantMultiplier, ConstantPlan, CsdTerm};
+pub use csa::{CsaReducer, Reduced};
+
+use crate::add::MultiOperandAdder;
+use crate::shift_logic::shift_row_left;
+use crate::{PimError, Result};
+use coruscant_mem::{Dbc, MemoryConfig, Row};
+use coruscant_racetrack::CostMeter;
+use serde::{Deserialize, Serialize};
+
+/// Partial-product summation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultStrategy {
+    /// Repeated multi-operand additions over the retained partial
+    /// products (paper §III-D2).
+    Arbitrary,
+    /// Carry-save `7 → 3` reductions, then one final addition
+    /// (paper §III-D3).
+    CarrySave,
+}
+
+/// Executes two-operand multiplications on a PIM-enabled DBC.
+///
+/// Operands are packed integers of `bits` bits living in lanes of
+/// `2 × bits` so the full product fits. The DBC scratch layout uses row 0
+/// as the super-carry landing slot, rows `1..=trd` as the reduction/add
+/// window, and rows above that for the partial-product pool.
+#[derive(Debug, Clone)]
+pub struct Multiplier {
+    trd: usize,
+    strategy: MultStrategy,
+}
+
+impl Multiplier {
+    /// Creates a carry-save multiplier for the configuration's TRD.
+    pub fn new(config: &MemoryConfig) -> Multiplier {
+        Multiplier {
+            trd: config.trd,
+            strategy: MultStrategy::CarrySave,
+        }
+    }
+
+    /// Selects the summation strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: MultStrategy) -> Multiplier {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured TRD.
+    pub fn trd(&self) -> usize {
+        self.trd
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> MultStrategy {
+        self.strategy
+    }
+
+    fn max_add_operands(&self) -> usize {
+        if self.trd <= 3 {
+            self.trd - 1
+        } else {
+            self.trd - 2
+        }
+    }
+
+    /// Multiplies lane-packed operands: `a` and `b` hold `bits`-bit values
+    /// in `2 × bits`-bit lanes; the returned row holds the full products
+    /// in the same lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::WidthOverflow`] if the values exceed `bits`,
+    /// [`PimError::NotPim`], a block-size error, or a memory error.
+    pub fn multiply_packed(
+        &self,
+        dbc: &mut Dbc,
+        a: &Row,
+        b: &Row,
+        bits: usize,
+        meter: &mut CostMeter,
+    ) -> Result<Row> {
+        let lane = 2 * bits;
+        crate::add::validate_blocksize(lane, dbc.width())?;
+        if !dbc.is_pim() {
+            return Err(PimError::NotPim);
+        }
+        for (lane_idx, v) in a
+            .unpack(lane)
+            .iter()
+            .chain(b.unpack(lane).iter())
+            .enumerate()
+        {
+            if bits < 64 && *v >> bits != 0 {
+                let _ = lane_idx;
+                return Err(PimError::WidthOverflow { bits, lane: bits });
+            }
+        }
+
+        // ---- Partial-product generation (§III-D2) ----
+        // Scratch layout: window rows 1..=trd reserved; PP pool above.
+        let pool = self.trd + 1;
+        let n = bits;
+        if pool + n + 1 > dbc.rows() {
+            return Err(PimError::Mem(coruscant_mem::MemError::RowOutOfRange {
+                row: pool + n,
+                rows: dbc.rows(),
+            }));
+        }
+        // A arrives through the row buffer and is held at the drivers;
+        // each partial product is one shifted write through the
+        // neighbour-forwarding interconnect (brown paths of Fig. 4a), with
+        // the predicated zeroing on B's bit applied in the row buffer
+        // before write-back. Cost per PP: one DW alignment shift plus one
+        // (shifted, predicated) write — the paper's "k shifted read and
+        // write operations and k DW shifts" accounting.
+        let b_lanes = b.unpack(lane);
+        let mut cur = a.clone();
+        for i in 0..n {
+            let mut masked = cur.clone();
+            for (l, bv) in b_lanes.iter().enumerate() {
+                if bv >> i & 1 == 0 {
+                    for w in l * lane..(l + 1) * lane {
+                        masked.set(w, false);
+                    }
+                }
+            }
+            dbc.write_row(pool + i, &masked, meter)?;
+            cur = shift_row_left(&cur, 1, lane);
+        }
+
+        let mut live: Vec<usize> = (pool..pool + n).collect();
+
+        // ---- Summation ----
+        match self.strategy {
+            MultStrategy::CarrySave => {
+                self.reduce_with_csa(dbc, &mut live, lane, meter)?;
+            }
+            MultStrategy::Arbitrary => { /* handled below by the adder */ }
+        }
+
+        // Final (or repeated, for Arbitrary) multi-operand additions. The
+        // partial sum parks in a dedicated slot above the pool; it is
+        // always re-consumed at the head of the next chunk, so rewriting
+        // the slot never clobbers live data.
+        let adder = MultiOperandAdder::with_trd(self.trd);
+        let max_ops = self.max_add_operands();
+        let slot = pool + n;
+        while live.len() > 1 {
+            let take = max_ops.min(live.len());
+            let mut chunk = Vec::with_capacity(take);
+            for r in live.drain(..take) {
+                chunk.push(dbc.read_row(r, meter)?);
+            }
+            // Confine the addition's scratch rows to the reserved window
+            // (rows 1..=trd) so the live pool rows survive.
+            let sum = adder.add_rows_at(dbc, &chunk, 1, lane, meter)?;
+            dbc.write_row(slot, &sum, meter)?;
+            live.insert(0, slot);
+        }
+        let result_row = live[0];
+        dbc.peek_row(result_row).map_err(PimError::from)
+    }
+
+    /// Collapses the live rows with carry-save reductions until at most
+    /// `TRD − 2` remain.
+    fn reduce_with_csa(
+        &self,
+        dbc: &mut Dbc,
+        live: &mut Vec<usize>,
+        lane: usize,
+        meter: &mut CostMeter,
+    ) -> Result<()> {
+        let reducer = CsaReducer::new(self.trd);
+        let max_ops = self.max_add_operands();
+        while live.len() > max_ops {
+            let t = self.trd.min(live.len());
+            if t < 3 {
+                break;
+            }
+            // Fast path: a full window of contiguous live rows (with the
+            // super-carry landing row free below it) reduces in place with
+            // no data movement — the common case right after partial-
+            // product generation, where the pool is contiguous.
+            let in_place = t == self.trd
+                && live[..t].windows(2).all(|w| w[1] == w[0] + 1)
+                && live[0] >= 1
+                && !live.contains(&(live[0] - 1));
+            let (base, t) = if in_place {
+                let b = live[0];
+                live.drain(..t);
+                (b, t)
+            } else {
+                // Overlap-aware gather: choose the window position whose
+                // span already contains the most chosen rows, so only the
+                // stragglers pay a read/write move. The window must not
+                // clobber surviving live rows and its super-carry landing
+                // slot (base − 1) must be free.
+                let chosen: Vec<usize> = live.drain(..t).collect();
+                let base = self.best_window(dbc.rows(), &chosen, live);
+                let span = base..base + self.trd;
+                // Slot occupancy: chosen rows inside the window keep their
+                // position; movers fill the free slots.
+                let mut occupied = vec![false; self.trd];
+                let mut movers = Vec::new();
+                for &r in &chosen {
+                    if span.contains(&r) {
+                        occupied[r - base] = true;
+                    } else {
+                        movers.push(r);
+                    }
+                }
+                let mut free: Vec<usize> = (0..self.trd).filter(|&s| !occupied[s]).collect();
+                free.reverse(); // pop() hands slots out in ascending order
+                for r in movers {
+                    let s = free.pop().expect("window has room for every mover");
+                    let data = dbc.read_row(r, meter)?;
+                    dbc.write_row(base + s, &data, meter)?;
+                    occupied[s] = true;
+                }
+                // Zero any slot no operand landed in (one write each).
+                let zero = Row::zeros(dbc.width());
+                for (s, filled) in occupied.iter().enumerate() {
+                    if !filled {
+                        dbc.write_row(base + s, &zero, meter)?;
+                    }
+                }
+                // With zero padding the reduction spans the full window.
+                (base, self.trd)
+            };
+            let out = reducer.reduce(dbc, base, t, lane, meter)?;
+            // Outputs go to the FRONT of the live list so the next
+            // reduction consumes them first — this guarantees the C'
+            // landing row is re-read before any later reduction overwrites
+            // it.
+            for r in out.rows().into_iter().rev() {
+                live.insert(0, r);
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks the reduction-window base that overlaps the most chosen rows
+    /// while keeping surviving live rows and the super-carry slot
+    /// (`base − 1`) out of harm's way. Falls back to the fixed scratch
+    /// window when no position qualifies.
+    fn best_window(&self, rows: usize, chosen: &[usize], remaining: &[usize]) -> usize {
+        let fixed = 1usize;
+        let mut best = fixed;
+        let mut best_hits = 0usize;
+        for b in 1..=rows.saturating_sub(self.trd) {
+            let span = b..b + self.trd;
+            // The window must not clobber surviving live rows, and the C'
+            // landing slot must not hold one either.
+            if remaining.iter().any(|r| span.contains(r) || *r + 1 == b) {
+                continue;
+            }
+            let hits = chosen.iter().filter(|r| span.contains(r)).count();
+            if hits > best_hits {
+                best_hits = hits;
+                best = b;
+            }
+        }
+        // The fallback must also be safe; the fixed window's span only
+        // holds scratch rows in the layouts this multiplier builds, but
+        // verify against survivors anyway.
+        if best == fixed {
+            let span = fixed..fixed + self.trd;
+            if remaining
+                .iter()
+                .any(|r| span.contains(r) || *r + 1 == fixed)
+            {
+                // Find the first safe position (always exists: the pool
+                // region above the survivors).
+                for b in 1..=rows.saturating_sub(self.trd) {
+                    let span = b..b + self.trd;
+                    if !remaining.iter().any(|r| span.contains(r) || *r + 1 == b) {
+                        return b;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Convenience: multiplies slices of values, packing them into lanes
+    /// of `2 × bits` across as many rows as needed (here: one row).
+    ///
+    /// # Errors
+    ///
+    /// As [`Multiplier::multiply_packed`]; also if more values are passed
+    /// than fit one row.
+    pub fn multiply_values(
+        &self,
+        dbc: &mut Dbc,
+        a: &[u64],
+        b: &[u64],
+        bits: usize,
+        meter: &mut CostMeter,
+    ) -> Result<Vec<u64>> {
+        let lane = 2 * bits;
+        let lanes = dbc.width() / lane;
+        if a.len() > lanes || b.len() > lanes || a.len() != b.len() {
+            return Err(PimError::WidthOverflow {
+                bits: a.len().max(b.len()) * lane,
+                lane: dbc.width(),
+            });
+        }
+        let ra = Row::pack(dbc.width(), lane, a);
+        let rb = Row::pack(dbc.width(), lane, b);
+        let product = self.multiply_packed(dbc, &ra, &rb, bits, meter)?;
+        Ok(product.unpack(lane).into_iter().take(a.len()).collect())
+    }
+
+    /// Reference product (oracle): lane-wise `a * b` (never overflows the
+    /// double-width lane).
+    pub fn reference(a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+    }
+}
+
+/// Pure-model partial products of `a * b` for `bits`-bit operands: entry
+/// `i` is `a << i` when bit `i` of `b` is set, else zero — the oracle for
+/// the predicated-copy stage.
+pub fn partial_products(a: &Row, b: &Row, bits: usize, lane: usize) -> Vec<Row> {
+    let b_lanes = b.unpack(lane);
+    (0..bits)
+        .map(|i| {
+            let mut pp = shift_row_left(a, i, lane);
+            for (l, bv) in b_lanes.iter().enumerate() {
+                if bv >> i & 1 == 0 {
+                    for w in l * lane..(l + 1) * lane {
+                        pp.set(w, false);
+                    }
+                }
+            }
+            pp
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(trd: usize) -> (Dbc, Multiplier) {
+        let config = MemoryConfig::tiny().with_trd(trd);
+        (Dbc::pim_enabled(&config), Multiplier::new(&config))
+    }
+
+    #[test]
+    fn eight_bit_products_carry_save() {
+        let (mut dbc, mult) = setup(7);
+        let a = [3u64, 255, 17, 128];
+        let b = [5u64, 255, 0, 2];
+        let mut m = CostMeter::new();
+        let got = mult.multiply_values(&mut dbc, &a, &b, 8, &mut m).unwrap();
+        assert_eq!(got, Multiplier::reference(&a, &b));
+        assert!(m.total().cycles > 0);
+    }
+
+    #[test]
+    fn eight_bit_products_arbitrary() {
+        let (mut dbc, mult) = setup(7);
+        let mult = mult.with_strategy(MultStrategy::Arbitrary);
+        let a = [99u64, 200, 1, 77];
+        let b = [44u64, 201, 255, 0];
+        let got = mult
+            .multiply_values(&mut dbc, &a, &b, 8, &mut CostMeter::new())
+            .unwrap();
+        assert_eq!(got, Multiplier::reference(&a, &b));
+    }
+
+    #[test]
+    fn carry_save_beats_arbitrary_latency() {
+        // The O(n) CSA pipeline must be faster than the O(n log n)
+        // repeated additions (the core claim of §III-D3).
+        let a = [251u64, 13, 99, 255];
+        let b = [253u64, 240, 187, 255];
+        let (mut dbc, mult) = setup(7);
+        let mut m_csa = CostMeter::new();
+        mult.multiply_values(&mut dbc, &a, &b, 8, &mut m_csa)
+            .unwrap();
+
+        let (mut dbc2, mult2) = setup(7);
+        let mult2 = mult2.with_strategy(MultStrategy::Arbitrary);
+        let mut m_arb = CostMeter::new();
+        mult2
+            .multiply_values(&mut dbc2, &a, &b, 8, &mut m_arb)
+            .unwrap();
+
+        assert!(
+            m_csa.total().cycles < m_arb.total().cycles,
+            "csa {} vs arbitrary {}",
+            m_csa.total().cycles,
+            m_arb.total().cycles
+        );
+    }
+
+    #[test]
+    fn trd3_multiplication_works() {
+        let (mut dbc, mult) = setup(3);
+        let a = [7u64, 250, 3, 100];
+        let b = [9u64, 250, 0, 255];
+        let got = mult
+            .multiply_values(&mut dbc, &a, &b, 8, &mut CostMeter::new())
+            .unwrap();
+        assert_eq!(got, Multiplier::reference(&a, &b));
+    }
+
+    #[test]
+    fn trd5_multiplication_works() {
+        let (mut dbc, mult) = setup(5);
+        let a = [31u64, 2, 255, 64];
+        let b = [31u64, 128, 255, 3];
+        let got = mult
+            .multiply_values(&mut dbc, &a, &b, 8, &mut CostMeter::new())
+            .unwrap();
+        assert_eq!(got, Multiplier::reference(&a, &b));
+    }
+
+    #[test]
+    fn latency_ordering_across_trd() {
+        // Larger TRD -> fewer reductions -> fewer cycles (Table III:
+        // 105 cycles at TRD = 3 vs 64 at TRD = 7).
+        let a = [173u64; 4];
+        let b = [219u64; 4];
+        let mut cycles = Vec::new();
+        for trd in [3usize, 5, 7] {
+            let (mut dbc, mult) = setup(trd);
+            let mut m = CostMeter::new();
+            mult.multiply_values(&mut dbc, &a, &b, 8, &mut m).unwrap();
+            cycles.push(m.total().cycles);
+        }
+        assert!(
+            cycles[0] > cycles[1] && cycles[1] > cycles[2],
+            "cycles by TRD: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn four_bit_products() {
+        let (mut dbc, mult) = setup(7);
+        let a: Vec<u64> = (0..8).collect();
+        let b: Vec<u64> = (8..16).map(|x| x % 16).collect();
+        let got = mult
+            .multiply_values(&mut dbc, &a, &b, 4, &mut CostMeter::new())
+            .unwrap();
+        assert_eq!(got, Multiplier::reference(&a, &b));
+    }
+
+    #[test]
+    fn oversized_operands_rejected() {
+        let (mut dbc, mult) = setup(7);
+        let err = mult
+            .multiply_values(&mut dbc, &[256], &[1], 8, &mut CostMeter::new())
+            .unwrap_err();
+        assert!(matches!(err, PimError::WidthOverflow { .. }));
+    }
+
+    #[test]
+    fn partial_products_oracle() {
+        let a = Row::pack(64, 16, &[0x00FF, 0x0003, 0, 0]);
+        let b = Row::pack(64, 16, &[0x0005, 0x00FF, 0, 0]);
+        let pps = partial_products(&a, &b, 8, 16);
+        assert_eq!(pps.len(), 8);
+        // Sum of PPs equals the product, lane-wise.
+        let mut sums = [0u64; 4];
+        for pp in &pps {
+            for (l, v) in pp.unpack(16).into_iter().enumerate() {
+                sums[l] = (sums[l] + v) & 0xFFFF;
+            }
+        }
+        assert_eq!(sums[0], 0xFF * 5);
+        assert_eq!(sums[1], 3 * 0xFF);
+    }
+
+    #[test]
+    fn zero_multiplier_gives_zero() {
+        let (mut dbc, mult) = setup(7);
+        let got = mult
+            .multiply_values(&mut dbc, &[123, 45], &[0, 0], 8, &mut CostMeter::new())
+            .unwrap();
+        assert_eq!(got, vec![0, 0]);
+    }
+}

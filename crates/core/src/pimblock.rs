@@ -1,0 +1,174 @@
+//! The per-bitline PIM logic block (paper Fig. 4b).
+//!
+//! Fed by the seven sense-amplifier threshold outputs, the block derives
+//! every CORUSCANT output in one cycle:
+//!
+//! * `OR` — at least one `1` (`SA[1]`); `NOR` its inversion. With a single
+//!   operand padded by zeros this doubles as `NOT`.
+//! * `AND` — all `k` operand positions are `1` (`SA[k]` when padding is
+//!   `1`-preset so the whole segment counts); `NAND` its inversion.
+//! * `XOR` — the ones-count is odd (the "odd TR levels"); `XNOR` its
+//!   inversion.
+//! * `S` (sum) — identical to `XOR`: bit 0 of the ones-count.
+//! * `C` (carry) — bit 1 of the ones-count: levels {2,3} ∪ {6,7}, i.e.
+//!   "above two and not above four, or above six".
+//! * `C'` (super-carry) — bit 2 of the ones-count: level ≥ 4. The same
+//!   circuit serves as the majority function for N-modular voting.
+
+use crate::sense::SenseLevels;
+use serde::{Deserialize, Serialize};
+
+/// All outputs of the PIM logic block for one bitline after one TR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PimOutputs {
+    /// Multi-operand OR (`SA[1]`).
+    pub or: bool,
+    /// Multi-operand NOR.
+    pub nor: bool,
+    /// Multi-operand AND over the full span.
+    pub and: bool,
+    /// Multi-operand NAND over the full span.
+    pub nand: bool,
+    /// Multi-operand XOR (odd ones-count).
+    pub xor: bool,
+    /// Multi-operand XNOR.
+    pub xnor: bool,
+    /// Addition sum bit (= XOR).
+    pub sum: bool,
+    /// Addition carry bit (bit 1 of the ones-count).
+    pub carry: bool,
+    /// Addition super-carry bit (bit 2 of the ones-count); also the
+    /// majority output used by N-modular voting.
+    pub super_carry: bool,
+}
+
+/// The combinational PIM block: maps sense levels to [`PimOutputs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PimBlock;
+
+impl PimBlock {
+    /// Creates the block.
+    pub fn new() -> PimBlock {
+        PimBlock
+    }
+
+    /// Evaluates every output from the sensed levels.
+    ///
+    /// The AND output compares against the full span: callers that AND
+    /// fewer than `span` operands must preset the unused positions to `1`
+    /// (paper Fig. 7a).
+    pub fn evaluate(&self, levels: SenseLevels) -> PimOutputs {
+        let count = levels.count();
+        let span = levels.span();
+        let or = count >= 1;
+        let and = count == span;
+        let xor = count & 1 == 1;
+        PimOutputs {
+            or,
+            nor: !or,
+            and,
+            nand: !and,
+            xor,
+            xnor: !xor,
+            sum: xor,
+            carry: count & 0b10 != 0,
+            super_carry: count & 0b100 != 0,
+        }
+    }
+
+    /// The carry expression exactly as the paper words it — "a function of
+    /// TR levels above two and not above four or above six" — used to
+    /// cross-check the bit-1 shortcut.
+    pub fn carry_from_levels(&self, levels: SenseLevels) -> bool {
+        let ge = |j: u8| levels.count() >= j;
+        (ge(2) && !ge(4)) || ge(6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outputs(count: u8, span: u8) -> PimOutputs {
+        PimBlock::new().evaluate(SenseLevels::new(count, span))
+    }
+
+    #[test]
+    fn sum_carry_supercarry_are_binary_digits_of_count() {
+        for span in [3u8, 5, 7] {
+            for count in 0..=span {
+                let o = outputs(count, span);
+                assert_eq!(o.sum, count & 1 == 1, "S is bit 0 of {count}");
+                assert_eq!(o.carry, count & 2 != 0, "C is bit 1 of {count}");
+                assert_eq!(o.super_carry, count & 4 != 0, "C' is bit 2 of {count}");
+                // S + 2C + 4C' reconstructs the count (count <= 7).
+                let recon = u8::from(o.sum) + 2 * u8::from(o.carry) + 4 * u8::from(o.super_carry);
+                assert_eq!(recon, count);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_matches_paper_level_expression() {
+        let block = PimBlock::new();
+        for count in 0..=7u8 {
+            let levels = SenseLevels::new(count, 7);
+            assert_eq!(
+                block.evaluate(levels).carry,
+                block.carry_from_levels(levels),
+                "count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn logic_outputs_match_folds() {
+        // Enumerate all 2^7 segment patterns and compare against bitwise
+        // folds over the operands.
+        let block = PimBlock::new();
+        for pattern in 0u32..128 {
+            let bits: Vec<bool> = (0..7).map(|i| pattern >> i & 1 == 1).collect();
+            let count = bits.iter().filter(|&&b| b).count() as u8;
+            let o = block.evaluate(SenseLevels::new(count, 7));
+            let and = bits.iter().all(|&b| b);
+            let or = bits.iter().any(|&b| b);
+            let xor = bits.iter().fold(false, |a, &b| a ^ b);
+            assert_eq!(o.and, and);
+            assert_eq!(o.nand, !and);
+            assert_eq!(o.or, or);
+            assert_eq!(o.nor, !or);
+            assert_eq!(o.xor, xor);
+            assert_eq!(o.xnor, !xor);
+        }
+    }
+
+    #[test]
+    fn not_via_zero_padding() {
+        // NOT a: store a alone with zero padding; NOR reports !a.
+        for a in [false, true] {
+            let o = outputs(u8::from(a), 7);
+            assert_eq!(o.nor, !a);
+        }
+    }
+
+    #[test]
+    fn and_with_one_padding_shrinks_cardinality() {
+        // AND of k=2 operands with 5 positions preset to '1': the output is
+        // a & b exactly when count == span.
+        for a in [false, true] {
+            for b in [false, true] {
+                let count = u8::from(a) + u8::from(b) + 5;
+                let o = outputs(count, 7);
+                assert_eq!(o.and, a && b);
+            }
+        }
+    }
+
+    #[test]
+    fn supercarry_is_majority_of_seven() {
+        // C' doubles as the 7-input majority voter (paper §III-F).
+        for count in 0..=7u8 {
+            assert_eq!(outputs(count, 7).super_carry, count >= 4);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the PIM core primitives.
+
+use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant_core::mult::{csd_digits, csd_terms};
+use coruscant_core::pimblock::PimBlock;
+use coruscant_core::relu::{lane_as_signed, relu_reference};
+use coruscant_core::sense::SenseLevels;
+use coruscant_core::shift_logic::shift_row_left;
+use coruscant_mem::{DbcLocation, Row, RowAddress};
+use proptest::prelude::*;
+
+proptest! {
+    /// The PIM block's S/C/C' always reconstruct the sensed count —
+    /// exactly the paper's claim that the three outputs are the binary
+    /// digits of the ones-count.
+    #[test]
+    fn pim_block_digits_reconstruct_count(count in 0u8..=7) {
+        let o = PimBlock::new().evaluate(SenseLevels::new(count, 7));
+        let recon = u8::from(o.sum) + 2 * u8::from(o.carry) + 4 * u8::from(o.super_carry);
+        prop_assert_eq!(recon, count);
+        prop_assert_eq!(o.or, count >= 1);
+        prop_assert_eq!(o.and, count == 7);
+        prop_assert_eq!(o.xor, count % 2 == 1);
+    }
+
+    /// CSD recoding always reconstructs the constant, never places two
+    /// adjacent nonzero digits, and never exceeds the binary weight.
+    #[test]
+    fn csd_properties(c: u64) {
+        let digits = csd_digits(c);
+        let mut v: i128 = 0;
+        for (i, d) in digits.iter().enumerate() {
+            v += i128::from(*d) << i;
+        }
+        prop_assert_eq!(v, c as i128);
+        for w in digits.windows(2) {
+            prop_assert!(w[0] == 0 || w[1] == 0);
+        }
+        prop_assert!(csd_terms(c).len() <= c.count_ones() as usize + 1);
+    }
+
+    /// Logical shifting distributes over lane packing: shifting the row
+    /// equals shifting each lane value.
+    #[test]
+    fn logical_shift_per_lane(
+        values in proptest::collection::vec(0u64..65536, 4),
+        by in 0usize..16,
+    ) {
+        let row = Row::pack(64, 16, &values);
+        let shifted = shift_row_left(&row, by, 16);
+        for (l, &v) in values.iter().enumerate() {
+            prop_assert_eq!(shifted.unpack(16)[l], (v << by) & 0xFFFF, "lane {}", l);
+        }
+    }
+
+    /// ReLU zeroes exactly the lanes whose two's-complement value is
+    /// negative.
+    #[test]
+    fn relu_zeroes_negative_lanes(values in proptest::collection::vec(0u64..256, 8)) {
+        let row = Row::pack(64, 8, &values);
+        let out = relu_reference(&row, 8).unpack(8);
+        for (l, &v) in values.iter().enumerate() {
+            let want = if lane_as_signed(v, 8) < 0 { 0 } else { v };
+            prop_assert_eq!(out[l], want, "lane {}", l);
+        }
+    }
+
+    /// Every valid instruction survives the 64-bit encode/decode
+    /// round-trip.
+    #[test]
+    fn isa_roundtrip(
+        opcode_bits in 0u8..=15,
+        bank in 0usize..32,
+        subarray in 0usize..64,
+        tile in 0usize..16,
+        dbc in 0usize..16,
+        row in 0usize..32,
+        operands in 1u8..=7,
+        bs_field in 0usize..7,
+        with_dst: bool,
+    ) {
+        let opcode = CpimOpcode::from_bits(opcode_bits).unwrap();
+        let src = RowAddress::new(DbcLocation::new(bank, subarray, tile, dbc), row);
+        let dst = with_dst.then(|| RowAddress::new(DbcLocation::new(tile % 32, bank % 64 , dbc, tile), subarray % 32));
+        let bs = BlockSize::new(1 << (bs_field + 3)).unwrap();
+        let instr = CpimInstr::new(opcode, src, operands, bs, dst).unwrap();
+        let decoded = CpimInstr::decode(instr.encode()).unwrap();
+        prop_assert_eq!(decoded, instr);
+    }
+
+    /// Sense levels are monotone threshold outputs for any count/span.
+    #[test]
+    fn sense_levels_monotone(span in 1u8..=7, count_frac in 0.0f64..=1.0) {
+        let count = (f64::from(span) * count_frac).round() as u8;
+        let s = SenseLevels::new(count.min(span), span);
+        let bits = s.bits();
+        for j in 1..7 {
+            prop_assert!(!bits[j] || bits[j - 1]);
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Domain-block clusters: the lock-step nanowire groups of a tile.
+
+use crate::config::MemoryConfig;
+use crate::error::MemError;
+use crate::row::Row;
+use crate::Result;
+use coruscant_racetrack::{
+    Cost, CostMeter, FaultConfig, FaultInjector, Nanowire, NanowireSpec, OpClass, PortId, TrOutcome,
+};
+
+/// A domain-block cluster: `X` parallel nanowires that shift together and
+/// share sensing circuitry (paper Fig. 2d).
+///
+/// Bit `i` of every row is stored in nanowire `i`; the rows of the DBC are
+/// the distinct domain positions. Reading or writing a row first aligns it
+/// under an access port (a lock-step shift of all wires), then accesses all
+/// wires in parallel: the latency is that of a single wire, while the
+/// energy scales with the wire count.
+///
+/// PIM-enabled DBCs are built with the two-port CORUSCANT wire geometry
+/// and additionally expose per-wire transverse reads/writes, which the
+/// `coruscant-core` crate composes into logic, addition, multiplication
+/// and max operations.
+#[derive(Debug, Clone)]
+pub struct Dbc {
+    wires: Vec<Nanowire>,
+    rows: usize,
+    pim: bool,
+}
+
+impl Dbc {
+    /// Creates a PIM-enabled DBC (two ports, TR segment of `config.trd`).
+    pub fn pim_enabled(config: &MemoryConfig) -> Dbc {
+        let spec = NanowireSpec::coruscant(config.rows_per_dbc, config.trd);
+        Dbc::from_spec(spec, config.nanowires_per_dbc, config.rows_per_dbc, true)
+    }
+
+    /// Creates a conventional storage DBC (single port, no PIM).
+    pub fn storage(config: &MemoryConfig) -> Dbc {
+        let spec = NanowireSpec::single_port(config.rows_per_dbc);
+        Dbc::from_spec(spec, config.nanowires_per_dbc, config.rows_per_dbc, false)
+    }
+
+    fn from_spec(spec: NanowireSpec, width: usize, rows: usize, pim: bool) -> Dbc {
+        let wires = (0..width).map(|_| Nanowire::new(spec.clone())).collect();
+        Dbc { wires, rows, pim }
+    }
+
+    /// Attaches fault injectors to every wire (each wire gets a distinct
+    /// seed derived from `seed`).
+    #[must_use]
+    pub fn with_faults(mut self, config: FaultConfig, seed: u64) -> Dbc {
+        self.wires = self
+            .wires
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                w.with_fault_injector(FaultInjector::new(config, seed.wrapping_add(i as u64)))
+            })
+            .collect();
+        self
+    }
+
+    /// Number of nanowires (bits per row).
+    pub fn width(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether this DBC carries the PIM extensions (second port, TR).
+    pub fn is_pim(&self) -> bool {
+        self.pim
+    }
+
+    /// Length of the inter-port segment (0 for storage DBCs).
+    pub fn segment_len(&self) -> usize {
+        self.wires[0].segment_len()
+    }
+
+    /// Immutable access to wire `i` (oracle inspection).
+    pub fn wire(&self, i: usize) -> &Nanowire {
+        &self.wires[i]
+    }
+
+    /// Mutable access to wire `i` (used by PIM algorithms for per-wire
+    /// micro-operations like the addition carry chain).
+    pub fn wire_mut(&mut self, i: usize) -> &mut Nanowire {
+        &mut self.wires[i]
+    }
+
+    fn check_row(&self, r: usize) -> Result<()> {
+        if r >= self.rows {
+            return Err(MemError::RowOutOfRange {
+                row: r,
+                rows: self.rows,
+            });
+        }
+        Ok(())
+    }
+
+    /// Lock-step shift of every wire by `delta` domains. Latency is one
+    /// wire's shift; energy accumulates across all wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the shift would overrun the wires.
+    pub fn shift_all(&mut self, delta: isize, meter: &mut CostMeter) -> Result<()> {
+        let mut combined = Cost::ZERO;
+        for w in &mut self.wires {
+            let mut local = CostMeter::new();
+            w.shift(delta, &mut local)?;
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::Shift, combined);
+        Ok(())
+    }
+
+    /// Aligns data row `r` under `port` on every wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`] or a device error for an
+    /// unreachable alignment.
+    pub fn align_row(&mut self, r: usize, port: PortId, meter: &mut CostMeter) -> Result<()> {
+        self.check_row(r)?;
+        let mut combined = Cost::ZERO;
+        for w in &mut self.wires {
+            let mut local = CostMeter::new();
+            w.align_row(r, port, &mut local)?;
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::Shift, combined);
+        Ok(())
+    }
+
+    /// Picks a feasible access port for row `r` (the one with the shortest
+    /// reachable alignment), mirroring the controller's shift-minimizing
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`] for a bad row.
+    pub fn nearest_port(&self, r: usize) -> Result<PortId> {
+        self.check_row(r)?;
+        let w = &self.wires[0];
+        let n_ports = w.spec().ports.len();
+        let mut best: Option<(PortId, isize)> = None;
+        for p in 0..n_ports {
+            let port = PortId(p);
+            let d = w.align_distance(r, port)?;
+            // Check feasibility: the resulting offset must stay in range.
+            let new_offset = w.offset() + d;
+            let max_offset = (w.spec().total_domains - w.spec().data_domains) as isize;
+            if new_offset < 0 || new_offset > max_offset {
+                continue;
+            }
+            match best {
+                Some((_, bd)) if bd.abs() <= d.abs() => {}
+                _ => best = Some((port, d)),
+            }
+        }
+        best.map(|(p, _)| p)
+            .ok_or_else(|| MemError::BadLocation(format!("row {r} unreachable from any port")))
+    }
+
+    /// Reads row `r`: aligns it under the nearest feasible port and senses
+    /// all wires in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`] or a device error.
+    pub fn read_row(&mut self, r: usize, meter: &mut CostMeter) -> Result<Row> {
+        let port = self.nearest_port(r)?;
+        self.align_row(r, port, meter)?;
+        let mut combined = Cost::ZERO;
+        let mut bits = Vec::with_capacity(self.wires.len());
+        for w in &mut self.wires {
+            let mut local = CostMeter::new();
+            bits.push(w.read(port, &mut local)?);
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::Read, combined);
+        Ok(Row::from_bits(bits))
+    }
+
+    /// Writes row `r` (align + parallel write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WidthMismatch`] if `data` is not exactly one bit
+    /// per wire, [`MemError::RowOutOfRange`], or a device error.
+    pub fn write_row(&mut self, r: usize, data: &Row, meter: &mut CostMeter) -> Result<()> {
+        if data.width() != self.wires.len() {
+            return Err(MemError::WidthMismatch {
+                got: data.width(),
+                expected: self.wires.len(),
+            });
+        }
+        let port = self.nearest_port(r)?;
+        self.align_row(r, port, meter)?;
+        let mut combined = Cost::ZERO;
+        for (w, bit) in self.wires.iter_mut().zip(data.iter()) {
+            let mut local = CostMeter::new();
+            w.write(port, bit, &mut local)?;
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::Write, combined);
+        Ok(())
+    }
+
+    /// Reads row `r` without device access or cost — an oracle for tests
+    /// and verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::RowOutOfRange`] for a bad row.
+    pub fn peek_row(&self, r: usize) -> Result<Row> {
+        self.check_row(r)?;
+        Ok(self
+            .wires
+            .iter()
+            .map(|w| w.row(r).expect("validated row"))
+            .collect())
+    }
+
+    /// Writes row `r` directly into the model (setup helper; no cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WidthMismatch`] or [`MemError::RowOutOfRange`].
+    pub fn poke_row(&mut self, r: usize, data: &Row) -> Result<()> {
+        self.check_row(r)?;
+        if data.width() != self.wires.len() {
+            return Err(MemError::WidthMismatch {
+                got: data.width(),
+                expected: self.wires.len(),
+            });
+        }
+        for (w, bit) in self.wires.iter_mut().zip(data.iter()) {
+            w.set_row(r, bit)?;
+        }
+        Ok(())
+    }
+
+    /// Transverse read on every wire in parallel, returning one ones-count
+    /// per wire. Latency of a single TR; energy scales with width.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the DBC has fewer than two ports or the
+    /// segment exceeds the TRD.
+    pub fn transverse_read_all(&mut self, meter: &mut CostMeter) -> Result<Vec<TrOutcome>> {
+        let mut combined = Cost::ZERO;
+        let mut out = Vec::with_capacity(self.wires.len());
+        for w in &mut self.wires {
+            let mut local = CostMeter::new();
+            out.push(w.transverse_read(PortId::LEFT, PortId::RIGHT, &mut local)?);
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::TransverseRead, combined);
+        Ok(out)
+    }
+
+    /// Transverse read on a subset of wires in parallel (one TR latency).
+    ///
+    /// # Errors
+    ///
+    /// As [`Dbc::transverse_read_all`]; also if a wire index is out of
+    /// range the missing wires are reported via panic in debug builds.
+    pub fn transverse_read_wires(
+        &mut self,
+        wires: &[usize],
+        meter: &mut CostMeter,
+    ) -> Result<Vec<TrOutcome>> {
+        let mut combined = Cost::ZERO;
+        let mut out = Vec::with_capacity(wires.len());
+        for &i in wires {
+            let mut local = CostMeter::new();
+            out.push(self.wires[i].transverse_read(PortId::LEFT, PortId::RIGHT, &mut local)?);
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::TransverseRead, combined);
+        Ok(out)
+    }
+
+    /// Parallel single-bit writes: each `(wire, port, bit)` triple is
+    /// written simultaneously (one write latency, energy per write).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error for bad ports.
+    pub fn write_bits(
+        &mut self,
+        writes: &[(usize, PortId, bool)],
+        meter: &mut CostMeter,
+    ) -> Result<()> {
+        let mut combined = Cost::ZERO;
+        for &(i, port, bit) in writes {
+            let mut local = CostMeter::new();
+            self.wires[i].write(port, bit, &mut local)?;
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::Write, combined);
+        Ok(())
+    }
+
+    /// Transverse write on every wire in parallel: writes `row` under the
+    /// left port while segment-shifting, returning the expelled row from
+    /// under the right ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WidthMismatch`] or a device error.
+    pub fn transverse_write_all(&mut self, row: &Row, meter: &mut CostMeter) -> Result<Row> {
+        if row.width() != self.wires.len() {
+            return Err(MemError::WidthMismatch {
+                got: row.width(),
+                expected: self.wires.len(),
+            });
+        }
+        let mut combined = Cost::ZERO;
+        let mut expelled = Vec::with_capacity(self.wires.len());
+        for (w, bit) in self.wires.iter_mut().zip(row.iter()) {
+            let mut local = CostMeter::new();
+            expelled.push(w.transverse_write(bit, &mut local)?);
+            combined = combined.in_parallel_with(local.total());
+        }
+        meter.charge_class(OpClass::TransverseWrite, combined);
+        Ok(Row::from_bits(expelled))
+    }
+
+    /// The segment contents of every wire as rows: element `s` is the row
+    /// formed by segment position `s` across all wires (oracle; no cost).
+    pub fn peek_segment_rows(&self) -> Vec<Row> {
+        let seg = self.segment_len();
+        (0..seg)
+            .map(|s| {
+                self.wires
+                    .iter()
+                    .map(|w| w.segment_bit(s).expect("segment position"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Writes segment position `s` across all wires directly (setup
+    /// helper; no cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::WidthMismatch`] or a device error for a bad
+    /// segment position.
+    pub fn poke_segment_row(&mut self, s: usize, data: &Row) -> Result<()> {
+        if data.width() != self.wires.len() {
+            return Err(MemError::WidthMismatch {
+                got: data.width(),
+                expected: self.wires.len(),
+            });
+        }
+        for (w, bit) in self.wires.iter_mut().zip(data.iter()) {
+            w.set_segment_bit(s, bit)?;
+        }
+        Ok(())
+    }
+
+    /// The logical row index currently under the left port of wire 0, if
+    /// the port is over the data window.
+    pub fn row_under_left_port(&self) -> Option<usize> {
+        self.wires[0].row_under_port(PortId::LEFT).ok().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pim() -> Dbc {
+        Dbc::pim_enabled(&MemoryConfig::tiny())
+    }
+
+    #[test]
+    fn geometry_matches_config() {
+        let c = MemoryConfig::tiny();
+        let d = Dbc::pim_enabled(&c);
+        assert_eq!(d.width(), 64);
+        assert_eq!(d.rows(), 32);
+        assert!(d.is_pim());
+        assert_eq!(d.segment_len(), 7);
+
+        let s = Dbc::storage(&c);
+        assert!(!s.is_pim());
+    }
+
+    #[test]
+    fn row_write_read_roundtrip() {
+        let mut d = tiny_pim();
+        let mut m = CostMeter::new();
+        let row = Row::from_u64_words(64, &[0xAAAA_5555_F0F0_0F0F]);
+        d.write_row(7, &row, &mut m).unwrap();
+        let got = d.read_row(7, &mut m).unwrap();
+        assert_eq!(got, row);
+        // Oracle agrees.
+        assert_eq!(d.peek_row(7).unwrap(), row);
+    }
+
+    #[test]
+    fn row_access_cost_is_shift_plus_one() {
+        let mut d = tiny_pim();
+        let mut m = CostMeter::new();
+        let row = Row::zeros(64);
+        d.write_row(0, &row, &mut m).unwrap();
+        let shift_then_write = m.take();
+        // Writing the same row again needs no realignment: 1 cycle.
+        d.write_row(0, &row, &mut m).unwrap();
+        assert_eq!(m.total().cycles, 1);
+        assert!(shift_then_write.cycles >= 1);
+        // Energy of the parallel write scales with width.
+        assert!(m.total().energy_pj > 0.1 * 63.0);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut d = tiny_pim();
+        let mut m = CostMeter::new();
+        let err = d.write_row(0, &Row::zeros(8), &mut m).unwrap_err();
+        assert!(matches!(err, MemError::WidthMismatch { .. }));
+        assert!(d.poke_row(0, &Row::zeros(8)).is_err());
+    }
+
+    #[test]
+    fn row_out_of_range_rejected() {
+        let mut d = tiny_pim();
+        let mut m = CostMeter::new();
+        assert!(matches!(
+            d.read_row(32, &mut m),
+            Err(MemError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn all_rows_reachable() {
+        let mut d = tiny_pim();
+        let mut m = CostMeter::new();
+        for r in 0..32 {
+            let mut row = Row::zeros(64);
+            row.set(r % 64, true);
+            d.write_row(r, &row, &mut m).unwrap();
+        }
+        for r in 0..32 {
+            let got = d.read_row(r, &mut m).unwrap();
+            assert_eq!(got.popcount(), 1, "row {r}");
+            assert_eq!(got.get(r % 64), Some(true));
+        }
+    }
+
+    #[test]
+    fn transverse_read_all_counts_segment_ones() {
+        let mut d = tiny_pim();
+        // Fill segment rows: positions 0..3 all ones, rest zeros.
+        for s in 0..4 {
+            d.poke_segment_row(s, &Row::ones(64)).unwrap();
+        }
+        let mut m = CostMeter::new();
+        let out = d.transverse_read_all(&mut m).unwrap();
+        assert!(out.iter().all(|o| o.value == 4 && o.span == 7));
+        assert_eq!(m.total().cycles, 1, "parallel TR is one cycle");
+    }
+
+    #[test]
+    fn transverse_write_all_shifts_segment() {
+        let mut d = tiny_pim();
+        let marker = Row::from_u64_words(64, &[0x1234_5678]);
+        d.poke_segment_row(6, &marker).unwrap(); // under the right port
+        let mut m = CostMeter::new();
+        let expelled = d.transverse_write_all(&Row::ones(64), &mut m).unwrap();
+        assert_eq!(expelled, marker);
+        let rows = d.peek_segment_rows();
+        assert_eq!(rows[0], Row::ones(64));
+    }
+
+    #[test]
+    fn write_bits_is_one_cycle() {
+        let mut d = tiny_pim();
+        let mut m = CostMeter::new();
+        d.write_bits(
+            &[
+                (0, PortId::LEFT, true),
+                (1, PortId::RIGHT, true),
+                (2, PortId::LEFT, false),
+            ],
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(m.total().cycles, 1);
+        assert!(d.wire(0).segment_bit(0).unwrap());
+        assert!(d.wire(1).segment_bit(6).unwrap());
+    }
+
+    #[test]
+    fn lockstep_shift_moves_all_wires() {
+        let mut d = tiny_pim();
+        let row = Row::ones(64);
+        d.poke_row(10, &row).unwrap();
+        let mut m = CostMeter::new();
+        d.shift_all(3, &mut m).unwrap();
+        assert_eq!(m.total().cycles, 3);
+        assert_eq!(d.peek_row(10).unwrap(), row, "data follows the shift");
+    }
+
+    #[test]
+    fn nearest_port_prefers_shorter_alignment() {
+        let d = tiny_pim();
+        // Row 0 is far left: the left port must win.
+        assert_eq!(d.nearest_port(0).unwrap(), PortId::LEFT);
+        // Row 31 is far right: the right port must win.
+        assert_eq!(d.nearest_port(31).unwrap(), PortId::RIGHT);
+    }
+}

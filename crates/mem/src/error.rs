@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced by the memory-architecture layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// A device-level error bubbled up from a nanowire operation.
+    Device(coruscant_racetrack::Error),
+    /// A row index was out of range for the DBC.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Rows per DBC.
+        rows: usize,
+    },
+    /// Row data length did not match the DBC width.
+    WidthMismatch {
+        /// Provided bit count.
+        got: usize,
+        /// Expected bit count (nanowires per DBC).
+        expected: usize,
+    },
+    /// A physical location (bank/subarray/tile/DBC) was out of range.
+    BadLocation(String),
+    /// The referenced DBC is not PIM-enabled but a PIM command targeted it.
+    NotPimCapable {
+        /// Human-readable location.
+        location: String,
+    },
+    /// The configuration is inconsistent.
+    BadConfig(String),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Device(e) => write!(f, "device error: {e}"),
+            MemError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for a {rows}-row DBC")
+            }
+            MemError::WidthMismatch { got, expected } => {
+                write!(f, "row data has {got} bits but the DBC is {expected} wide")
+            }
+            MemError::BadLocation(s) => write!(f, "bad physical location: {s}"),
+            MemError::NotPimCapable { location } => {
+                write!(f, "DBC at {location} is not PIM-enabled")
+            }
+            MemError::BadConfig(s) => write!(f, "invalid memory configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<coruscant_racetrack::Error> for MemError {
+    fn from(e: coruscant_racetrack::Error) -> Self {
+        MemError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let cases = [
+            MemError::Device(coruscant_racetrack::Error::UnknownPort(0)),
+            MemError::RowOutOfRange { row: 40, rows: 32 },
+            MemError::WidthMismatch {
+                got: 8,
+                expected: 512,
+            },
+            MemError::BadLocation("bank 99".into()),
+            MemError::NotPimCapable {
+                location: "bank 0 subarray 0 tile 0 dbc 3".into(),
+            },
+            MemError::BadConfig("zero banks".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn device_error_has_source() {
+        use std::error::Error as _;
+        let e = MemError::from(coruscant_racetrack::Error::UnknownPort(1));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,273 @@
+//! A memory row: one bit per nanowire of a DBC.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// One row of a DBC: `width` bits, bit `i` belonging to nanowire `i`.
+///
+/// Rows are the operand granularity of bulk-bitwise PIM: a logic operation
+/// combines whole rows bitwise, and an addition treats a row as `width /
+/// blocksize` packed integers (paper §III-E: blocksize ∈ {8, …, 512}).
+///
+/// # Example
+///
+/// ```
+/// use coruscant_mem::Row;
+/// let a = Row::from_u64_words(64, &[0b1010]);
+/// let b = Row::from_u64_words(64, &[0b0110]);
+/// assert_eq!((&a & &b).to_u64_words()[0], 0b0010);
+/// assert_eq!((&a | &b).to_u64_words()[0], 0b1110);
+/// assert_eq!((&a ^ &b).to_u64_words()[0], 0b1100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Row {
+    bits: Vec<bool>,
+}
+
+impl Row {
+    /// Creates an all-zero row of `width` bits.
+    pub fn zeros(width: usize) -> Row {
+        Row {
+            bits: vec![false; width],
+        }
+    }
+
+    /// Creates an all-one row of `width` bits.
+    pub fn ones(width: usize) -> Row {
+        Row {
+            bits: vec![true; width],
+        }
+    }
+
+    /// Creates a row from raw bits (bit `i` → nanowire `i`).
+    pub fn from_bits(bits: Vec<bool>) -> Row {
+        Row { bits }
+    }
+
+    /// Creates a `width`-bit row by packing little-endian 64-bit words:
+    /// word `w` bit `b` lands at row bit `64 * w + b`. Missing words are
+    /// zero-filled; excess bits beyond `width` are discarded.
+    pub fn from_u64_words(width: usize, words: &[u64]) -> Row {
+        let mut bits = vec![false; width];
+        for (i, bit) in bits.iter_mut().enumerate() {
+            let w = i / 64;
+            let b = i % 64;
+            if let Some(word) = words.get(w) {
+                *bit = (word >> b) & 1 == 1;
+            }
+        }
+        Row { bits }
+    }
+
+    /// Packs fixed-width integers into a row: value `v` of `values` occupies
+    /// bits `[v * blocksize, (v+1) * blocksize)`, little-endian within the
+    /// block. Values wider than `blocksize` bits are truncated.
+    pub fn pack(width: usize, blocksize: usize, values: &[u64]) -> Row {
+        assert!(
+            blocksize > 0 && blocksize <= 64,
+            "blocksize 1..=64 supported"
+        );
+        let mut bits = vec![false; width];
+        for (v, &value) in values.iter().enumerate() {
+            for b in 0..blocksize {
+                let i = v * blocksize + b;
+                if i >= width {
+                    break;
+                }
+                bits[i] = (value >> b) & 1 == 1;
+            }
+        }
+        Row { bits }
+    }
+
+    /// Unpacks the row into `width / blocksize` fixed-width integers.
+    pub fn unpack(&self, blocksize: usize) -> Vec<u64> {
+        assert!(
+            blocksize > 0 && blocksize <= 64,
+            "blocksize 1..=64 supported"
+        );
+        let n = self.bits.len() / blocksize;
+        (0..n)
+            .map(|v| {
+                (0..blocksize).fold(0u64, |acc, b| {
+                    acc | (u64::from(self.bits[v * blocksize + b]) << b)
+                })
+            })
+            .collect()
+    }
+
+    /// The row as little-endian 64-bit words (last word zero-padded).
+    pub fn to_u64_words(&self) -> Vec<u64> {
+        let n = self.bits.len().div_ceil(64);
+        (0..n)
+            .map(|w| {
+                (0..64).fold(0u64, |acc, b| {
+                    let i = w * 64 + b;
+                    if i < self.bits.len() && self.bits[i] {
+                        acc | (1 << b)
+                    } else {
+                        acc
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `i`, or `None` out of range.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.bits.get(i).copied()
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        self.bits[i] = bit;
+    }
+
+    /// Number of `1` bits.
+    pub fn popcount(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterates over the bits, nanowire order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Borrows the raw bits.
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Consumes the row, returning the raw bits.
+    pub fn into_bits(self) -> Vec<bool> {
+        self.bits
+    }
+}
+
+impl FromIterator<bool> for Row {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Row {
+        Row {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! rowwise_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &Row {
+            type Output = Row;
+            fn $method(self, rhs: &Row) -> Row {
+                assert_eq!(
+                    self.bits.len(),
+                    rhs.bits.len(),
+                    "bitwise ops need equal-width rows"
+                );
+                Row {
+                    bits: self
+                        .bits
+                        .iter()
+                        .zip(&rhs.bits)
+                        .map(|(&a, &b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+    };
+}
+
+rowwise_binop!(BitAnd, bitand, &);
+rowwise_binop!(BitOr, bitor, |);
+rowwise_binop!(BitXor, bitxor, ^);
+
+impl Not for &Row {
+    type Output = Row;
+    fn not(self) -> Row {
+        Row {
+            bits: self.bits.iter().map(|&b| !b).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Row[{} bits, {} ones]", self.bits.len(), self.popcount())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let values = [1u64, 200, 37, 255, 0, 128, 99, 64];
+        let row = Row::pack(64, 8, &values);
+        assert_eq!(row.unpack(8), values.to_vec());
+    }
+
+    #[test]
+    fn pack_truncates_oversized_values() {
+        let row = Row::pack(16, 8, &[300, 5]); // 300 = 0b1_0010_1100 -> 0x2C
+        assert_eq!(row.unpack(8), vec![300 & 0xFF, 5]);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let words = [0xDEAD_BEEF_CAFE_F00D, 0x0123_4567_89AB_CDEF];
+        let row = Row::from_u64_words(128, &words);
+        assert_eq!(row.to_u64_words(), words.to_vec());
+    }
+
+    #[test]
+    fn bitwise_ops_match_u64() {
+        let a = 0xF0F0_1234u64;
+        let b = 0x0FF0_4321u64;
+        let ra = Row::from_u64_words(64, &[a]);
+        let rb = Row::from_u64_words(64, &[b]);
+        assert_eq!((&ra & &rb).to_u64_words()[0], a & b);
+        assert_eq!((&ra | &rb).to_u64_words()[0], a | b);
+        assert_eq!((&ra ^ &rb).to_u64_words()[0], a ^ b);
+        assert_eq!((!&ra).to_u64_words()[0], !a);
+    }
+
+    #[test]
+    fn popcount_and_get_set() {
+        let mut r = Row::zeros(32);
+        assert_eq!(r.popcount(), 0);
+        r.set(3, true);
+        r.set(30, true);
+        assert_eq!(r.popcount(), 2);
+        assert_eq!(r.get(3), Some(true));
+        assert_eq!(r.get(4), Some(false));
+        assert_eq!(r.get(32), None);
+        assert_eq!(Row::ones(10).popcount(), 10);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let r: Row = (0..8).map(|i| i % 2 == 0).collect();
+        assert_eq!(r.width(), 8);
+        assert_eq!(r.popcount(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-width")]
+    fn mismatched_widths_panic() {
+        let _ = &Row::zeros(8) & &Row::zeros(16);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Row::zeros(4).to_string().is_empty());
+    }
+}

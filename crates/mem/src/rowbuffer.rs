@@ -1,0 +1,164 @@
+//! The hierarchical row buffer shared by the tiles of a subarray.
+//!
+//! CORUSCANT reuses the row buffer for two PIM duties (paper §III-A,
+//! §IV-B): staging data moved between non-PIM and PIM DBCs (RowClone-style
+//! copies), and holding the candidate word during the predicated max
+//! function, where a *predicated reset* clears the buffer when the tested
+//! bit eliminates the candidate.
+
+use crate::address::RowAddress;
+use crate::row::Row;
+use serde::{Deserialize, Serialize};
+
+/// A subarray-level row buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowBuffer {
+    width: usize,
+    tag: Option<RowAddress>,
+    data: Row,
+    valid: bool,
+}
+
+impl RowBuffer {
+    /// Creates an empty row buffer of `width` bits.
+    pub fn new(width: usize) -> RowBuffer {
+        RowBuffer {
+            width,
+            tag: None,
+            data: Row::zeros(width),
+            valid: false,
+        }
+    }
+
+    /// Buffer width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether the buffer holds valid data.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The address of the buffered row, if any.
+    pub fn tag(&self) -> Option<RowAddress> {
+        self.tag
+    }
+
+    /// The buffered data (all zeros when invalid).
+    pub fn data(&self) -> &Row {
+        &self.data
+    }
+
+    /// Whether the buffer currently holds `addr` (an open-row hit).
+    pub fn hits(&self, addr: RowAddress) -> bool {
+        self.valid && self.tag == Some(addr)
+    }
+
+    /// Loads a row into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the buffer width.
+    pub fn load(&mut self, addr: RowAddress, data: Row) {
+        assert_eq!(data.width(), self.width, "row buffer width mismatch");
+        self.tag = Some(addr);
+        self.data = data;
+        self.valid = true;
+    }
+
+    /// Loads untagged data (e.g. a PIM intermediate that has no home row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` width differs from the buffer width.
+    pub fn load_untagged(&mut self, data: Row) {
+        assert_eq!(data.width(), self.width, "row buffer width mismatch");
+        self.tag = None;
+        self.data = data;
+        self.valid = true;
+    }
+
+    /// The predicated reset of the max function: clears the buffer to
+    /// zeros if `predicate` is true, otherwise leaves it unchanged. Always
+    /// leaves the buffer valid (a zero vector is meaningful data for the
+    /// max subroutine).
+    pub fn predicated_reset(&mut self, predicate: bool) {
+        if predicate {
+            self.data = Row::zeros(self.width);
+            self.tag = None;
+            self.valid = true;
+        }
+    }
+
+    /// Invalidates the buffer.
+    pub fn invalidate(&mut self) {
+        self.tag = None;
+        self.valid = false;
+        self.data = Row::zeros(self.width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::DbcLocation;
+
+    fn addr(row: usize) -> RowAddress {
+        RowAddress::new(DbcLocation::new(0, 0, 0, 0), row)
+    }
+
+    #[test]
+    fn starts_invalid() {
+        let rb = RowBuffer::new(64);
+        assert!(!rb.is_valid());
+        assert_eq!(rb.tag(), None);
+        assert!(!rb.hits(addr(0)));
+    }
+
+    #[test]
+    fn load_and_hit() {
+        let mut rb = RowBuffer::new(64);
+        let row = Row::from_u64_words(64, &[42]);
+        rb.load(addr(3), row.clone());
+        assert!(rb.hits(addr(3)));
+        assert!(!rb.hits(addr(4)));
+        assert_eq!(rb.data(), &row);
+    }
+
+    #[test]
+    fn predicated_reset_clears_only_when_true() {
+        let mut rb = RowBuffer::new(64);
+        let row = Row::ones(64);
+        rb.load(addr(1), row.clone());
+        rb.predicated_reset(false);
+        assert_eq!(rb.data(), &row);
+        rb.predicated_reset(true);
+        assert_eq!(rb.data(), &Row::zeros(64));
+        assert!(rb.is_valid(), "zero vector is valid max-candidate data");
+    }
+
+    #[test]
+    fn untagged_load_has_no_tag() {
+        let mut rb = RowBuffer::new(64);
+        rb.load_untagged(Row::ones(64));
+        assert!(rb.is_valid());
+        assert_eq!(rb.tag(), None);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut rb = RowBuffer::new(64);
+        rb.load(addr(2), Row::ones(64));
+        rb.invalidate();
+        assert!(!rb.is_valid());
+        assert!(!rb.hits(addr(2)));
+        assert_eq!(rb.data().popcount(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        RowBuffer::new(64).load(addr(0), Row::zeros(32));
+    }
+}

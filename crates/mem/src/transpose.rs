@@ -1,0 +1,153 @@
+//! Bit-layout transposition between row-parallel and bit-serial storage.
+//!
+//! CORUSCANT stores operands *row-parallel*: bit `i` of every packed lane
+//! lives in nanowire `lane·blocksize + i`, and one row holds one operand.
+//! Prior DWM PIM (DW-NN) instead stores operands *bit-serial*, with the
+//! bits of one operand stacked along a single nanowire. Moving data
+//! between the two layouts — or preparing CPU-written data for the
+//! addition carry chain — is a transposition, performed in memory with
+//! one shifted read/write pair per bit position through the
+//! neighbour-forwarding interconnect.
+//!
+//! This module provides the pure transposition (the oracle) and the
+//! device-level version with cost accounting.
+
+use crate::dbc::Dbc;
+use crate::row::Row;
+use crate::Result;
+use coruscant_racetrack::CostMeter;
+
+/// Transposes `bits`-bit values: input `values[v]` becomes output rows
+/// where row `b` holds bit `b` of every value (bit-plane layout). The
+/// inverse of [`untranspose_values`].
+pub fn transpose_values(values: &[u64], bits: usize, width: usize) -> Vec<Row> {
+    (0..bits)
+        .map(|b| {
+            let mut row = Row::zeros(width);
+            for (v, &value) in values.iter().enumerate() {
+                if v < width && value >> b & 1 == 1 {
+                    row.set(v, true);
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Rebuilds values from bit-plane rows (row `b` = bit `b` of each value).
+pub fn untranspose_values(planes: &[Row], count: usize) -> Vec<u64> {
+    (0..count)
+        .map(|v| {
+            planes.iter().enumerate().fold(0u64, |acc, (b, row)| {
+                acc | (u64::from(row.get(v).unwrap_or(false)) << b)
+            })
+        })
+        .collect()
+}
+
+/// Device-level transposition: reads the packed row at `src` and writes
+/// `bits` bit-plane rows starting at `dst`, charging one read plus one
+/// (masked, forwarded) write per plane — `2·bits` cycles plus alignment.
+///
+/// # Errors
+///
+/// Propagates memory errors (e.g. `dst + bits` beyond the DBC rows).
+pub fn transpose_row(
+    dbc: &mut Dbc,
+    src: usize,
+    dst: usize,
+    blocksize: usize,
+    meter: &mut CostMeter,
+) -> Result<Vec<usize>> {
+    let packed = dbc.read_row(src, meter)?;
+    let lanes = dbc.width() / blocksize;
+    let values = packed.unpack(blocksize);
+    let planes = transpose_values(&values[..lanes], blocksize, dbc.width());
+    let mut rows = Vec::with_capacity(blocksize);
+    for (b, plane) in planes.iter().enumerate() {
+        dbc.write_row(dst + b, plane, meter)?;
+        rows.push(dst + b);
+    }
+    Ok(rows)
+}
+
+/// Device-level inverse: gathers `blocksize` bit-plane rows starting at
+/// `src` back into one packed row at `dst`.
+///
+/// # Errors
+///
+/// Propagates memory errors.
+pub fn untranspose_rows(
+    dbc: &mut Dbc,
+    src: usize,
+    dst: usize,
+    blocksize: usize,
+    meter: &mut CostMeter,
+) -> Result<Row> {
+    let lanes = dbc.width() / blocksize;
+    let mut planes = Vec::with_capacity(blocksize);
+    for b in 0..blocksize {
+        planes.push(dbc.read_row(src + b, meter)?);
+    }
+    let values = untranspose_values(&planes, lanes);
+    let packed = Row::pack(dbc.width(), blocksize, &values);
+    dbc.write_row(dst, &packed, meter)?;
+    Ok(packed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryConfig;
+
+    #[test]
+    fn pure_roundtrip() {
+        let values = [0xA5u64, 0x3C, 0x00, 0xFF, 0x81, 0x7E, 0x01, 0x80];
+        let planes = transpose_values(&values, 8, 64);
+        assert_eq!(planes.len(), 8);
+        assert_eq!(untranspose_values(&planes, values.len()), values.to_vec());
+    }
+
+    #[test]
+    fn bit_plane_contents() {
+        let values = [0b01u64, 0b10, 0b11, 0b00];
+        let planes = transpose_values(&values, 2, 8);
+        // Plane 0 = LSBs: values 0 and 2 have bit 0 set.
+        assert!(planes[0].get(0).unwrap());
+        assert!(!planes[0].get(1).unwrap());
+        assert!(planes[0].get(2).unwrap());
+        // Plane 1 = MSBs: values 1 and 2.
+        assert!(!planes[1].get(0).unwrap());
+        assert!(planes[1].get(1).unwrap());
+        assert!(planes[1].get(2).unwrap());
+    }
+
+    #[test]
+    fn device_roundtrip() {
+        let config = MemoryConfig::tiny();
+        let mut dbc = Dbc::pim_enabled(&config);
+        let values = [200u64, 5, 0, 255, 17, 99, 128, 64];
+        let packed = Row::pack(64, 8, &values);
+        let mut m = CostMeter::new();
+        dbc.write_row(0, &packed, &mut m).unwrap();
+
+        let planes = transpose_row(&mut dbc, 0, 10, 8, &mut m).unwrap();
+        assert_eq!(planes.len(), 8);
+        // The bit-plane rows are physically present.
+        for (b, &r) in planes.iter().enumerate() {
+            let want = transpose_values(&values, 8, 64)[b].clone();
+            assert_eq!(dbc.peek_row(r).unwrap(), want, "plane {b}");
+        }
+
+        let back = untranspose_rows(&mut dbc, 10, 20, 8, &mut m).unwrap();
+        assert_eq!(back.unpack(8), values.to_vec());
+        assert_eq!(dbc.peek_row(20).unwrap(), packed);
+        assert!(m.total().cycles >= 2 * 8, "at least a read/write per plane");
+    }
+
+    #[test]
+    fn short_value_lists_zero_fill() {
+        let planes = transpose_values(&[1], 4, 16);
+        assert_eq!(untranspose_values(&planes, 3), vec![1, 0, 0]);
+    }
+}

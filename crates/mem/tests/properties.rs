@@ -1,0 +1,102 @@
+//! Property-based tests for the memory-architecture layer.
+
+use coruscant_mem::transpose::{transpose_values, untranspose_values};
+use coruscant_mem::{Dbc, MemoryConfig, Row, RowAddress};
+use coruscant_racetrack::CostMeter;
+use proptest::prelude::*;
+
+proptest! {
+    /// Row pack/unpack round-trips for every supported blocksize.
+    #[test]
+    fn row_pack_roundtrip(
+        values in proptest::collection::vec(any::<u64>(), 1..8),
+        bs_idx in 0usize..4,
+    ) {
+        let bs = [8usize, 16, 32, 64][bs_idx];
+        let width = 64;
+        let lanes = width / bs;
+        let mask = if bs == 64 { u64::MAX } else { (1 << bs) - 1 };
+        let vals: Vec<u64> = values.iter().take(lanes).map(|v| v & mask).collect();
+        let row = Row::pack(width, bs, &vals);
+        let got = row.unpack(bs);
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(got[i], *v);
+        }
+    }
+
+    /// Bitwise row operators agree with u64 semantics.
+    #[test]
+    fn row_ops_match_u64(a: u64, b: u64) {
+        let ra = Row::from_u64_words(64, &[a]);
+        let rb = Row::from_u64_words(64, &[b]);
+        prop_assert_eq!((&ra & &rb).to_u64_words()[0], a & b);
+        prop_assert_eq!((&ra | &rb).to_u64_words()[0], a | b);
+        prop_assert_eq!((&ra ^ &rb).to_u64_words()[0], a ^ b);
+        prop_assert_eq!((!&ra).to_u64_words()[0], !a);
+        prop_assert_eq!(ra.popcount() as u32, a.count_ones());
+    }
+
+    /// Byte-address decode/encode round-trips across the address space.
+    #[test]
+    fn address_roundtrip(addr_frac in 0.0f64..1.0) {
+        let config = MemoryConfig::tiny();
+        let row_bytes = (config.nanowires_per_dbc / 8) as u64;
+        let addr = ((config.capacity_bytes() - 1) as f64 * addr_frac) as u64;
+        let aligned = addr / row_bytes * row_bytes;
+        let (ra, off) = RowAddress::decode(aligned, &config).unwrap();
+        prop_assert_eq!(off, 0);
+        prop_assert_eq!(ra.encode(&config), aligned);
+        ra.location.validate(&config).unwrap();
+        prop_assert!(ra.row < config.rows_per_dbc);
+    }
+
+    /// Any sequence of row writes is readable back, whatever the order of
+    /// rows touched (the shift machinery never corrupts other rows).
+    #[test]
+    fn dbc_random_row_traffic(
+        writes in proptest::collection::vec((0usize..32, any::<u64>()), 1..24),
+    ) {
+        let config = MemoryConfig::tiny();
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let mut model = std::collections::HashMap::new();
+        for (r, v) in &writes {
+            let row = Row::from_u64_words(64, &[*v]);
+            dbc.write_row(*r, &row, &mut meter).unwrap();
+            model.insert(*r, *v);
+        }
+        for (r, v) in &model {
+            let got = dbc.read_row(*r, &mut meter).unwrap();
+            prop_assert_eq!(got.to_u64_words()[0], *v, "row {}", r);
+        }
+    }
+
+    /// Bit-plane transposition is a bijection.
+    #[test]
+    fn transpose_bijection(values in proptest::collection::vec(0u64..256, 1..16)) {
+        let planes = transpose_values(&values, 8, 64);
+        prop_assert_eq!(planes.len(), 8);
+        let back = untranspose_values(&planes, values.len());
+        prop_assert_eq!(back, values);
+    }
+
+    /// Controller request completions never decrease as more requests are
+    /// submitted (time moves forward).
+    #[test]
+    fn controller_time_is_monotone(rows in proptest::collection::vec(0u64..200, 1..40)) {
+        use coruscant_mem::controller::Request;
+        use coruscant_mem::MemoryController;
+        let config = MemoryConfig::tiny();
+        let row_bytes = (config.nanowires_per_dbc / 8) as u64;
+        let mut ctrl = MemoryController::new(config.clone());
+        let mut last_per_bank = std::collections::HashMap::new();
+        for r in rows {
+            let addr = (r * row_bytes) % config.capacity_bytes();
+            let (ra, _) = RowAddress::decode(addr, &config).unwrap();
+            let done = ctrl.submit(Request::Read(addr)).unwrap();
+            if let Some(prev) = last_per_bank.insert(ra.location.bank, done) {
+                prop_assert!(done >= prev, "bank time went backwards");
+            }
+        }
+    }
+}

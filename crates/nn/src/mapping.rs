@@ -1,0 +1,436 @@
+//! The per-scheme CNN inference performance model (Tables IV and VI).
+//!
+//! The paper reports frames per second for each scheme × network ×
+//! precision. Absolute FPS depends on testbed details (dispatch
+//! bandwidth, data placement) that the paper does not fully specify, so
+//! this model follows the reproducible part — the per-layer operation
+//! structure and each scheme's measured/fitted operation cycles — and
+//! anchors the absolute scale once per (network, precision-family) on the
+//! paper's CORUSCANT-7 (or, for the DRAM schemes, ELP²IM) figure. Every
+//! *ratio* in the regenerated tables then follows from the operation
+//! models; EXPERIMENTS.md tabulates where they land against the paper.
+//!
+//! Cost structure per layer (outputs run lane-parallel; the critical path
+//! is the per-output reduction pipeline):
+//!
+//! * **Full precision**: `R` products per output (8-bit multiplies) plus
+//!   the reduction of `R` partial results.
+//! * **BWN/TWN**: multiplications collapse to bulk-bitwise XNOR; the cost
+//!   is the reduction-addition tree of eq. (2) — `⌈log2 R⌉` 40-cycle
+//!   steps on ELP²IM, carry-save `TRD → 3` steps on CORUSCANT.
+
+use crate::models::Network;
+use crate::quant::Precision;
+use coruscant_core::cost_model::{add_cycles, MeasuredCosts};
+use serde::{Deserialize, Serialize};
+
+/// An evaluated scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// CORUSCANT at a given TRD (3, 5 or 7).
+    Coruscant(usize),
+    /// The SPIM skyrmion DWM PIM.
+    Spim,
+    /// The DW-NN GMR DWM PIM.
+    DwNn,
+    /// Ambit DRAM PIM.
+    Ambit,
+    /// ELP²IM DRAM PIM.
+    Elp2im,
+    /// The ISAAC ReRAM crossbar accelerator.
+    Isaac,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::Coruscant(trd) => write!(f, "CORUSCANT-{trd}"),
+            Scheme::Spim => write!(f, "SPIM"),
+            Scheme::DwNn => write!(f, "DW-NN"),
+            Scheme::Ambit => write!(f, "Ambit"),
+            Scheme::Elp2im => write!(f, "ELP2IM"),
+            Scheme::Isaac => write!(f, "ISAAC"),
+        }
+    }
+}
+
+/// Number of carry-save reduction steps to bring `n` operands down to the
+/// final-add capacity at a given TRD: each step maps groups of `TRD` rows
+/// to 3 (2 at TRD = 3), all groups in parallel.
+pub fn reduction_steps(n: u64, trd: usize) -> u64 {
+    let outputs = if trd >= 4 { 3 } else { 2 };
+    let cap = if trd >= 4 { trd as u64 - 2 } else { 2 };
+    let mut n = n;
+    let mut steps = 0;
+    while n > cap {
+        let groups = n / trd as u64;
+        let rest = n % trd as u64;
+        let reduced = groups * outputs + rest;
+        // A partial group of >= outputs rows still needs reducing; fold it
+        // in when no full group exists.
+        n = if groups == 0 { outputs.min(n) } else { reduced };
+        steps += 1;
+        if steps > 200 {
+            break; // defensive: cannot happen for n < 2^64 at trd >= 3
+        }
+    }
+    steps
+}
+
+/// Per-step cycle cost of a carry-save reduction including operand
+/// staging through the ports (TR + output writes + window restocking).
+const REDUCTION_STEP_CYCLES: u64 = 8;
+
+/// Fixed per-layer overhead: the XNOR/product pass, result write-back and
+/// predication commands.
+const LAYER_OVERHEAD_CYCLES: u64 = 10;
+
+/// Device-to-wall-clock: CORUSCANT device cycle (1 ns).
+const DEVICE_NS: f64 = 1.0;
+/// Memory cycle of the DRAM schemes (1.25 ns, DDR3-1600).
+const MEMORY_NS: f64 = 1.25;
+
+/// BWN (NID-style) popcount-tree step cycles on the DRAM schemes: binary
+/// operands reduce with narrow counters, fitted to the BWN/TWN gap of
+/// Table IV.
+const ELP2IM_BWN_STEP: f64 = 15.0;
+const AMBIT_BWN_STEP: f64 = 17.0;
+
+/// The relative work (ns of critical path per frame) of one scheme.
+///
+/// # Panics
+///
+/// Panics if the scheme/precision combination is not evaluated in the
+/// paper (e.g. DRAM PIM at full precision).
+pub fn frame_work_ns(scheme: Scheme, net: &Network, precision: Precision) -> f64 {
+    match (scheme, precision) {
+        (Scheme::Coruscant(trd), Precision::Full) => {
+            let mc = MeasuredCosts::measure(trd).expect("measurable TRD");
+            net.layers
+                .iter()
+                .filter(|l| l.macs_per_output() > 0)
+                .map(|l| {
+                    let r = l.macs_per_output();
+                    let mult = r as f64 * mc.mult.cycles as f64;
+                    let red = reduction_steps(r, trd) as f64 * REDUCTION_STEP_CYCLES as f64;
+                    let fin = add_cycles(trd, 16) as f64;
+                    (mult + red + fin + LAYER_OVERHEAD_CYCLES as f64) * DEVICE_NS
+                })
+                .sum()
+        }
+        (Scheme::Coruscant(trd), Precision::Twn | Precision::Bwn) => net
+            .layers
+            .iter()
+            .filter(|l| l.macs_per_output() > 0)
+            .map(|l| {
+                let r = l.adds_per_output() + 1;
+                let red = reduction_steps(r, trd) as f64 * REDUCTION_STEP_CYCLES as f64;
+                let fin = add_cycles(trd, 8) as f64;
+                (red + fin + LAYER_OVERHEAD_CYCLES as f64) * DEVICE_NS
+            })
+            .sum(),
+        (Scheme::Spim | Scheme::DwNn, Precision::Full) => {
+            let model = if scheme == Scheme::Spim {
+                coruscant_baselines::dwm_pim::SerialDwmPim::spim()
+            } else {
+                coruscant_baselines::dwm_pim::SerialDwmPim::dw_nn()
+            };
+            net.layers
+                .iter()
+                .filter(|l| l.macs_per_output() > 0)
+                .map(|l| {
+                    let r = l.macs_per_output();
+                    let mult = r as f64 * model.mult2(8).cycles as f64;
+                    let red = (r - 1) as f64 * (model.add2(8).cycles + model.staging_cycles) as f64
+                        / r as f64
+                        * r as f64; // (R-1) staged adds on the unit
+                    (mult + red + LAYER_OVERHEAD_CYCLES as f64) * DEVICE_NS
+                })
+                .sum()
+        }
+        (Scheme::Ambit, Precision::Twn) => dram_tree_work(net, 46.0),
+        (Scheme::Elp2im, Precision::Twn) => dram_tree_work(net, 40.0),
+        (Scheme::Ambit, Precision::Bwn) => dram_tree_work(net, AMBIT_BWN_STEP),
+        (Scheme::Elp2im, Precision::Bwn) => dram_tree_work(net, ELP2IM_BWN_STEP),
+        (scheme, precision) => {
+            panic!("{scheme} at {precision:?} is not evaluated in the paper")
+        }
+    }
+}
+
+fn dram_tree_work(net: &Network, step_cycles: f64) -> f64 {
+    net.layers
+        .iter()
+        .filter(|l| l.macs_per_output() > 0)
+        .map(|l| {
+            let r = l.adds_per_output() + 1;
+            let levels = 64 - (r - 1).leading_zeros() as u64;
+            (levels as f64 * step_cycles + 2.0 * step_cycles) * MEMORY_NS
+        })
+        .sum()
+}
+
+/// Per-layer share of a scheme's frame work: `(layer name, ns, fraction)`.
+///
+/// Pooling layers cost no reduction work in this model (their max/avg
+/// passes are orders of magnitude below the conv/fc reductions) and are
+/// omitted, as in [`frame_work_ns`].
+pub fn layer_breakdown(
+    scheme: Scheme,
+    net: &Network,
+    precision: Precision,
+) -> Vec<(String, f64, f64)> {
+    let total = frame_work_ns(scheme, net, precision);
+    net.layers
+        .iter()
+        .filter(|l| l.macs_per_output() > 0)
+        .map(|l| {
+            let single = Network {
+                name: net.name.clone(),
+                layers: vec![l.clone()],
+            };
+            let ns = frame_work_ns(scheme, &single, precision);
+            (l.name().to_string(), ns, ns / total)
+        })
+        .collect()
+}
+
+/// The paper's Table IV FPS figures, used as anchors and for side-by-side
+/// printing.
+pub fn paper_fps(scheme: Scheme, network: &str, precision: Precision) -> Option<f64> {
+    use Precision::*;
+    use Scheme::*;
+    Some(match (scheme, network, precision) {
+        (Spim, "alexnet", Full) => 32.1,
+        (Coruscant(3), "alexnet", Full) => 71.1,
+        (Coruscant(5), "alexnet", Full) => 84.0,
+        (Coruscant(7), "alexnet", Full) => 90.5,
+        (Spim, "lenet5", Full) => 59.0,
+        (Coruscant(3), "lenet5", Full) => 131.0,
+        (Coruscant(5), "lenet5", Full) => 153.0,
+        (Coruscant(7), "lenet5", Full) => 163.0,
+        (Isaac, "alexnet", Full) => 34.0,
+        (Isaac, "lenet5", Full) => 2581.0,
+        (Ambit, "alexnet", Bwn) => 227.0,
+        (Elp2im, "alexnet", Bwn) => 253.0,
+        (Ambit, "lenet5", Bwn) => 7525.0,
+        (Elp2im, "lenet5", Bwn) => 9959.0,
+        (Ambit, "alexnet", Twn) => 84.8,
+        (Elp2im, "alexnet", Twn) => 96.4,
+        (Ambit, "lenet5", Twn) => 7697.0,
+        (Elp2im, "lenet5", Twn) => 8330.0,
+        (Coruscant(3), "alexnet", Twn) => 358.0,
+        (Coruscant(5), "alexnet", Twn) => 449.0,
+        (Coruscant(7), "alexnet", Twn) => 490.0,
+        (Coruscant(3), "lenet5", Twn) => 22172.0,
+        (Coruscant(5), "lenet5", Twn) => 26453.0,
+        (Coruscant(7), "lenet5", Twn) => 32075.0,
+        _ => return None,
+    })
+}
+
+/// Model FPS: the per-frame work scaled so CORUSCANT-7 matches the
+/// paper's figure for that (network, precision); ISAAC uses its own
+/// analytic model.
+pub fn model_fps(scheme: Scheme, net: &Network, precision: Precision) -> f64 {
+    if scheme == Scheme::Isaac {
+        // ISAAC is a headline-number comparison point: use its reported
+        // figure when the paper gives one (small networks are latency-
+        // rather than MAC-bound on the crossbar), else scale by MACs.
+        return coruscant_baselines::isaac::Isaac::reported_fps(&net.name).unwrap_or_else(|| {
+            coruscant_baselines::isaac::Isaac::paper().fps(net.total_macs() as f64)
+        });
+    }
+    // The paper has no CORUSCANT BWN row, so BWN anchors on ELP²IM.
+    let anchor_scheme = match precision {
+        Precision::Bwn => Scheme::Elp2im,
+        _ => Scheme::Coruscant(7),
+    };
+    let anchor_fps =
+        paper_fps(anchor_scheme, &net.name, precision).expect("anchor present for mode");
+    let anchor_work = frame_work_ns(anchor_scheme, net, precision);
+    let work = frame_work_ns(scheme, net, precision);
+    anchor_fps * anchor_work / work
+}
+
+/// N-modular-redundancy model (Table VI): every PIM step is repeated `n`
+/// times with a voting operation inserted per reduction step, dividing
+/// throughput accordingly.
+pub fn model_fps_nmr(scheme: Scheme, net: &Network, precision: Precision, n: usize) -> f64 {
+    let base = model_fps(scheme, net, precision);
+    // n repetitions plus one vote (2 cycles vs an 8-cycle step) per step.
+    let vote_overhead = 1.0 + 2.0 / REDUCTION_STEP_CYCLES as f64;
+    base / (n as f64 * vote_overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{alexnet, lenet5};
+
+    #[test]
+    fn reduction_steps_match_paper_example() {
+        // §IV-A: 362 operands -> about five 7→3 steps (we count 6 with
+        // strict ceilings) then one addition.
+        let s = reduction_steps(362, 7);
+        assert!((5..=6).contains(&s), "got {s}");
+        // TRD 3 needs many more steps, TRD 5 in between.
+        assert!(reduction_steps(362, 3) > reduction_steps(362, 5));
+        assert!(reduction_steps(362, 5) > reduction_steps(362, 7));
+    }
+
+    #[test]
+    fn reduction_steps_edge_cases() {
+        assert_eq!(reduction_steps(1, 7), 0);
+        assert_eq!(reduction_steps(5, 7), 0, "already within add capacity");
+        assert_eq!(reduction_steps(6, 7), 1);
+        assert_eq!(reduction_steps(7, 7), 1);
+        assert_eq!(reduction_steps(2, 3), 0);
+        assert_eq!(reduction_steps(3, 3), 1);
+    }
+
+    #[test]
+    fn full_precision_ordering_matches_table4() {
+        for net in [alexnet(), lenet5()] {
+            let isaac = model_fps(Scheme::Isaac, &net, Precision::Full);
+            let spim = model_fps(Scheme::Spim, &net, Precision::Full);
+            let c3 = model_fps(Scheme::Coruscant(3), &net, Precision::Full);
+            let c5 = model_fps(Scheme::Coruscant(5), &net, Precision::Full);
+            let c7 = model_fps(Scheme::Coruscant(7), &net, Precision::Full);
+            assert!(spim < c3, "{}: SPIM {spim:.1} vs C3 {c3:.1}", net.name);
+            assert!(c3 < c5 && c5 < c7, "{}: {c3:.1} {c5:.1} {c7:.1}", net.name);
+            // ISAAC loses to CORUSCANT at full precision on AlexNet.
+            if net.name == "alexnet" {
+                assert!(isaac < c7);
+            }
+        }
+    }
+
+    #[test]
+    fn twn_ordering_matches_table4() {
+        for net in [alexnet(), lenet5()] {
+            let ambit = model_fps(Scheme::Ambit, &net, Precision::Twn);
+            let elp = model_fps(Scheme::Elp2im, &net, Precision::Twn);
+            let c3 = model_fps(Scheme::Coruscant(3), &net, Precision::Twn);
+            let c5 = model_fps(Scheme::Coruscant(5), &net, Precision::Twn);
+            let c7 = model_fps(Scheme::Coruscant(7), &net, Precision::Twn);
+            assert!(ambit < elp, "{}", net.name);
+            assert!(elp < c3, "{}: ELP2IM {elp:.0} vs C3 {c3:.0}", net.name);
+            assert!(c3 < c5 && c5 < c7, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn twn_speedup_over_elp2im_in_paper_band() {
+        // Paper: C3 is 3.7x over ELP2IM on AlexNet TWN, growing past 5x at
+        // C7. Accept a generous band around those ratios.
+        let net = alexnet();
+        let elp = model_fps(Scheme::Elp2im, &net, Precision::Twn);
+        let c3 = model_fps(Scheme::Coruscant(3), &net, Precision::Twn);
+        let c7 = model_fps(Scheme::Coruscant(7), &net, Precision::Twn);
+        let r3 = c3 / elp;
+        let r7 = c7 / elp;
+        assert!(r3 > 2.0 && r3 < 6.0, "C3/ELP2IM = {r3:.2}");
+        assert!(r7 > r3, "C7 ratio {r7:.2} must exceed C3 ratio {r3:.2}");
+        assert!(r7 < 9.0, "C7/ELP2IM = {r7:.2}");
+    }
+
+    #[test]
+    fn bwn_faster_than_twn_on_dram_schemes() {
+        let net = alexnet();
+        let bwn = model_fps(Scheme::Elp2im, &net, Precision::Bwn);
+        let twn = model_fps(Scheme::Elp2im, &net, Precision::Twn);
+        assert!(bwn > 2.0 * twn, "bwn {bwn:.0} vs twn {twn:.0}");
+    }
+
+    #[test]
+    fn anchored_values_reproduce_the_anchor() {
+        let net = alexnet();
+        let c7 = model_fps(Scheme::Coruscant(7), &net, Precision::Full);
+        assert!((c7 - 90.5).abs() < 1e-6);
+        let c7_twn = model_fps(Scheme::Coruscant(7), &net, Precision::Twn);
+        assert!((c7_twn - 490.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trd_sensitivity_bands() {
+        // Paper: TRD 3→5 improves performance 30-40%, 5→7 another 10-20%.
+        // Require monotone improvement with each hop in a generous band.
+        let net = alexnet();
+        for precision in [Precision::Full, Precision::Twn] {
+            let c3 = model_fps(Scheme::Coruscant(3), &net, precision);
+            let c5 = model_fps(Scheme::Coruscant(5), &net, precision);
+            let c7 = model_fps(Scheme::Coruscant(7), &net, precision);
+            let g35 = c5 / c3 - 1.0;
+            let g57 = c7 / c5 - 1.0;
+            // Our measured TRD-5 multiply schedule is pessimistic relative
+            // to the paper's interpolated value, so the full-precision
+            // gains skew toward the 5→7 hop; require monotone improvement
+            // within a generous band (see EXPERIMENTS.md).
+            assert!(g35 > 0.02 && g35 < 0.9, "{precision:?} 3→5 gain {g35:.2}");
+            assert!(g57 > 0.03 && g57 < 1.0, "{precision:?} 5→7 gain {g57:.2}");
+        }
+    }
+
+    #[test]
+    fn nmr_costs_throughput_proportionally() {
+        let net = alexnet();
+        let base = model_fps(Scheme::Coruscant(7), &net, Precision::Twn);
+        let tmr = model_fps_nmr(Scheme::Coruscant(7), &net, Precision::Twn, 3);
+        let n5 = model_fps_nmr(Scheme::Coruscant(7), &net, Precision::Twn, 5);
+        let n7 = model_fps_nmr(Scheme::Coruscant(7), &net, Precision::Twn, 7);
+        assert!(tmr < base / 3.0 * 1.01);
+        assert!(n5 < tmr && n7 < n5);
+        // Table VI shape: CORUSCANT with TMR still beats Ambit/ELP2IM
+        // without fault tolerance on ternary AlexNet.
+        let ambit = model_fps(Scheme::Ambit, &net, Precision::Twn);
+        let elp = model_fps(Scheme::Elp2im, &net, Precision::Twn);
+        assert!(tmr > ambit, "TMR {tmr:.0} vs Ambit {ambit:.0}");
+        assert!(tmr > elp, "TMR {tmr:.0} vs ELP2IM {elp:.0}");
+    }
+
+    #[test]
+    fn layer_breakdown_sums_to_one() {
+        let net = alexnet();
+        for (scheme, precision) in [
+            (Scheme::Coruscant(7), Precision::Twn),
+            (Scheme::Elp2im, Precision::Twn),
+            (Scheme::Coruscant(7), Precision::Full),
+        ] {
+            let breakdown = layer_breakdown(scheme, &net, precision);
+            assert_eq!(breakdown.len(), 8, "5 convs + 3 fcs");
+            let total: f64 = breakdown.iter().map(|(_, _, f)| f).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{scheme} {precision:?}: {total}"
+            );
+            assert!(breakdown.iter().all(|(_, ns, _)| *ns > 0.0));
+        }
+    }
+
+    #[test]
+    fn full_precision_work_tracks_macs_per_output() {
+        // conv2 (1200 MACs/output) must dominate conv1 (363) in the
+        // full-precision per-layer shares.
+        let net = alexnet();
+        let b = layer_breakdown(Scheme::Coruscant(7), &net, Precision::Full);
+        let conv1 = b.iter().find(|(n, _, _)| n == "conv1").unwrap().1;
+        let fc6 = b.iter().find(|(n, _, _)| n == "fc6").unwrap().1;
+        assert!(fc6 > conv1, "fc6 reduces 9216 operands per output");
+    }
+
+    #[test]
+    fn paper_table_lookup() {
+        assert_eq!(
+            paper_fps(Scheme::Coruscant(7), "alexnet", Precision::Twn),
+            Some(490.0)
+        );
+        assert_eq!(paper_fps(Scheme::DwNn, "alexnet", Precision::Full), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not evaluated")]
+    fn unsupported_combination_panics() {
+        frame_work_ns(Scheme::Ambit, &alexnet(), Precision::Full);
+    }
+}

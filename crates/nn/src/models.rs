@@ -1,0 +1,164 @@
+//! The two evaluated networks: LeNet-5 and AlexNet (paper §V-E).
+//!
+//! Layer shapes follow the canonical published architectures; the
+//! descriptors carry exactly the shape data the performance model needs
+//! (outputs, MACs, per-output reduction widths).
+
+use crate::layers::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A network: a name plus its layer stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    /// Network name.
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Total multiply-accumulates per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total reduction additions under the BWN/TWN approximations
+    /// (paper eq. 2 summed over layers).
+    pub fn total_reduction_adds(&self) -> u64 {
+        self.layers.iter().map(Layer::reduction_adds).sum()
+    }
+
+    /// Total output values across layers.
+    pub fn total_outputs(&self) -> u64 {
+        self.layers.iter().map(Layer::outputs).sum()
+    }
+
+    /// The widest per-output reduction in the network (operand count fed
+    /// to the adder tree of one output).
+    pub fn max_reduction_width(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.macs_per_output())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn conv(name: &str, kernel: usize, ic: usize, oc: usize, oh: usize, ow: usize) -> Layer {
+    Layer::Conv {
+        name: name.into(),
+        kernel,
+        in_channels: ic,
+        out_channels: oc,
+        out_h: oh,
+        out_w: ow,
+    }
+}
+
+fn pool(name: &str, window: usize, c: usize, oh: usize, ow: usize) -> Layer {
+    Layer::MaxPool {
+        name: name.into(),
+        window,
+        channels: c,
+        out_h: oh,
+        out_w: ow,
+    }
+}
+
+fn fc(name: &str, inputs: usize, outputs: usize) -> Layer {
+    Layer::Fc {
+        name: name.into(),
+        inputs,
+        outputs,
+    }
+}
+
+/// LeNet-5 (32×32 grayscale input).
+pub fn lenet5() -> Network {
+    Network {
+        name: "lenet5".into(),
+        layers: vec![
+            conv("c1", 5, 1, 6, 28, 28),
+            pool("s2", 2, 6, 14, 14),
+            conv("c3", 5, 6, 16, 10, 10),
+            pool("s4", 2, 16, 5, 5),
+            fc("f5", 400, 120),
+            fc("f6", 120, 84),
+            fc("f7", 84, 10),
+        ],
+    }
+}
+
+/// AlexNet (227×227×3 input, single-GPU filter grouping as published).
+pub fn alexnet() -> Network {
+    Network {
+        name: "alexnet".into(),
+        layers: vec![
+            conv("conv1", 11, 3, 96, 55, 55),
+            pool("pool1", 2, 96, 27, 27),
+            conv("conv2", 5, 48, 256, 27, 27),
+            pool("pool2", 2, 256, 13, 13),
+            conv("conv3", 3, 256, 384, 13, 13),
+            conv("conv4", 3, 192, 384, 13, 13),
+            conv("conv5", 3, 192, 256, 13, 13),
+            pool("pool5", 2, 256, 6, 6),
+            fc("fc6", 9216, 4096),
+            fc("fc7", 4096, 4096),
+            fc("fc8", 4096, 1000),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet5_mac_count() {
+        let net = lenet5();
+        // c1: 6*28*28*25 = 117600; c3: 16*10*10*150 = 240000;
+        // fc: 48000 + 10080 + 840.
+        assert_eq!(net.total_macs(), 117_600 + 240_000 + 48_000 + 10_080 + 840);
+    }
+
+    #[test]
+    fn alexnet_mac_count_near_724m() {
+        let net = alexnet();
+        let macs = net.total_macs() as f64;
+        assert!(
+            (macs - 724e6).abs() / 724e6 < 0.05,
+            "AlexNet MACs = {macs:.3e}, expected ~7.24e8"
+        );
+    }
+
+    #[test]
+    fn alexnet_first_reduction_width_is_362_adds() {
+        // Paper §IV-A anchors its example on this number.
+        let net = alexnet();
+        let conv1 = &net.layers[0];
+        assert_eq!(conv1.adds_per_output(), 362);
+    }
+
+    #[test]
+    fn largest_alexnet_layer_reduction_total() {
+        // Paper §IV-A: "the largest convolution window requiring
+        // 4.5e8 adds" — conv2 dominates the eq. (2) totals.
+        let net = alexnet();
+        let max_adds = net.layers.iter().map(|l| l.reduction_adds()).max().unwrap();
+        assert!(
+            (1.0e8..6.0e8).contains(&(max_adds as f64)),
+            "largest layer reduction = {max_adds:.3e}"
+        );
+    }
+
+    #[test]
+    fn lenet_is_orders_of_magnitude_smaller() {
+        assert!(alexnet().total_macs() > 1000 * lenet5().total_macs());
+    }
+
+    #[test]
+    fn reduction_widths() {
+        assert_eq!(alexnet().max_reduction_width(), 9216);
+        assert_eq!(lenet5().max_reduction_width(), 400);
+    }
+}

@@ -1,0 +1,119 @@
+use std::fmt;
+
+/// Errors produced by device-level racetrack operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A shift would push data domains past the extremity of the nanowire,
+    /// destroying stored bits.
+    ShiftOverrun {
+        /// Requested shift in domains (positive = toward higher positions).
+        requested: isize,
+        /// Maximum legal shift in the requested direction.
+        available: isize,
+    },
+    /// The referenced access port does not exist on this nanowire.
+    UnknownPort(usize),
+    /// The referenced port cannot perform the requested operation
+    /// (e.g. writing through a read-only port).
+    PortCapability {
+        /// Index of the offending port.
+        port: usize,
+        /// Human-readable description of the missing capability.
+        needed: &'static str,
+    },
+    /// A transverse access spans more domains than the device supports.
+    TrdExceeded {
+        /// Number of domains the access would span.
+        span: usize,
+        /// Maximum transverse-read distance of the device.
+        limit: usize,
+    },
+    /// A segment index was outside the region between the access ports.
+    SegmentIndex {
+        /// Offending index.
+        index: usize,
+        /// Number of domains in the segment.
+        len: usize,
+    },
+    /// A logical data row index was out of range.
+    RowIndex {
+        /// Offending row index.
+        index: usize,
+        /// Number of data rows on the wire.
+        len: usize,
+    },
+    /// The nanowire specification is inconsistent (e.g. ports placed outside
+    /// the wire, or too few overhead domains).
+    BadSpec(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShiftOverrun {
+                requested,
+                available,
+            } => write!(
+                f,
+                "shift of {requested} domains overruns the wire (at most {available} available)"
+            ),
+            Error::UnknownPort(p) => write!(f, "no access port with index {p}"),
+            Error::PortCapability { port, needed } => {
+                write!(f, "port {port} cannot {needed}")
+            }
+            Error::TrdExceeded { span, limit } => write!(
+                f,
+                "transverse access spans {span} domains but the device limit is {limit}"
+            ),
+            Error::SegmentIndex { index, len } => {
+                write!(
+                    f,
+                    "segment index {index} out of range for segment of {len} domains"
+                )
+            }
+            Error::RowIndex { index, len } => {
+                write!(f, "row index {index} out of range for {len} data rows")
+            }
+            Error::BadSpec(msg) => write!(f, "invalid nanowire specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let cases = [
+            Error::ShiftOverrun {
+                requested: 5,
+                available: 2,
+            },
+            Error::UnknownPort(3),
+            Error::PortCapability {
+                port: 1,
+                needed: "write",
+            },
+            Error::TrdExceeded { span: 9, limit: 7 },
+            Error::SegmentIndex { index: 8, len: 7 },
+            Error::RowIndex { index: 40, len: 32 },
+            Error::BadSpec("ports overlap".into()),
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the device model invariants (DESIGN.md §5).
+
+use coruscant_racetrack::{CostMeter, Nanowire, NanowireSpec, PortId};
+use proptest::prelude::*;
+
+fn arb_trd() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(3usize), Just(5usize), Just(7usize)]
+}
+
+proptest! {
+    /// Invariant 1: a transverse read senses exactly the popcount of the
+    /// segment, for any stored pattern and any TRD.
+    #[test]
+    fn tr_equals_popcount(trd in arb_trd(), bits in proptest::collection::vec(any::<bool>(), 7)) {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, trd));
+        let seg: Vec<bool> = bits[..trd].to_vec();
+        for (i, b) in seg.iter().enumerate() {
+            wire.set_segment_bit(i, *b).unwrap();
+        }
+        let out = wire.transverse_read_full().unwrap();
+        let expect = seg.iter().filter(|&&b| b).count() as u8;
+        prop_assert_eq!(out.value, expect);
+        prop_assert_eq!(out.span as usize, trd);
+    }
+
+    /// Invariant 2: shifting right then left by the same amount restores
+    /// both alignment and every data row.
+    #[test]
+    fn shift_roundtrip_preserves_data(
+        rows in proptest::collection::vec(any::<bool>(), 32),
+        k in 1isize..10,
+    ) {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        for (r, b) in rows.iter().enumerate() {
+            wire.set_row(r, *b).unwrap();
+        }
+        let mut m = CostMeter::new();
+        let (_, right) = wire.shift_slack();
+        let k = k.min(right);
+        wire.shift(k, &mut m).unwrap();
+        wire.shift(-k, &mut m).unwrap();
+        for (r, b) in rows.iter().enumerate() {
+            prop_assert_eq!(wire.row(r), Some(*b));
+        }
+        prop_assert_eq!(m.total().cycles, 2 * k as u64);
+    }
+
+    /// Invariant 3: a full round of read-right + transverse-write-left
+    /// restores the segment exactly (the segmented shifting that underpins
+    /// the max function, paper Fig. 9).
+    #[test]
+    fn tw_full_rotation_is_identity(trd in arb_trd(), bits in proptest::collection::vec(any::<bool>(), 7)) {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, trd));
+        let seg: Vec<bool> = bits[..trd].to_vec();
+        for (i, b) in seg.iter().enumerate() {
+            wire.set_segment_bit(i, *b).unwrap();
+        }
+        let mut m = CostMeter::new();
+        for _ in 0..trd {
+            let out = wire.segment_bit(trd - 1).unwrap();
+            wire.transverse_write(out, &mut m).unwrap();
+        }
+        prop_assert_eq!(wire.segment_bits(), seg);
+    }
+
+    /// Transverse write expels exactly the bit under the right port and the
+    /// rest of the wire is untouched.
+    #[test]
+    fn tw_expels_right_port_bit(bits in proptest::collection::vec(any::<bool>(), 7), new_bit: bool) {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        for (i, b) in bits.iter().enumerate() {
+            wire.set_segment_bit(i, *b).unwrap();
+        }
+        let mut m = CostMeter::new();
+        let expelled = wire.transverse_write(new_bit, &mut m).unwrap();
+        prop_assert_eq!(expelled, bits[6]);
+        let mut expect = vec![new_bit];
+        expect.extend_from_slice(&bits[..6]);
+        prop_assert_eq!(wire.segment_bits(), expect);
+    }
+
+    /// Aligning any row under a feasible port really places that row there,
+    /// and never disturbs data.
+    #[test]
+    fn align_any_row(rows in proptest::collection::vec(any::<bool>(), 32), r in 0usize..32) {
+        let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+        for (i, b) in rows.iter().enumerate() {
+            wire.set_row(i, *b).unwrap();
+        }
+        let mut m = CostMeter::new();
+        // Pick a feasible port for this row: extreme low rows need the left
+        // port, extreme high rows the right port.
+        let port = if wire.align_distance(r, PortId::LEFT).is_ok()
+            && {
+                let p = wire.spec().ports[0].position as isize;
+                p - (r as isize) >= 0
+            } {
+            PortId::LEFT
+        } else {
+            PortId::RIGHT
+        };
+        wire.align_row(r, port, &mut m).unwrap();
+        prop_assert_eq!(wire.row_under_port(port).unwrap(), Some(r));
+        let got = wire.read(port, &mut m).unwrap();
+        prop_assert_eq!(got, rows[r]);
+        for (i, b) in rows.iter().enumerate() {
+            prop_assert_eq!(wire.row(i), Some(*b));
+        }
+    }
+
+    /// Invariant 10: cost accounting is additive and deterministic.
+    #[test]
+    fn cost_is_deterministic(ops in proptest::collection::vec(0u8..3, 1..20)) {
+        let run = |ops: &[u8]| {
+            let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7));
+            let mut m = CostMeter::new();
+            for op in ops {
+                match op {
+                    0 => { let _ = wire.read(PortId::LEFT, &mut m); }
+                    1 => { let _ = wire.write(PortId::LEFT, true, &mut m); }
+                    _ => { let _ = wire.transverse_read(PortId::LEFT, PortId::RIGHT, &mut m); }
+                }
+            }
+            m.total()
+        };
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert!((a.energy_pj - b.energy_pj).abs() < 1e-12);
+        prop_assert!(a.energy_pj >= 0.0);
+        prop_assert_eq!(a.cycles as usize, ops.len());
+    }
+}

@@ -1,0 +1,156 @@
+//! Monte-Carlo fault-injection campaigns cross-checking the analytic
+//! model against the functional simulators.
+
+use coruscant_core::add::MultiOperandAdder;
+use coruscant_core::bulk::{BulkExecutor, BulkOp};
+use coruscant_core::nmr::NmrVoter;
+use coruscant_mem::{Dbc, MemoryConfig, Row};
+use coruscant_racetrack::{CostMeter, FaultConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The outcome of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Campaign {
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials whose result differed from the fault-free oracle.
+    pub errors: u64,
+}
+
+impl Campaign {
+    /// Empirical error rate.
+    pub fn rate(&self) -> f64 {
+        self.errors as f64 / self.trials as f64
+    }
+}
+
+/// Runs `trials` multi-operand additions with TR faults injected at rate
+/// `p_tr`, counting result mismatches against the oracle.
+pub fn add_campaign(trials: u64, p_tr: f64, seed: u64) -> Campaign {
+    let config = MemoryConfig::tiny();
+    let adder = MultiOperandAdder::new(&config);
+    let fault = FaultConfig::NONE.with_tr_fault_rate(p_tr);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut errors = 0;
+    for t in 0..trials {
+        let ops: Vec<Row> = (0..5)
+            .map(|_| {
+                let vals: Vec<u64> = (0..8).map(|_| rng.random_range(0..256)).collect();
+                Row::pack(64, 8, &vals)
+            })
+            .collect();
+        let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, seed ^ t);
+        let mut m = CostMeter::new();
+        let got = adder.add_rows(&mut dbc, &ops, 8, &mut m).expect("add");
+        if got != MultiOperandAdder::reference(&ops, 8) {
+            errors += 1;
+        }
+    }
+    Campaign { trials, errors }
+}
+
+/// Runs `trials` bulk XOR operations under injected TR faults.
+pub fn xor_campaign(trials: u64, p_tr: f64, seed: u64) -> Campaign {
+    let config = MemoryConfig::tiny();
+    let exec = BulkExecutor::new(&config);
+    let fault = FaultConfig::NONE.with_tr_fault_rate(p_tr);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut errors = 0;
+    for t in 0..trials {
+        let ops: Vec<Row> = (0..7)
+            .map(|_| Row::from_u64_words(64, &[rng.random::<u64>()]))
+            .collect();
+        let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, seed ^ (t << 1));
+        let mut m = CostMeter::new();
+        let got = exec
+            .execute(&mut dbc, BulkOp::Xor, &ops, &mut m)
+            .expect("xor");
+        if got != BulkExecutor::reference(BulkOp::Xor, &ops) {
+            errors += 1;
+        }
+    }
+    Campaign { trials, errors }
+}
+
+/// Runs `trials` TMR-protected bulk XORs: the operation executes three
+/// times under faults, the voter (fault-free, as in the paper's per-step
+/// voting) combines them.
+pub fn tmr_xor_campaign(trials: u64, p_tr: f64, seed: u64) -> Campaign {
+    let config = MemoryConfig::tiny();
+    let exec = BulkExecutor::new(&config);
+    let voter = NmrVoter::new(&config);
+    let fault = FaultConfig::NONE.with_tr_fault_rate(p_tr);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut errors = 0;
+    for t in 0..trials {
+        let ops: Vec<Row> = (0..7)
+            .map(|_| Row::from_u64_words(64, &[rng.random::<u64>()]))
+            .collect();
+        let mut replicas = Vec::with_capacity(3);
+        for r in 0..3u64 {
+            let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, seed ^ (t * 31 + r));
+            let mut m = CostMeter::new();
+            replicas.push(
+                exec.execute(&mut dbc, BulkOp::Xor, &ops, &mut m)
+                    .expect("xor"),
+            );
+        }
+        let mut vote_dbc = Dbc::pim_enabled(&config);
+        let mut m = CostMeter::new();
+        let voted = voter
+            .vote_rows(&mut vote_dbc, &replicas, &mut m)
+            .expect("vote");
+        if voted != BulkExecutor::reference(BulkOp::Xor, &ops) {
+            errors += 1;
+        }
+    }
+    Campaign { trials, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_no_errors() {
+        let c = add_campaign(50, 0.0, 1);
+        assert_eq!(c.errors, 0);
+        let x = xor_campaign(50, 0.0, 2);
+        assert_eq!(x.errors, 0);
+    }
+
+    #[test]
+    fn add_error_rate_tracks_injection_rate() {
+        // At an (accelerated) p = 2e-3 per TR, an 8-bit 5-operand add on
+        // 8 lanes performs 64 TRs; expect roughly 1 - (1-p)^64 ~ 12%
+        // failures. Accept a broad band.
+        let c = add_campaign(400, 2e-3, 7);
+        let rate = c.rate();
+        assert!(rate > 0.03 && rate < 0.35, "rate {rate}");
+    }
+
+    #[test]
+    fn xor_rate_near_one_per_tr_times_wires() {
+        // One TR per wire, 64 wires: expected word rate ~ 1-(1-p)^64.
+        let p = 5e-3;
+        let c = xor_campaign(400, p, 9);
+        let expect = 1.0 - (1.0 - p).powi(64);
+        assert!(
+            (c.rate() - expect).abs() < 0.08,
+            "rate {} vs expect {expect}",
+            c.rate()
+        );
+    }
+
+    #[test]
+    fn tmr_suppresses_errors() {
+        let p = 2e-2; // heavy acceleration so the unprotected op fails often
+        let unprotected = xor_campaign(300, p, 11).rate();
+        let protected = tmr_xor_campaign(300, p, 11).rate();
+        assert!(
+            protected < unprotected / 2.0,
+            "protected {protected} vs unprotected {unprotected}"
+        );
+    }
+}

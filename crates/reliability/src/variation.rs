@@ -1,0 +1,141 @@
+//! Fault-rate sensitivity to process variation (paper §V-F).
+//!
+//! The paper compares intrinsic PIM fault rates under device variation:
+//!
+//! * **CORUSCANT TR**: a ~3% resistance change under process variation;
+//!   combining read-current uncertainty with the widely reported 4% MTJ
+//!   variation via the total-differential method yields ~`1e-6` per TR at
+//!   the nominal point, with the margin shrinking as variation grows.
+//! * **Ambit**: > 1% fault rate already at 5% variation.
+//! * **ELP²IM**: indistinguishable from zero below 10% variation in its
+//!   own reporting; the first nonzero datum is ~0.35% at 10%, and
+//!   extrapolating the trend gives ~`1e-3` at 5%.
+//!
+//! These curves are carried as log-linear models anchored on the paper's
+//! quoted points, so the ISO-reliability argument ("for the same
+//! reliability, DRAM PIM's performance advantage disappears") can be
+//! evaluated quantitatively.
+
+use serde::{Deserialize, Serialize};
+
+/// Nominal MTJ process variation the paper's analysis assumes (4%).
+pub const NOMINAL_VARIATION: f64 = 0.04;
+
+/// A log-linear fault-rate curve: `rate(v) = anchor_rate ×
+/// 10^(slope × (v − anchor_var))` with variation `v` as a fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultCurve {
+    /// Scheme label.
+    pub name: &'static str,
+    /// Variation at the anchor point (fraction).
+    pub anchor_variation: f64,
+    /// Fault rate at the anchor point.
+    pub anchor_rate: f64,
+    /// Decades of fault rate per unit of variation.
+    pub decades_per_variation: f64,
+}
+
+impl FaultCurve {
+    /// CORUSCANT transverse reads: `1e-6` at the nominal 4% variation;
+    /// the sense margin analysis gives roughly one decade per 2% of
+    /// additional variation.
+    pub fn coruscant() -> FaultCurve {
+        FaultCurve {
+            name: "CORUSCANT",
+            anchor_variation: NOMINAL_VARIATION,
+            anchor_rate: 1e-6,
+            decades_per_variation: 50.0,
+        }
+    }
+
+    /// Ambit: > 1% at 5% variation (paper quoting the ELP²IM study).
+    pub fn ambit() -> FaultCurve {
+        FaultCurve {
+            name: "Ambit",
+            anchor_variation: 0.05,
+            anchor_rate: 1e-2,
+            decades_per_variation: 40.0,
+        }
+    }
+
+    /// ELP²IM: ~0.35% at 10% variation, extrapolated to ~`1e-3` at 5%
+    /// (the paper's own extrapolation).
+    pub fn elp2im() -> FaultCurve {
+        FaultCurve {
+            name: "ELP2IM",
+            anchor_variation: 0.10,
+            anchor_rate: 3.5e-3,
+            decades_per_variation: 10.9,
+        }
+    }
+
+    /// Fault rate at `variation` (a fraction, e.g. `0.05` for 5%),
+    /// clamped to `[0, 1]`.
+    pub fn rate(&self, variation: f64) -> f64 {
+        let decades = self.decades_per_variation * (variation - self.anchor_variation);
+        (self.anchor_rate * 10f64.powf(decades)).clamp(0.0, 1.0)
+    }
+}
+
+/// The reliability gap at a given variation: how many orders of magnitude
+/// more reliable a CORUSCANT TR is than each DRAM PIM comparison point.
+pub fn reliability_gap_decades(variation: f64) -> (f64, f64) {
+    let c = FaultCurve::coruscant()
+        .rate(variation)
+        .max(f64::MIN_POSITIVE);
+    let a = FaultCurve::ambit().rate(variation).max(f64::MIN_POSITIVE);
+    let e = FaultCurve::elp2im().rate(variation).max(f64::MIN_POSITIVE);
+    ((a / c).log10(), (e / c).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper_quotes() {
+        assert!((FaultCurve::coruscant().rate(0.04) - 1e-6).abs() < 1e-9);
+        assert!(FaultCurve::ambit().rate(0.05) >= 1e-2 * 0.99);
+        let e5 = FaultCurve::elp2im().rate(0.05);
+        assert!(
+            (2e-4..5e-3).contains(&e5),
+            "ELP2IM at 5% variation: {e5:e} (paper extrapolates ~1e-3)"
+        );
+    }
+
+    #[test]
+    fn coruscant_orders_of_magnitude_ahead() {
+        // Paper: "the other PIM methods that report reliability
+        // intrinsically lag CORUSCANT by orders of magnitude."
+        for v in [0.03, 0.04, 0.05, 0.06] {
+            let (vs_ambit, vs_elp) = reliability_gap_decades(v);
+            assert!(vs_ambit > 2.0, "v={v}: gap vs Ambit {vs_ambit:.1} decades");
+            assert!(vs_elp > 1.5, "v={v}: gap vs ELP2IM {vs_elp:.1} decades");
+        }
+    }
+
+    #[test]
+    fn rates_grow_with_variation() {
+        for curve in [
+            FaultCurve::coruscant(),
+            FaultCurve::ambit(),
+            FaultCurve::elp2im(),
+        ] {
+            let lo = curve.rate(0.03);
+            let hi = curve.rate(0.08);
+            assert!(hi > lo, "{}", curve.name);
+        }
+    }
+
+    #[test]
+    fn rates_clamped_to_probability_range() {
+        for curve in [
+            FaultCurve::coruscant(),
+            FaultCurve::ambit(),
+            FaultCurve::elp2im(),
+        ] {
+            assert!(curve.rate(0.5) <= 1.0);
+            assert!(curve.rate(0.0) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Polybench-style kernel models (paper §V-C, Figs. 10–11).
+//!
+//! The paper extracts memory traces of polybench kernels with a pintool
+//! and maps the additions and multiplications to PIM. The pintool and the
+//! Xeon testbed are not available here, so this module derives each
+//! kernel's operation mix directly from its loop nest — which determines
+//! the add/multiply counts exactly — and models the cache-filtered bus
+//! traffic with a per-kernel locality factor. Reference implementations
+//! of representative kernels are instrumented to validate the op-count
+//! formulas.
+
+use crate::datagen::BitGen;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation and traffic profile of one kernel instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name (polybench identifier).
+    pub name: String,
+    /// Problem dimension `N` the counts were computed for.
+    pub n: usize,
+    /// Scalar additions (including accumulations).
+    pub adds: u64,
+    /// Scalar multiplications.
+    pub mults: u64,
+    /// Bytes crossing the memory bus (cache-filtered).
+    pub bytes_moved: u64,
+    /// Memory requests issued (cache-filtered).
+    pub accesses: u64,
+    /// Fraction of accesses hitting the open row buffer.
+    pub row_hit_rate: f64,
+}
+
+impl fmt::Display for KernelProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (N={}): {} adds, {} mults, {} B moved",
+            self.name, self.n, self.adds, self.mults, self.bytes_moved
+        )
+    }
+}
+
+/// Element size of the polybench data type (32-bit).
+const ELEM_BYTES: u64 = 4;
+
+fn profile(
+    name: &str,
+    n: usize,
+    adds: u64,
+    mults: u64,
+    words_per_op: f64,
+    row_hit_rate: f64,
+) -> KernelProfile {
+    // Bus traffic per arithmetic operation, in 32-bit words. The paper's
+    // pintool traces large-footprint kernels whose working sets exceed
+    // the caches; its Table II energies imply roughly one word crossing
+    // the bus per operation ("data movement energy is 30x the compute
+    // energy", §V-C). Kernels with genuine register/tile reuse sit
+    // below one.
+    let ops = adds + mults;
+    let bytes = (ops as f64 * words_per_op * ELEM_BYTES as f64).ceil() as u64;
+    KernelProfile {
+        name: name.to_string(),
+        n,
+        adds,
+        mults,
+        bytes_moved: bytes,
+        // One memory request per 64-byte line.
+        accesses: bytes.div_ceil(64).max(1),
+        row_hit_rate,
+    }
+}
+
+/// The add/multiply-heavy polybench kernels the paper selects, "from 2mm
+/// … to gemm" (§V-C), with op counts derived from the loop nests.
+pub fn suite(n: usize) -> Vec<KernelProfile> {
+    let nn = n as u64;
+    let n2 = nn * nn;
+    let n3 = n2 * nn;
+    vec![
+        // Two chained matrix multiplications: D = A·B, E = C·D.
+        profile("2mm", n, 2 * n3, 2 * n3 + 2 * n2, 0.8, 0.6),
+        // Three chained matrix multiplications.
+        profile("3mm", n, 3 * n3, 3 * n3, 0.8, 0.6),
+        // C = alpha*A*B + beta*C.
+        profile("gemm", n, n3 + n2, n3 + 2 * n2, 0.8, 0.6),
+        // Vector-multiply and matrix additions: 8 n^2-ish updates.
+        profile("gemver", n, 4 * n2, 4 * n2, 1.2, 0.5),
+        // Scalar, vector and matrix multiplication: y = alpha*A*x + beta*B*x.
+        profile("gesummv", n, 2 * n2, 2 * n2 + nn, 1.2, 0.5),
+        // A^T * (A * x).
+        profile("atax", n, 2 * n2, 2 * n2, 1.0, 0.5),
+        // BiCG sub-kernel: q = A*p, s = A^T*r.
+        profile("bicg", n, 2 * n2, 2 * n2, 1.0, 0.5),
+        // Matrix-vector product and transpose.
+        profile("mvt", n, 2 * n2, 2 * n2, 1.0, 0.5),
+        // Symmetric rank-k update: C = alpha*A*A^T + beta*C.
+        profile("syrk", n, n3 + n2, n3 + 2 * n2, 0.8, 0.6),
+        // Symmetric rank-2k update.
+        profile("syr2k", n, 2 * n3 + n2, 2 * n3 + 2 * n2, 0.8, 0.6),
+        // Multi-resolution analysis kernel: sum over third dimension.
+        profile("doitgen", n, n3 * nn, n3 * nn, 0.6, 0.6),
+        // Two-dimensional convolution-like stencil weighting.
+        profile("fdtd-2d", n, 6 * n2, 3 * n2, 1.2, 0.7),
+    ]
+}
+
+/// Instrumented reference kernels: run the actual loop nest over small
+/// matrices, counting operations, to validate the formulas in [`suite`].
+pub mod reference {
+    use super::BitGen;
+
+    /// Operation counts observed by an instrumented run.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct OpCount {
+        /// Additions performed.
+        pub adds: u64,
+        /// Multiplications performed.
+        pub mults: u64,
+    }
+
+    fn matmul(a: &[Vec<i64>], b: &[Vec<i64>], ops: &mut OpCount) -> Vec<Vec<i64>> {
+        let n = a.len();
+        let mut c = vec![vec![0i64; n]; n];
+        for (i, ci) in c.iter_mut().enumerate() {
+            for j in 0..n {
+                for (k, ak) in a[i].iter().enumerate() {
+                    ci[j] += ak * b[k][j];
+                    ops.adds += 1;
+                    ops.mults += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Runs 2mm (`E = (A·B)·C`) and returns the observed op counts.
+    pub fn run_2mm(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let b = gen.matrix(n, 10);
+        let c = gen.matrix(n, 10);
+        let mut ops = OpCount::default();
+        let d = matmul(&a, &b, &mut ops);
+        let _ = matmul(&d, &c, &mut ops);
+        ops
+    }
+
+    /// Runs gemm (`C = alpha·A·B + beta·C`) and returns the op counts.
+    pub fn run_gemm(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let b = gen.matrix(n, 10);
+        let mut c = gen.matrix(n, 10);
+        let mut ops = OpCount::default();
+        for (i, ci) in c.iter_mut().enumerate() {
+            for j in 0..n {
+                ci[j] *= 3; // beta * C
+                ops.mults += 1;
+                let mut acc = 0i64;
+                for (k, ak) in a[i].iter().enumerate() {
+                    acc += ak * b[k][j];
+                    ops.adds += 1;
+                    ops.mults += 1;
+                }
+                ci[j] += 2 * acc; // + alpha * (A·B)
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        ops
+    }
+
+    /// Runs atax (`y = Aᵀ(A·x)`) and returns the op counts.
+    pub fn run_atax(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let x: Vec<i64> = (0..n as i64).collect();
+        let mut ops = OpCount::default();
+        let mut tmp = vec![0i64; n];
+        for (i, t) in tmp.iter_mut().enumerate() {
+            for (j, xj) in x.iter().enumerate() {
+                *t += a[i][j] * xj;
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        let mut y = vec![0i64; n];
+        for (j, yj) in y.iter_mut().enumerate() {
+            for (i, t) in tmp.iter().enumerate() {
+                *yj += a[i][j] * t;
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        ops
+    }
+
+    /// Runs 3mm (`G = (A·B)·(C·D)`) and returns the op counts.
+    pub fn run_3mm(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let b = gen.matrix(n, 10);
+        let c = gen.matrix(n, 10);
+        let d = gen.matrix(n, 10);
+        let mut ops = OpCount::default();
+        let e = matmul(&a, &b, &mut ops);
+        let f = matmul(&c, &d, &mut ops);
+        let _ = matmul(&e, &f, &mut ops);
+        ops
+    }
+
+    /// Runs mvt (`x1 += A·y1; x2 += Aᵀ·y2`) and returns the op counts.
+    pub fn run_mvt(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let y1: Vec<i64> = (0..n as i64).collect();
+        let y2: Vec<i64> = (0..n as i64).rev().collect();
+        let mut x1 = vec![1i64; n];
+        let mut x2 = vec![2i64; n];
+        let mut ops = OpCount::default();
+        for (i, xi) in x1.iter_mut().enumerate() {
+            for (j, yj) in y1.iter().enumerate() {
+                *xi += a[i][j] * yj;
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        for (i, xi) in x2.iter_mut().enumerate() {
+            for (j, yj) in y2.iter().enumerate() {
+                *xi += a[j][i] * yj;
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        ops
+    }
+
+    /// Runs bicg (`q = A·p; s = Aᵀ·r`) and returns the op counts.
+    pub fn run_bicg(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let p: Vec<i64> = (0..n as i64).collect();
+        let r: Vec<i64> = (0..n as i64).map(|v| v * 2 + 1).collect();
+        let mut ops = OpCount::default();
+        let mut q = vec![0i64; n];
+        let mut s = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                q[i] += a[i][j] * p[j];
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        for j in 0..n {
+            for (i, ri) in r.iter().enumerate() {
+                s[j] += a[i][j] * ri;
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        ops
+    }
+
+    /// Runs gesummv (`y = alpha·A·x + beta·B·x`) and returns the op
+    /// counts.
+    pub fn run_gesummv(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let b = gen.matrix(n, 10);
+        let x: Vec<i64> = (0..n as i64).collect();
+        let mut ops = OpCount::default();
+        let mut y = vec![0i64; n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut ta = 0i64;
+            let mut tb = 0i64;
+            for (j, xj) in x.iter().enumerate() {
+                ta += a[i][j] * xj;
+                tb += b[i][j] * xj;
+                ops.adds += 2;
+                ops.mults += 2;
+            }
+            *yi = 3 * ta + 2 * tb; // alpha = 3, beta = 2
+            ops.adds += 1;
+            ops.mults += 2;
+        }
+        ops
+    }
+
+    /// Runs syr2k (`C += alpha·A·Bᵀ + alpha·B·Aᵀ + beta·C`, lower-
+    /// triangular variant simplified to the full matrix the profile
+    /// models) and returns the op counts.
+    pub fn run_syr2k(n: usize, seed: u64) -> OpCount {
+        let mut gen = BitGen::new(seed);
+        let a = gen.matrix(n, 10);
+        let b = gen.matrix(n, 10);
+        let mut c = gen.matrix(n, 10);
+        let mut ops = OpCount::default();
+        for i in 0..n {
+            for j in 0..n {
+                c[i][j] *= 2; // beta
+                ops.mults += 1;
+                let mut acc = 0i64;
+                for k in 0..n {
+                    acc += a[i][k] * b[j][k] + b[i][k] * a[j][k];
+                    ops.adds += 2;
+                    ops.mults += 2;
+                }
+                c[i][j] += 3 * acc; // alpha
+                ops.adds += 1;
+                ops.mults += 1;
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_selected_kernels() {
+        let s = suite(32);
+        assert!(s.len() >= 10, "the paper uses a broad selection");
+        assert!(s.iter().any(|k| k.name == "2mm"));
+        assert!(s.iter().any(|k| k.name == "gemm"));
+        for k in &s {
+            assert!(k.adds > 0 && k.mults > 0, "{}", k.name);
+            assert!(k.bytes_moved > 0);
+            assert!((0.0..=1.0).contains(&k.row_hit_rate));
+        }
+    }
+
+    #[test]
+    fn formula_matches_instrumented_2mm() {
+        let n = 12;
+        let observed = reference::run_2mm(n, 1);
+        let model = &suite(n)[0];
+        assert_eq!(model.name, "2mm");
+        assert_eq!(observed.adds, 2 * (n as u64).pow(3));
+        assert_eq!(observed.mults, 2 * (n as u64).pow(3));
+        // The model additionally counts the alpha/beta scalings of the
+        // full polybench 2mm; the dominant cubic term must agree.
+        assert!(model.adds >= observed.adds);
+        assert!(model.mults - observed.mults <= 2 * (n as u64).pow(2));
+    }
+
+    #[test]
+    fn formula_matches_instrumented_gemm() {
+        let n = 10;
+        let observed = reference::run_gemm(n, 2);
+        let model = suite(n).into_iter().find(|k| k.name == "gemm").unwrap();
+        assert_eq!(observed.adds, model.adds);
+        assert_eq!(observed.mults, model.mults);
+    }
+
+    #[test]
+    fn formula_matches_instrumented_atax() {
+        let n = 16;
+        let observed = reference::run_atax(n, 3);
+        let model = suite(n).into_iter().find(|k| k.name == "atax").unwrap();
+        assert_eq!(observed.adds, model.adds);
+        assert_eq!(observed.mults, model.mults);
+    }
+
+    #[test]
+    fn formula_matches_instrumented_3mm() {
+        let n = 10;
+        let observed = reference::run_3mm(n, 4);
+        let model = suite(n).into_iter().find(|k| k.name == "3mm").unwrap();
+        assert_eq!(observed.adds, model.adds);
+        assert_eq!(observed.mults, model.mults);
+    }
+
+    #[test]
+    fn formula_matches_instrumented_mvt() {
+        let n = 14;
+        let observed = reference::run_mvt(n, 5);
+        let model = suite(n).into_iter().find(|k| k.name == "mvt").unwrap();
+        assert_eq!(observed.adds, model.adds);
+        assert_eq!(observed.mults, model.mults);
+    }
+
+    #[test]
+    fn formula_matches_instrumented_bicg() {
+        let n = 12;
+        let observed = reference::run_bicg(n, 6);
+        let model = suite(n).into_iter().find(|k| k.name == "bicg").unwrap();
+        assert_eq!(observed.adds, model.adds);
+        assert_eq!(observed.mults, model.mults);
+    }
+
+    #[test]
+    fn formula_matches_instrumented_gesummv() {
+        let n = 11;
+        let observed = reference::run_gesummv(n, 7);
+        let model = suite(n).into_iter().find(|k| k.name == "gesummv").unwrap();
+        // Model counts the dominant 2n^2 terms; the instrumented kernel
+        // adds the n-element alpha/beta combination on top.
+        assert_eq!(observed.adds, model.adds + n as u64);
+        assert!(observed.mults >= model.mults);
+        assert!(observed.mults - model.mults <= 2 * n as u64);
+    }
+
+    #[test]
+    fn formula_matches_instrumented_syr2k() {
+        let n = 9;
+        let observed = reference::run_syr2k(n, 8);
+        let model = suite(n).into_iter().find(|k| k.name == "syr2k").unwrap();
+        assert_eq!(observed.adds, model.adds);
+        assert!(observed.mults >= model.mults);
+        assert!(observed.mults - model.mults <= 2 * (n as u64).pow(2));
+    }
+
+    #[test]
+    fn cubic_kernels_dominate_quadratic_ones() {
+        let s = suite(64);
+        let gemm = s.iter().find(|k| k.name == "gemm").unwrap();
+        let atax = s.iter().find(|k| k.name == "atax").unwrap();
+        assert!(gemm.adds > 10 * atax.adds);
+    }
+
+    #[test]
+    fn traffic_below_total_touches() {
+        // Cache filtering must reduce traffic below one access per op.
+        for k in suite(32) {
+            assert!(
+                k.accesses < k.adds + k.mults + 1,
+                "{}: accesses {} vs ops {}",
+                k.name,
+                k.accesses,
+                k.adds + k.mults
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Bitmap-index database query (paper Fig. 12): how many male users were
+//! active in each of the last `w` weeks — resolved with one multi-operand
+//! AND per 64-bit chunk via the transverse read, then compared against
+//! the Ambit/ELP2IM/DRAM-CPU cost models at 16M-user scale.
+//!
+//! Run with: `cargo run --example bitmap_query`
+
+use coruscant::mem::MemoryConfig;
+use coruscant::workloads::bitmap::{
+    cost_ambit, cost_coruscant, cost_dram_cpu, cost_elp2im, run_coruscant, BitmapDataset,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Functional run at reduced scale (exact answers, real PIM DBC ops).
+    let users = 200_000;
+    let ds = BitmapDataset::generate(users, 4, 1);
+    let config = MemoryConfig::tiny();
+    println!("Dataset: {users} users, 4 weekly activity bitmaps\n");
+    for w in 1..=4 {
+        let out = run_coruscant(&ds, w, &config)?;
+        assert_eq!(out.count, ds.reference_count(w), "PIM answer must be exact");
+        println!(
+            "male AND active last {w} week(s): {:>6} users  ({} memory cycles, {:.1} nJ)",
+            out.count,
+            out.cycles,
+            out.energy_pj / 1000.0
+        );
+    }
+
+    // Cost-model comparison at the paper's 16M-user scale.
+    println!("\nSpeedup over a DRAM-CPU system at 16M users (paper Fig. 12):");
+    let paper_cfg = MemoryConfig::paper();
+    for w in 2..=4 {
+        let cpu = cost_dram_cpu(16_000_000, w).cycles as f64;
+        println!(
+            "  {} criteria: Ambit {:.1}x, ELP2IM {:.1}x, CORUSCANT {:.1}x",
+            w + 1,
+            cpu / cost_ambit(16_000_000, w, 512).cycles as f64,
+            cpu / cost_elp2im(16_000_000, w, 512).cycles as f64,
+            cpu / cost_coruscant(16_000_000, w, &paper_cfg).cycles as f64,
+        );
+    }
+    Ok(())
+}

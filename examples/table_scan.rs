@@ -1,0 +1,111 @@
+//! In-memory database analytics: bitmap-accelerated table scans with
+//! multi-operand predicates, min/max aggregates and PIM subtraction —
+//! the "database searching" use case from the paper's introduction.
+//!
+//! Run with: `cargo run --example table_scan`
+
+use coruscant::core::arith::ArithmeticUnit;
+use coruscant::core::bulk::{BulkExecutor, BulkOp};
+use coruscant::core::maxpool::MaxExecutor;
+use coruscant::mem::{Dbc, MemoryConfig, Row};
+use coruscant::racetrack::CostMeter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MemoryConfig::tiny();
+    let mut meter = CostMeter::new();
+
+    // A toy "orders" table: 64 rows, one bit per row in each predicate
+    // bitmap (columns are pre-indexed as bitmaps, as in Fig. 12).
+    let n = 64usize;
+    let premium: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let recent: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let high_value: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+    let eu_region: Vec<bool> = (0..n).map(|i| i % 4 != 0).collect();
+
+    let to_row = |bits: &Vec<bool>| Row::from_bits(bits.clone());
+
+    // Predicate: premium AND recent AND high_value AND eu_region — one
+    // 4-operand bulk AND, a single transverse read.
+    let exec = BulkExecutor::new(&config);
+    let mut dbc = Dbc::pim_enabled(&config);
+    let hits = exec.execute(
+        &mut dbc,
+        BulkOp::And,
+        &[
+            to_row(&premium),
+            to_row(&recent),
+            to_row(&high_value),
+            to_row(&eu_region),
+        ],
+        &mut meter,
+    )?;
+    let expect = (0..n)
+        .filter(|&i| premium[i] && recent[i] && high_value[i] && eu_region[i])
+        .count();
+    assert_eq!(hits.popcount(), expect);
+    println!(
+        "conjunctive scan: {} matching orders (single TR for 4 predicates)",
+        hits.popcount()
+    );
+
+    // Disjunctive scan: any of the four flags — bulk OR.
+    let mut dbc = Dbc::pim_enabled(&config);
+    let any = exec.execute(
+        &mut dbc,
+        BulkOp::Or,
+        &[
+            to_row(&premium),
+            to_row(&recent),
+            to_row(&high_value),
+            to_row(&eu_region),
+        ],
+        &mut meter,
+    )?;
+    println!(
+        "disjunctive scan: {} orders match at least one flag",
+        any.popcount()
+    );
+
+    // Aggregates over a packed numeric column: order totals as 8-bit
+    // lanes, 8 per row chunk.
+    let totals: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 251).collect();
+    let maxer = MaxExecutor::new(&config);
+    let arith = ArithmeticUnit::new(&config);
+    let chunk_maxes: Vec<Row> = totals.chunks(8).map(|c| Row::pack(64, 8, c)).collect();
+    // 16-bit accumulation lanes fit four values per 64-bit row.
+    let chunk_sums: Vec<Row> = totals.chunks(4).map(|c| Row::pack(64, 16, c)).collect();
+    // MAX aggregate: lane-wise max across chunk rows, then a final host
+    // fold over the 8 lane winners.
+    let mut dbc = Dbc::pim_enabled(&config);
+    let lane_max = maxer.max_rows(
+        &mut dbc,
+        &chunk_maxes[..7.min(chunk_maxes.len())],
+        8,
+        &mut meter,
+    )?;
+    let pim_max = lane_max.unpack(8).into_iter().max().unwrap();
+    let host_max = totals[..7 * 8].iter().copied().max().unwrap();
+    assert_eq!(pim_max, host_max);
+    println!("MAX(total) over the first 56 orders = {pim_max} (verified)");
+
+    // SUM aggregate via carry-save accumulation (16-bit lanes).
+    let mut dbc = Dbc::pim_enabled(&config);
+    let lane_sums = arith.sum_rows(&mut dbc, &chunk_sums, 16, &mut meter)?;
+    let pim_sum: u64 = lane_sums.unpack(16).iter().sum();
+    let host_sum: u64 = totals.iter().sum();
+    assert_eq!(pim_sum, host_sum);
+    println!("SUM(total) = {pim_sum} (verified)");
+
+    // Difference of two daily revenue vectors with PIM subtraction.
+    let today = Row::pack(64, 16, &[500, 800, 250, 900]);
+    let yesterday = Row::pack(64, 16, &[450, 850, 250, 100]);
+    let mut dbc = Dbc::pim_enabled(&config);
+    let delta = arith.subtract(&mut dbc, &today, &yesterday, 16, &mut meter)?;
+    println!(
+        "revenue delta (two's complement lanes): {:?}",
+        delta.unpack(16)
+    );
+
+    println!("\ntotal device cost: {}", meter.total());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Memory-trace replay: drive the command-level controller with synthetic
+//! traces of different locality, compare DWM vs DRAM timing, and inspect
+//! per-bank load distribution — the system-simulation machinery behind
+//! the paper's Fig. 10 methodology.
+//!
+//! Run with: `cargo run --example trace_replay`
+
+use coruscant::mem::timing::DeviceTiming;
+use coruscant::mem::trace::{replay, Trace};
+use coruscant::mem::{MemoryConfig, MemoryController};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MemoryConfig::paper();
+    println!(
+        "memory: {} banks x {} subarrays, {}-wire DBCs\n",
+        config.banks, config.subarrays_per_bank, config.nanowires_per_dbc
+    );
+
+    let traces = [
+        ("streaming", Trace::streaming(&config, 8000)),
+        ("strided x3", Trace::strided(&config, 8000, 3)),
+        ("pointer chase", Trace::pointer_chase(&config, 8000, 0, 7)),
+        (
+            "chase + compute gaps",
+            Trace::pointer_chase(&config, 4000, 20, 9),
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>9} {:>10}",
+        "trace", "DWM cyc", "DRAM cyc", "hit rate", "DWM gain"
+    );
+    for (name, trace) in &traces {
+        let dwm = replay(
+            trace,
+            &mut MemoryController::with_timing(config.clone(), DeviceTiming::DWM_PAPER),
+        )?;
+        let dram = replay(
+            trace,
+            &mut MemoryController::with_timing(config.clone(), DeviceTiming::DRAM_PAPER),
+        )?;
+        println!(
+            "{:<22} {:>10} {:>10} {:>8.0}% {:>9.2}x",
+            name,
+            dwm.finish_cycles,
+            dram.finish_cycles,
+            dwm.hit_rate() * 100.0,
+            dram.finish_cycles as f64 / dwm.finish_cycles as f64
+        );
+    }
+
+    // Bank distribution of the strided trace.
+    let mut ctrl = MemoryController::new(config.clone());
+    replay(&Trace::strided(&config, 8000, 3), &mut ctrl)?;
+    let bs = ctrl.bank_stats();
+    let (hot, n) = bs.hottest().unwrap();
+    println!(
+        "\nstrided trace bank load: hottest bank {hot} with {n} requests, imbalance {:.2}",
+        bs.imbalance()
+    );
+    println!(
+        "controller stats: {} requests, {} shift cycles, {} queue cycles",
+        ctrl.stats().requests,
+        ctrl.stats().shift_cycles,
+        ctrl.stats().queue_cycles
+    );
+    Ok(())
+}

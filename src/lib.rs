@@ -1,0 +1,50 @@
+//! CORUSCANT: a processing-in-memory architecture for Domain-Wall
+//! (Racetrack) Memory — a full-system Rust reproduction of the MICRO 2022
+//! paper "CORUSCANT: Fast Efficient Processing-in-Racetrack Memories".
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`racetrack`] — the device model: nanowires, shifts, access ports,
+//!   transverse reads and writes, fault injection, cycle/energy costs.
+//! * [`mem`] — the DWM main-memory architecture: banks, subarrays, tiles,
+//!   domain-block clusters, row buffers, DDR-style timing, controller.
+//! * [`core`] — the PIM engine: polymorphic TR gates, multi-operand
+//!   bulk-bitwise logic and addition, carry-save multiplication, max,
+//!   ReLU, N-modular redundancy, the `cpim` ISA and its executor.
+//! * [`baselines`] — Ambit, ELP²IM, DW-NN, SPIM, ISAAC and CPU models.
+//! * [`nn`] — the CNN case study (LeNet-5, AlexNet; full/BWN/TWN modes).
+//! * [`workloads`] — polybench kernel models and bitmap-index queries.
+//! * [`reliability`] — analytic fault rates, NMR math, Monte-Carlo.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use coruscant::core::add::MultiOperandAdder;
+//! use coruscant::mem::{Dbc, MemoryConfig, Row};
+//! use coruscant::racetrack::CostMeter;
+//!
+//! # fn main() -> Result<(), coruscant::core::PimError> {
+//! let config = MemoryConfig::tiny();
+//! let mut dbc = Dbc::pim_enabled(&config);
+//! let adder = MultiOperandAdder::new(&config);
+//!
+//! let operands: Vec<Row> = (1..=5u64)
+//!     .map(|k| Row::pack(64, 8, &[k, k + 10, 0, 255, 1, 2, 3, 4]))
+//!     .collect();
+//! let mut meter = CostMeter::new();
+//! let sum = adder.add_rows(&mut dbc, &operands, 8, &mut meter)?;
+//! assert_eq!(sum.unpack(8)[0], 15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use coruscant_baselines as baselines;
+pub use coruscant_core as core;
+pub use coruscant_mem as mem;
+pub use coruscant_nn as nn;
+pub use coruscant_racetrack as racetrack;
+pub use coruscant_reliability as reliability;
+pub use coruscant_workloads as workloads;

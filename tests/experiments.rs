@@ -1,0 +1,147 @@
+//! Experiment smoke tests: every table and figure harness must reproduce
+//! the paper's qualitative shape (who wins, whether gaps grow, rough
+//! magnitudes). The bench binaries print the full numbers; these tests
+//! guard the orderings in CI.
+
+use coruscant::baselines::dwm_pim::SerialDwmPim;
+use coruscant::core::area::{overhead_1pim, PimDesign};
+use coruscant::core::cost_model::MeasuredCosts;
+use coruscant::mem::MemoryConfig;
+use coruscant::nn::mapping::{model_fps, model_fps_nmr, Scheme};
+use coruscant::nn::models::{alexnet, lenet5};
+use coruscant::nn::quant::Precision;
+use coruscant::reliability::model::OpReliability;
+use coruscant::reliability::nmr::NmrReliability;
+use coruscant::workloads::bitmap::{cost_coruscant, cost_elp2im};
+use coruscant::workloads::memwall::{compare, geomean, MemWallResult};
+use coruscant::workloads::polybench::suite;
+
+#[test]
+fn table1_shape() {
+    // Exact reproduction of the reported overheads.
+    for d in PimDesign::ALL {
+        let got = overhead_1pim(d, 32, 16);
+        assert!((got - d.paper_overhead()).abs() < 0.001, "{d}");
+    }
+}
+
+#[test]
+fn table3_shape() {
+    // CORUSCANT beats SPIM (the stronger prior design) on every
+    // operation; the multiplication advantage shrinks relative to the
+    // five-operand add advantage (paper: 9.4x vs 2.3x).
+    let m7 = MeasuredCosts::measure(7).unwrap();
+    let spim = SerialDwmPim::spim();
+    let add5_speedup = spim.add_k_area_opt(5, 8).cycles as f64 / m7.add_max.cycles as f64;
+    let mult_speedup = spim.mult2(8).cycles as f64 / m7.mult.cycles as f64;
+    assert!(add5_speedup > 5.0, "5-op add speedup {add5_speedup:.1}");
+    assert!(mult_speedup > 1.2, "mult speedup {mult_speedup:.1}");
+    assert!(add5_speedup > mult_speedup);
+    // Energy: CORUSCANT below SPIM on both.
+    assert!(m7.add_max.energy_pj < spim.add_k_area_opt(5, 8).energy_pj);
+    assert!(m7.mult.energy_pj < spim.mult2(8).energy_pj);
+}
+
+#[test]
+fn fig10_fig11_shape() {
+    let config = MemoryConfig::paper();
+    let results: Vec<MemWallResult> = suite(48).iter().map(|k| compare(k, &config)).collect();
+    let vs_dwm = geomean(results.iter().map(MemWallResult::speedup_vs_dwm));
+    let vs_dram = geomean(results.iter().map(MemWallResult::speedup_vs_dram));
+    let energy = geomean(results.iter().map(MemWallResult::energy_reduction));
+    // Paper: 2.07x / 2.20x / >25x. Shape: PIM wins everywhere, DRAM is
+    // the slower CPU memory, energy reduction is an order of magnitude.
+    assert!(vs_dwm > 1.3 && vs_dwm < 3.5, "vs DWM {vs_dwm:.2}");
+    assert!(vs_dram > vs_dwm, "vs DRAM {vs_dram:.2}");
+    assert!(energy > 8.0, "energy reduction {energy:.1}");
+}
+
+#[test]
+fn fig12_shape() {
+    let config = MemoryConfig::paper();
+    let mut prev = 0.0;
+    for w in 2..=4 {
+        let cor = cost_coruscant(16_000_000, w, &config).cycles as f64;
+        let elp = cost_elp2im(16_000_000, w, 512).cycles as f64;
+        let ratio = elp / cor;
+        assert!(ratio > prev, "speedup must grow with criteria");
+        assert!(ratio > 1.2 && ratio < 4.5, "w={w}: {ratio:.2}");
+        prev = ratio;
+    }
+}
+
+#[test]
+fn table4_shape() {
+    for net in [alexnet(), lenet5()] {
+        // Full precision: SPIM < C3 < C5 < C7.
+        let order: Vec<f64> = [
+            Scheme::Spim,
+            Scheme::Coruscant(3),
+            Scheme::Coruscant(5),
+            Scheme::Coruscant(7),
+        ]
+        .iter()
+        .map(|&s| model_fps(s, &net, Precision::Full))
+        .collect();
+        assert!(
+            order.windows(2).all(|w| w[0] < w[1]),
+            "{}: {order:?}",
+            net.name
+        );
+        // TWN: Ambit < ELP2IM < C3 < C5 < C7.
+        let order: Vec<f64> = [
+            Scheme::Ambit,
+            Scheme::Elp2im,
+            Scheme::Coruscant(3),
+            Scheme::Coruscant(5),
+            Scheme::Coruscant(7),
+        ]
+        .iter()
+        .map(|&s| model_fps(s, &net, Precision::Twn))
+        .collect();
+        assert!(
+            order.windows(2).all(|w| w[0] < w[1]),
+            "{}: {order:?}",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn table5_shape() {
+    // Exact agreement on the per-op rates; NMR drops orders of magnitude
+    // per degree.
+    let r7 = OpReliability::at(7);
+    assert!((r7.mult8 - 7.6e-5).abs() < 1e-6);
+    let n3 = NmrReliability::at(3, 7);
+    let n5 = NmrReliability::at(5, 7);
+    assert!(n5.mult8 < n3.mult8 * 1e-3);
+}
+
+#[test]
+fn table6_shape() {
+    // CORUSCANT-7 with TMR still beats ELP2IM without fault tolerance on
+    // ternary AlexNet (the paper's ISO-area argument).
+    let net = alexnet();
+    let tmr = model_fps_nmr(Scheme::Coruscant(7), &net, Precision::Twn, 3);
+    let elp = model_fps(Scheme::Elp2im, &net, Precision::Twn);
+    assert!(tmr > elp, "TMR {tmr:.0} vs ELP2IM {elp:.0}");
+    // Throughput cost is monotone in N.
+    let n5 = model_fps_nmr(Scheme::Coruscant(7), &net, Precision::Twn, 5);
+    let n7 = model_fps_nmr(Scheme::Coruscant(7), &net, Precision::Twn, 7);
+    assert!(tmr > n5 && n5 > n7);
+}
+
+#[test]
+fn sensitivity_shape() {
+    // Larger TRD: fewer multiplication cycles, more area, more FPS.
+    let m3 = MeasuredCosts::measure(3).unwrap();
+    let m7 = MeasuredCosts::measure(7).unwrap();
+    assert!(m7.mult.cycles < m3.mult.cycles);
+    assert!(overhead_1pim(PimDesign::Add2, 32, 16) < overhead_1pim(PimDesign::Add5, 32, 16));
+    let net = alexnet();
+    assert!(
+        model_fps(Scheme::Coruscant(7), &net, Precision::Twn)
+            > model_fps(Scheme::Coruscant(3), &net, Precision::Twn)
+    );
+}

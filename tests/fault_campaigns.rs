@@ -1,0 +1,135 @@
+//! Fault-injection campaigns spanning the full stack: shift faults
+//! detected and repaired by position codes, TR faults corrected by
+//! N-modular redundancy, and the end-to-end arithmetic staying correct
+//! once the protections are applied.
+
+use coruscant::core::add::MultiOperandAdder;
+use coruscant::core::nmr::NmrVoter;
+use coruscant::mem::{Dbc, MemoryConfig, Row};
+use coruscant::racetrack::{
+    Alignment, CostMeter, FaultConfig, FaultInjector, Nanowire, NanowireSpec, PositionCode,
+};
+
+/// A wire hit by repeated shift faults recovers its data through periodic
+/// position-code checks, mirroring the check-after-access discipline the
+/// cited fault-tolerance schemes use.
+#[test]
+fn shift_fault_storm_recovered_by_position_codes() {
+    let cfg = FaultConfig::NONE.with_shift_fault_rate(0.2); // heavy acceleration
+    let mut wire = Nanowire::new(NanowireSpec::coruscant(32, 7))
+        .with_fault_injector(FaultInjector::new(cfg, 99));
+    let code = PositionCode::plan(&wire, 6).unwrap();
+    code.install(&mut wire).unwrap();
+    for r in 0..32 {
+        wire.set_row(r, r % 5 == 0).unwrap();
+    }
+
+    let mut meter = CostMeter::new();
+    let mut repairs = 0;
+    let mut out_of_range = 0;
+    for round in 0..200 {
+        // A nominal round trip that faults may corrupt.
+        let delta = if round % 2 == 0 { 2 } else { -2 };
+        let _ = wire.shift(delta, &mut meter);
+        let _ = wire.shift(-delta, &mut meter);
+        // Periodic check-and-repair.
+        match code.check_and_repair(&mut wire, &mut meter).unwrap() {
+            Alignment::Aligned => {}
+            Alignment::OutOfRange => out_of_range += 1,
+            _ => repairs += 1,
+        }
+    }
+    assert!(repairs > 0, "the storm must have caused repairable drift");
+    assert_eq!(out_of_range, 0, "per-round checking keeps drift in range");
+    // Data is intact after the storm.
+    for r in 0..32 {
+        assert_eq!(wire.row(r), Some(r % 5 == 0), "row {r}");
+    }
+}
+
+/// TMR-protected five-operand additions stay correct under accelerated TR
+/// faults that frequently corrupt unprotected runs.
+#[test]
+fn tmr_protected_addition_campaign() {
+    let config = MemoryConfig::tiny();
+    let adder = MultiOperandAdder::new(&config);
+    let voter = NmrVoter::new(&config);
+    let fault = FaultConfig::NONE.with_tr_fault_rate(3e-3);
+
+    let operands: Vec<Row> = (1..=5u64)
+        .map(|k| Row::pack(64, 8, &[k * 11 % 256, 250, 3, k, 99, 0, 1, 200]))
+        .collect();
+    let golden = MultiOperandAdder::reference(&operands, 8);
+
+    let trials = 150;
+    let mut raw_errors = 0;
+    let mut voted_errors = 0;
+    for t in 0..trials {
+        let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, 7_000 + t);
+        let mut m = CostMeter::new();
+        let raw = adder.add_rows(&mut dbc, &operands, 8, &mut m).unwrap();
+        if raw != golden {
+            raw_errors += 1;
+        }
+
+        let mut replicas = Vec::with_capacity(3);
+        for r in 0..3u64 {
+            let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, 50_000 + t * 3 + r);
+            let mut m = CostMeter::new();
+            replicas.push(adder.add_rows(&mut dbc, &operands, 8, &mut m).unwrap());
+        }
+        let mut vote_dbc = Dbc::pim_enabled(&config);
+        let mut m = CostMeter::new();
+        let voted = voter.vote_rows(&mut vote_dbc, &replicas, &mut m).unwrap();
+        if voted != golden {
+            voted_errors += 1;
+        }
+    }
+    assert!(
+        raw_errors > trials / 20,
+        "acceleration must corrupt unprotected runs ({raw_errors}/{trials})"
+    );
+    // Voting only fails when two replicas err in the SAME bit position;
+    // since faults land on random bits, suppression is strong even at
+    // this heavy acceleration (where per-replica error rates are ~0.3).
+    assert!(
+        voted_errors * 5 < raw_errors.max(5),
+        "TMR must suppress errors ({voted_errors} vs {raw_errors})"
+    );
+}
+
+/// The empirical unprotected error rate tracks the analytic model within
+/// a loose band when scaled to the accelerated fault probability.
+#[test]
+fn empirical_rate_tracks_analytic_model() {
+    let config = MemoryConfig::tiny();
+    let adder = MultiOperandAdder::new(&config);
+    let p = 2e-3;
+    let fault = FaultConfig::NONE.with_tr_fault_rate(p);
+    let operands: Vec<Row> = (1..=5u64).map(|k| Row::pack(64, 8, &[k * 37 % 256; 8])).collect();
+    let golden = MultiOperandAdder::reference(&operands, 8);
+
+    let trials = 400;
+    let mut errors = 0;
+    for t in 0..trials {
+        let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, 123_000 + t);
+        let mut m = CostMeter::new();
+        if adder.add_rows(&mut dbc, &operands, 8, &mut m).unwrap() != golden {
+            errors += 1;
+        }
+    }
+    let empirical = errors as f64 / trials as f64;
+    // 8 lanes x 8 TRs per add = 64 fault-prone senses; a single fault can
+    // additionally corrupt following bits through the C/C' chain, so the
+    // empirical rate sits somewhat above the naive single-TR union
+    // 1 - (1-p)^64 but within a small factor of it.
+    let naive = 1.0 - (1.0 - p).powi(64);
+    assert!(
+        empirical <= naive * 2.5,
+        "empirical {empirical:.3} vs naive union {naive:.3}"
+    );
+    assert!(
+        empirical >= naive * 0.3,
+        "empirical {empirical:.3} suspiciously low vs {naive:.3}"
+    );
+}

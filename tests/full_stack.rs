@@ -1,0 +1,215 @@
+//! Full-stack integration: cpim instructions through the memory
+//! controller, data movement between storage and PIM DBCs, and
+//! end-to-end result verification.
+
+use coruscant::core::dispatch::PimMachine;
+use coruscant::core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant::mem::{DbcLocation, MemoryConfig, Row, RowAddress};
+use coruscant::racetrack::CostMeter;
+
+fn pim_addr(row: usize) -> RowAddress {
+    RowAddress::new(DbcLocation::new(0, 0, 0, 0), row)
+}
+
+fn storage_addr(row: usize) -> RowAddress {
+    RowAddress::new(DbcLocation::new(1, 1, 1, 2), row)
+}
+
+#[test]
+fn copy_from_storage_then_add_then_write_back() {
+    let mut machine = PimMachine::new(MemoryConfig::tiny());
+
+    // Data begins in a storage DBC (as if written by the CPU).
+    let mut meter = CostMeter::new();
+    for (i, v) in [11u64, 22, 33].iter().enumerate() {
+        let row = Row::pack(64, 8, &[*v; 8]);
+        machine
+            .controller_mut()
+            .store_row(storage_addr(i), &row, &mut meter)
+            .unwrap();
+    }
+
+    // Copy the operands into the PIM DBC via cpim.copy.
+    for i in 0..3 {
+        let copy = CpimInstr::new(
+            CpimOpcode::Copy,
+            storage_addr(i),
+            1,
+            BlockSize::new(8).unwrap(),
+            Some(pim_addr(10 + i)),
+        )
+        .unwrap();
+        machine.execute(&copy).unwrap();
+    }
+
+    // Three-operand addition, result written back to storage.
+    let add = CpimInstr::new(
+        CpimOpcode::Add,
+        pim_addr(10),
+        3,
+        BlockSize::new(8).unwrap(),
+        Some(storage_addr(9)),
+    )
+    .unwrap();
+    let out = machine.execute(&add).unwrap();
+    assert_eq!(out.result.unwrap().unpack(8), vec![66; 8]);
+
+    let stored = machine
+        .controller_mut()
+        .load_row(storage_addr(9), &mut meter)
+        .unwrap();
+    assert_eq!(stored.unpack(8), vec![66; 8]);
+}
+
+#[test]
+fn instruction_stream_advances_controller_time() {
+    let mut machine = PimMachine::new(MemoryConfig::tiny());
+    let mut meter = CostMeter::new();
+    machine
+        .controller_mut()
+        .store_row(pim_addr(4), &Row::pack(64, 8, &[7; 8]), &mut meter)
+        .unwrap();
+    machine
+        .controller_mut()
+        .store_row(pim_addr(5), &Row::pack(64, 8, &[9; 8]), &mut meter)
+        .unwrap();
+
+    let add = CpimInstr::new(
+        CpimOpcode::Add,
+        pim_addr(4),
+        2,
+        BlockSize::new(8).unwrap(),
+        None,
+    )
+    .unwrap();
+    let first = machine.execute(&add).unwrap();
+    assert!(first.completion > 0);
+    assert!(first.cost.cycles >= 19, "2-op add takes at least 19 cycles");
+    assert!(first.cost.energy_pj > 0.0);
+
+    // Re-loading the operand rows (the add consumed the originals'
+    // segment region) and issuing again queues behind the first op.
+    machine
+        .controller_mut()
+        .store_row(pim_addr(4), &Row::pack(64, 8, &[7; 8]), &mut meter)
+        .unwrap();
+    machine
+        .controller_mut()
+        .store_row(pim_addr(5), &Row::pack(64, 8, &[9; 8]), &mut meter)
+        .unwrap();
+    let second = machine.execute(&add).unwrap();
+    assert!(second.completion > first.completion);
+    assert_eq!(second.result.unwrap().unpack(8), vec![16; 8]);
+}
+
+#[test]
+fn encoded_instruction_roundtrip_executes() {
+    let mut machine = PimMachine::new(MemoryConfig::tiny());
+    let mut meter = CostMeter::new();
+    machine
+        .controller_mut()
+        .store_row(
+            pim_addr(2),
+            &Row::from_u64_words(64, &[0xFF00FF]),
+            &mut meter,
+        )
+        .unwrap();
+    machine
+        .controller_mut()
+        .store_row(
+            pim_addr(3),
+            &Row::from_u64_words(64, &[0x0FF0FF]),
+            &mut meter,
+        )
+        .unwrap();
+
+    let instr = CpimInstr::new(
+        CpimOpcode::And,
+        pim_addr(2),
+        2,
+        BlockSize::new(8).unwrap(),
+        None,
+    )
+    .unwrap();
+    // Ship the instruction as its 64-bit encoding (as a trace would).
+    let decoded = CpimInstr::decode(instr.encode()).unwrap();
+    let out = machine.execute(&decoded).unwrap();
+    assert_eq!(out.result.unwrap().to_u64_words()[0], 0xFF00FF & 0x0FF0FF);
+}
+
+#[test]
+fn mixed_pim_and_plain_traffic() {
+    use coruscant::mem::controller::Request;
+    let mut machine = PimMachine::new(MemoryConfig::tiny());
+    let mut meter = CostMeter::new();
+
+    machine
+        .controller_mut()
+        .store_row(pim_addr(6), &Row::pack(64, 8, &[100; 8]), &mut meter)
+        .unwrap();
+    machine
+        .controller_mut()
+        .store_row(pim_addr(7), &Row::pack(64, 8, &[55; 8]), &mut meter)
+        .unwrap();
+
+    // Plain reads to other banks interleave with PIM work.
+    let t_read = machine
+        .controller_mut()
+        .submit(Request::Read(64 * 64))
+        .unwrap();
+    let add = CpimInstr::new(
+        CpimOpcode::Add,
+        pim_addr(6),
+        2,
+        BlockSize::new(8).unwrap(),
+        None,
+    )
+    .unwrap();
+    let out = machine.execute(&add).unwrap();
+    assert!(t_read > 0 && out.completion > 0);
+    assert_eq!(out.result.unwrap().unpack(8), vec![155; 8]);
+
+    let stats = machine.controller().stats();
+    assert!(stats.requests >= 2);
+    assert!(stats.energy_pj > 0.0);
+}
+
+#[test]
+fn max_and_vote_through_the_isa() {
+    let mut machine = PimMachine::new(MemoryConfig::tiny());
+    let mut meter = CostMeter::new();
+    for (i, v) in [9u64, 200, 13].iter().enumerate() {
+        machine
+            .controller_mut()
+            .store_row(pim_addr(i), &Row::pack(64, 8, &[*v; 8]), &mut meter)
+            .unwrap();
+    }
+    let max = CpimInstr::new(
+        CpimOpcode::Max,
+        pim_addr(0),
+        3,
+        BlockSize::new(8).unwrap(),
+        None,
+    )
+    .unwrap();
+    let out = machine.execute(&max).unwrap();
+    assert_eq!(out.result.unwrap().unpack(8), vec![200; 8]);
+
+    // Voting over three replicas with one corrupted.
+    for (i, v) in [0xABu64, 0xAB, 0xAA].iter().enumerate() {
+        machine
+            .controller_mut()
+            .store_row(pim_addr(20 + i), &Row::pack(64, 8, &[*v; 8]), &mut meter)
+            .unwrap();
+    }
+    let vote = CpimInstr::new(
+        CpimOpcode::Vote,
+        pim_addr(20),
+        3,
+        BlockSize::new(8).unwrap(),
+        None,
+    )
+    .unwrap();
+    let out = machine.execute(&vote).unwrap();
+    assert_eq!(out.result.unwrap().unpack(8), vec![0xAB; 8]);
+}

@@ -1,0 +1,274 @@
+//! Cross-crate property tests for the arithmetic invariants (DESIGN.md §5).
+
+use coruscant::core::add::MultiOperandAdder;
+use coruscant::core::bulk::{BulkExecutor, BulkOp};
+use coruscant::core::maxpool::MaxExecutor;
+use coruscant::core::mult::{ConstantPlan, Multiplier};
+use coruscant::core::nmr::NmrVoter;
+use coruscant::mem::{Dbc, MemoryConfig, Row};
+use coruscant::racetrack::CostMeter;
+use proptest::prelude::*;
+
+fn arb_trd() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(3usize), Just(5usize), Just(7usize)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 4: multi-operand addition equals the scalar sum, lane by
+    /// lane, modulo 2^blocksize, at every TRD.
+    #[test]
+    fn addition_matches_scalar_sum(
+        trd in arb_trd(),
+        values in proptest::collection::vec(
+            proptest::collection::vec(0u64..256, 8), 2..=5),
+    ) {
+        let config = MemoryConfig::tiny().with_trd(trd);
+        let adder = MultiOperandAdder::new(&config);
+        let k = values.len().min(adder.max_operands());
+        prop_assume!(k >= 2);
+        let operands: Vec<Row> = values[..k].iter().map(|v| Row::pack(64, 8, v)).collect();
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let got = adder.add_rows(&mut dbc, &operands, 8, &mut meter).unwrap();
+        prop_assert_eq!(got, MultiOperandAdder::reference(&operands, 8));
+    }
+
+    /// Invariant 5: the carry-save multiplication equals the scalar
+    /// product for all 8-bit operand pairs, at every TRD.
+    #[test]
+    fn multiplication_matches_scalar_product(
+        trd in arb_trd(),
+        a in proptest::collection::vec(0u64..256, 4),
+        b in proptest::collection::vec(0u64..256, 4),
+    ) {
+        let config = MemoryConfig::tiny().with_trd(trd);
+        let mult = Multiplier::new(&config);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let got = mult.multiply_values(&mut dbc, &a, &b, 8, &mut meter).unwrap();
+        prop_assert_eq!(got, Multiplier::reference(&a, &b));
+    }
+
+    /// Invariant 7: bulk-bitwise results equal the std bitwise fold.
+    #[test]
+    fn bulk_ops_match_folds(
+        op_idx in 0usize..6,
+        words in proptest::collection::vec(any::<u64>(), 2..=7),
+    ) {
+        let ops = [BulkOp::And, BulkOp::Nand, BulkOp::Or, BulkOp::Nor, BulkOp::Xor, BulkOp::Xnor];
+        let op = ops[op_idx];
+        let config = MemoryConfig::tiny();
+        let operands: Vec<Row> = words.iter().map(|&w| Row::from_u64_words(64, &[w])).collect();
+        let exec = BulkExecutor::new(&config);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let got = exec.execute(&mut dbc, op, &operands, &mut meter).unwrap();
+        prop_assert_eq!(got, BulkExecutor::reference(op, &operands));
+    }
+
+    /// Invariant 8: the TW max function returns the lane-wise maximum for
+    /// any candidates, positions and ties included.
+    #[test]
+    fn max_matches_reference(
+        candidates in proptest::collection::vec(
+            proptest::collection::vec(0u64..256, 8), 1..=7),
+    ) {
+        let config = MemoryConfig::tiny();
+        let rows: Vec<Row> = candidates.iter().map(|v| Row::pack(64, 8, v)).collect();
+        let max = MaxExecutor::new(&config);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let got = max.max_rows(&mut dbc, &rows, 8, &mut meter).unwrap();
+        prop_assert_eq!(got, MaxExecutor::reference(&rows, 8));
+    }
+
+    /// Invariant 9: majority voting corrects any single faulty replica
+    /// under TMR, bitwise, whatever the fault pattern.
+    #[test]
+    fn tmr_corrects_one_faulty_replica(
+        good_word in any::<u64>(),
+        flips in proptest::collection::vec(0usize..64, 0..10),
+        faulty_index in 0usize..3,
+    ) {
+        let config = MemoryConfig::tiny();
+        let good = Row::from_u64_words(64, &[good_word]);
+        let mut faulty = good.clone();
+        for f in flips {
+            faulty.set(f, !faulty.get(f).unwrap());
+        }
+        let mut replicas = vec![good.clone(), good.clone(), good.clone()];
+        replicas[faulty_index] = faulty;
+        let voter = NmrVoter::new(&config);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let voted = voter.vote_rows(&mut dbc, &replicas, &mut meter).unwrap();
+        prop_assert_eq!(voted, good);
+    }
+
+    /// Invariant 6: the CSD constant-multiplication plan reproduces the
+    /// product for arbitrary constants and inputs.
+    #[test]
+    fn constant_plan_reproduces_product(c in 0u64..1_000_000, x in 0u64..65_536) {
+        let plan = ConstantPlan::compile(c, 5).unwrap();
+        prop_assert_eq!(plan.evaluate(x, 64), c.wrapping_mul(x));
+        // And the schedule respects the TRD-7 grouping bound.
+        let t = plan.nonzero_terms();
+        if t >= 2 {
+            prop_assert!(plan.addition_steps() <= t.div_ceil(2));
+        }
+    }
+
+    /// Invariant 10: repeated runs of the same operation charge identical
+    /// cost (determinism of the cost accounting).
+    #[test]
+    fn costs_are_deterministic(values in proptest::collection::vec(0u64..256, 8)) {
+        let config = MemoryConfig::tiny();
+        let adder = MultiOperandAdder::new(&config);
+        let operands = vec![Row::pack(64, 8, &values), Row::pack(64, 8, &values)];
+        let run = || {
+            let mut dbc = Dbc::pim_enabled(&config);
+            let mut meter = CostMeter::new();
+            adder.add_rows(&mut dbc, &operands, 8, &mut meter).unwrap();
+            meter.total()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert!((a.energy_pj - b.energy_pj).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Subtraction equals two's-complement lane arithmetic at every TRD.
+    #[test]
+    fn subtraction_matches_wrapping_sub(
+        trd in arb_trd(),
+        a in proptest::collection::vec(0u64..256, 8),
+        b in proptest::collection::vec(0u64..256, 8),
+    ) {
+        use coruscant::core::arith::ArithmeticUnit;
+        let config = MemoryConfig::tiny().with_trd(trd);
+        let unit = ArithmeticUnit::new(&config);
+        let ra = Row::pack(64, 8, &a);
+        let rb = Row::pack(64, 8, &b);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let got = unit.subtract(&mut dbc, &ra, &rb, 8, &mut CostMeter::new()).unwrap();
+        prop_assert_eq!(got, ArithmeticUnit::reference_sub(&ra, &rb, 8));
+    }
+
+    /// Comparison flags match `>=` for all lane pairs.
+    #[test]
+    fn compare_ge_matches_ordering(
+        a in proptest::collection::vec(0u64..256, 4),
+        b in proptest::collection::vec(0u64..256, 4),
+    ) {
+        use coruscant::core::arith::ArithmeticUnit;
+        let config = MemoryConfig::tiny();
+        let unit = ArithmeticUnit::new(&config);
+        let ra = Row::pack(64, 8, &a);
+        let rb = Row::pack(64, 8, &b);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let got = unit.compare_ge(&mut dbc, &ra, &rb, 8, &mut CostMeter::new()).unwrap();
+        let flags = got.unpack(16);
+        for l in 0..4 {
+            prop_assert_eq!(flags[l], u64::from(a[l] >= b[l]), "lane {}", l);
+        }
+    }
+
+    /// Large-cardinality accumulation equals the scalar sum for any row
+    /// count and TRD.
+    #[test]
+    fn sum_rows_matches_scalar(
+        trd in arb_trd(),
+        values in proptest::collection::vec(0u64..1000, 1..24),
+    ) {
+        use coruscant::core::arith::ArithmeticUnit;
+        let config = MemoryConfig::tiny().with_trd(trd);
+        let unit = ArithmeticUnit::new(&config);
+        let rows: Vec<Row> = values.iter().map(|&v| Row::pack(64, 16, &[v, v * 2, 0, 1])).collect();
+        let mut dbc = Dbc::pim_enabled(&config);
+        let got = unit.sum_rows(&mut dbc, &rows, 16, &mut CostMeter::new()).unwrap();
+        let s: u64 = values.iter().sum();
+        prop_assert_eq!(got.unpack(16)[0], s & 0xFFFF);
+        prop_assert_eq!(got.unpack(16)[1], (2 * s) & 0xFFFF);
+        prop_assert_eq!(got.unpack(16)[3], values.len() as u64);
+    }
+
+    /// The device constant multiplier reproduces `c * x` for arbitrary
+    /// constants.
+    #[test]
+    fn constant_multiplier_on_device(c in 0u64..4096, xs in proptest::collection::vec(0u64..256, 4)) {
+        use coruscant::core::mult::{ConstantMultiplier, ConstantPlan};
+        let config = MemoryConfig::tiny();
+        let plan = ConstantPlan::compile(c, config.max_add_operands()).unwrap();
+        let exec = ConstantMultiplier::new(&config);
+        let a = Row::pack(64, 16, &xs);
+        let mut dbc = Dbc::pim_enabled(&config);
+        let got = exec.execute(&mut dbc, &plan, &a, 16, &mut CostMeter::new()).unwrap();
+        for (l, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(got.unpack(16)[l], c.wrapping_mul(x) & 0xFFFF, "lane {}", l);
+        }
+    }
+
+    /// Bit-plane transposition round-trips through the device.
+    #[test]
+    fn transpose_roundtrip_on_device(values in proptest::collection::vec(0u64..256, 8)) {
+        use coruscant::mem::transpose::{transpose_row, untranspose_rows};
+        let config = MemoryConfig::tiny();
+        let mut dbc = Dbc::pim_enabled(&config);
+        let packed = Row::pack(64, 8, &values);
+        let mut m = CostMeter::new();
+        dbc.write_row(0, &packed, &mut m).unwrap();
+        transpose_row(&mut dbc, 0, 10, 8, &mut m).unwrap();
+        let back = untranspose_rows(&mut dbc, 10, 20, 8, &mut m).unwrap();
+        prop_assert_eq!(back.unpack(8), values);
+    }
+}
+
+/// 16-bit multiplication exercises two rounds of carry-save reduction.
+#[test]
+fn sixteen_bit_multiplication() {
+    let mut config = MemoryConfig::tiny();
+    config.rows_per_dbc = 32;
+    let mult = Multiplier::new(&config);
+    for (a, b) in [(65535u64, 65535u64), (12345, 54321), (256, 255), (1, 65535)] {
+        let mut dbc = Dbc::pim_enabled(&config);
+        let mut meter = CostMeter::new();
+        let got = mult
+            .multiply_values(&mut dbc, &[a, 7], &[b, 9], 16, &mut meter)
+            .unwrap();
+        assert_eq!(got, vec![a * b, 63], "{a} x {b}");
+    }
+}
+
+/// Chained PIM computation: (a + b) * c entirely in memory.
+#[test]
+fn chained_add_then_multiply() {
+    let config = MemoryConfig::tiny();
+    let adder = MultiOperandAdder::new(&config);
+    let mult = Multiplier::new(&config);
+    let a = [13u64, 250, 0, 77];
+    let b = [29u64, 4, 255, 100];
+    let c = [3u64, 2, 1, 0];
+
+    let mut dbc = Dbc::pim_enabled(&config);
+    let mut meter = CostMeter::new();
+    // Sum in 16-bit lanes so the product operands stay 8-bit-safe.
+    let ra = Row::pack(64, 16, &a);
+    let rb = Row::pack(64, 16, &b);
+    let sum = adder.add_rows(&mut dbc, &[ra, rb], 16, &mut meter).unwrap();
+    let sums = sum.unpack(16);
+    // Feed into multiplication where the sums fit 8 bits.
+    let m_in: Vec<u64> = sums.iter().map(|&s| s.min(255)).collect();
+    let got = mult
+        .multiply_values(&mut dbc, &m_in, &c, 8, &mut meter)
+        .unwrap();
+    for i in 0..4 {
+        assert_eq!(got[i], m_in[i] * c[i], "lane {i}");
+    }
+    assert!(meter.total().cycles > 0);
+}

@@ -1,0 +1,121 @@
+//! Sanity at the paper's full geometry: 512-nanowire DBCs, 32 rows,
+//! TRD = 7 (Table II). The per-operation latencies must be identical to
+//! the small test geometry — lock-step width changes energy, not cycles —
+//! and every operation must stay correct at full row width.
+
+use coruscant::core::add::MultiOperandAdder;
+use coruscant::core::bulk::{BulkExecutor, BulkOp};
+use coruscant::core::maxpool::MaxExecutor;
+use coruscant::core::mult::Multiplier;
+use coruscant::mem::{Dbc, MemoryConfig, Row};
+use coruscant::racetrack::CostMeter;
+
+fn paper_dbc() -> (MemoryConfig, Dbc) {
+    let config = MemoryConfig::paper();
+    let dbc = Dbc::pim_enabled(&config);
+    (config, dbc)
+}
+
+#[test]
+fn full_width_addition_64_lanes() {
+    let (config, mut dbc) = paper_dbc();
+    assert_eq!(dbc.width(), 512);
+    let adder = MultiOperandAdder::new(&config);
+    // 64 packed 8-bit lanes, five operands.
+    let operands: Vec<Row> = (0..5u64)
+        .map(|k| {
+            let vals: Vec<u64> = (0..64).map(|l| (l * 3 + k * 41) % 256).collect();
+            Row::pack(512, 8, &vals)
+        })
+        .collect();
+    let mut m = CostMeter::new();
+    let got = adder.add_rows(&mut dbc, &operands, 8, &mut m).unwrap();
+    assert_eq!(got, MultiOperandAdder::reference(&operands, 8));
+    // Same 26 cycles as the 64-wire test geometry: lanes are free.
+    assert_eq!(m.total().cycles, 26);
+    // Energy scales with the 8x wider row.
+    assert!(m.total().energy_pj > 8.0 * 21.0);
+}
+
+#[test]
+fn full_width_bulk_ops() {
+    let (config, mut dbc) = paper_dbc();
+    let exec = BulkExecutor::new(&config);
+    let operands: Vec<Row> = (0..7u64)
+        .map(|k| {
+            let words: Vec<u64> = (0..8).map(|w| (k * 0x0101_0101_0101_0101) ^ w).collect();
+            Row::from_u64_words(512, &words)
+        })
+        .collect();
+    let mut m = CostMeter::new();
+    let got = exec
+        .execute(&mut dbc, BulkOp::Xor, &operands, &mut m)
+        .unwrap();
+    assert_eq!(got, BulkExecutor::reference(BulkOp::Xor, &operands));
+    assert_eq!(m.total().cycles, 14, "7 writes + 6 shifts + 1 TR");
+}
+
+#[test]
+fn full_width_multiplication_32_lanes() {
+    let (config, mut dbc) = paper_dbc();
+    let mult = Multiplier::new(&config);
+    let a: Vec<u64> = (0..32).map(|i| (i * 7 + 3) % 256).collect();
+    let b: Vec<u64> = (0..32).map(|i| (i * 13 + 1) % 256).collect();
+    let mut m = CostMeter::new();
+    let got = mult.multiply_values(&mut dbc, &a, &b, 8, &mut m).unwrap();
+    assert_eq!(got, Multiplier::reference(&a, &b));
+    // Latency equals the 4-lane measurement (93 cycles at TRD 7).
+    assert!(m.total().cycles < 120, "cycles {}", m.total().cycles);
+}
+
+#[test]
+fn full_width_max_512_bit_blocks() {
+    let (config, mut dbc) = paper_dbc();
+    let maxer = MaxExecutor::new(&config);
+    // The paper's largest blocksize: one 512-bit comparison per row.
+    let candidates: Vec<Row> = (0..4u64)
+        .map(|k| {
+            let mut words = vec![0u64; 8];
+            words[7] = k * 1000; // big-endian significance at the lane top
+            Row::from_u64_words(512, &words)
+        })
+        .collect();
+    let mut m = CostMeter::new();
+    let got = maxer.max_rows(&mut dbc, &candidates, 512, &mut m).unwrap();
+    assert_eq!(got, candidates[3], "largest candidate wins");
+}
+
+#[test]
+fn paper_scale_controller_roundtrip() {
+    use coruscant::mem::{DbcLocation, MemoryController, RowAddress};
+    let config = MemoryConfig::paper();
+    let mut ctrl = MemoryController::new(config.clone());
+    // Touch DBCs across the full geometry (sparse materialization keeps
+    // this cheap despite the 1 GB capacity).
+    let mut meter = CostMeter::new();
+    for (bank, subarray, tile, dbcx, row) in [
+        (0usize, 0usize, 0usize, 0usize, 0usize),
+        (31, 63, 15, 15, 31),
+        (17, 2, 9, 0, 16),
+    ] {
+        let addr = RowAddress::new(DbcLocation::new(bank, subarray, tile, dbcx), row);
+        let data = Row::from_u64_words(512, &[bank as u64 ^ 0xABCD; 8]);
+        ctrl.store_row(addr, &data, &mut meter).unwrap();
+        assert_eq!(ctrl.load_row(addr, &mut meter).unwrap(), data);
+    }
+    assert_eq!(config.capacity_bytes(), 1 << 30);
+    assert_eq!(ctrl.pim_unit_count(), 32 * 64 * 16);
+}
+
+#[test]
+fn trace_replay_at_paper_scale() {
+    use coruscant::mem::trace::{replay, Trace};
+    use coruscant::mem::MemoryController;
+    let config = MemoryConfig::paper();
+    let trace = Trace::strided(&config, 5000, 3);
+    let mut ctrl = MemoryController::new(config);
+    let report = replay(&trace, &mut ctrl).unwrap();
+    assert_eq!(report.requests, 5000);
+    assert!(report.finish_cycles > 0);
+    assert!(report.cycles_per_request() < 40.0);
+}
