@@ -18,10 +18,10 @@
 //! trees) are the designs' own.
 
 use crate::BaselineCost;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// A bit-serial DWM PIM design (DW-NN or SPIM).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SerialDwmPim {
     /// Design name.
     pub name: &'static str,

@@ -1,0 +1,87 @@
+//! Criterion benches of the execution runtime: host throughput
+//! (jobs/sec) at 1/2/4/8 shards, and circular vs single-bank dispatch
+//! (paper §V-C high-throughput mode).
+//!
+//! Besides the wall-clock measurements, the bench prints each
+//! configuration's *modeled* throughput (jobs per modeled microsecond)
+//! so the §V-C overlap is visible next to the host-parallelism scaling.
+
+use coruscant_mem::MemoryConfig;
+use coruscant_runtime::{run_batch, DispatchMode, RuntimeOptions};
+use coruscant_workloads::bitmap::BitmapDataset;
+use coruscant_workloads::serve::{compile_bitmap_query, serve_bitmap_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Eight banks so circular dispatch has room to spread the chunk burst.
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let config = eight_bank_config();
+    let ds = BitmapDataset::generate(16_000, 3, 11);
+    let jobs = compile_bitmap_query(&ds, 3, &config).unwrap().len() as u64;
+
+    // Shard scaling: same circular job stream, 1/2/4/8 worker threads.
+    let mut g = c.benchmark_group("runtime_shards");
+    g.throughput(Throughput::Elements(jobs));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("circular", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let programs = compile_bitmap_query(&ds, 3, &config).unwrap();
+                let options = RuntimeOptions::default().with_shards(s);
+                black_box(run_batch(&config, programs, options).unwrap())
+            });
+        });
+    }
+    g.finish();
+
+    // Dispatch modes: bank-parallel circular issue vs everything on one
+    // bank, at a fixed shard count.
+    let mut g = c.benchmark_group("runtime_dispatch");
+    g.throughput(Throughput::Elements(jobs));
+    for (name, mode) in [
+        ("circular", DispatchMode::Circular),
+        ("single_bank", DispatchMode::SingleBank),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 4), &mode, |b, &mode| {
+            b.iter(|| {
+                let programs = compile_bitmap_query(&ds, 3, &config).unwrap();
+                let options = RuntimeOptions::default().with_shards(4).with_dispatch(mode);
+                black_box(run_batch(&config, programs, options).unwrap())
+            });
+        });
+    }
+    g.finish();
+
+    // Modeled throughput summary (not a wall-clock measurement): the
+    // §V-C story in one table.
+    println!("\nmodeled throughput (jobs per modeled microsecond):");
+    for mode in [DispatchMode::Circular, DispatchMode::SingleBank] {
+        for shards in [1usize, 2, 4, 8] {
+            let options = RuntimeOptions::default()
+                .with_shards(shards)
+                .with_dispatch(mode);
+            let (_, report) = serve_bitmap_query(&ds, 3, &config, options).unwrap();
+            println!(
+                "  {:?} shards={}: {:.2} jobs/us over {} modeled cycles",
+                mode, shards, report.stats.jobs_per_us, report.stats.makespan_cycles
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -19,7 +19,7 @@ use crate::mult::{MultStrategy, Multiplier};
 use crate::Result;
 use coruscant_mem::{Dbc, MemoryConfig, Row};
 use coruscant_racetrack::{Cost, CostMeter};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Closed-form cycle count of an `n`-bit multi-operand addition at a given
 /// TRD: operand placement plus a 2-cycle TR/write step per bit.
@@ -51,7 +51,7 @@ pub fn add_energy_pj(trd: usize, bits: usize) -> f64 {
 
 /// Measured costs of the CORUSCANT operation set at one TRD, produced by
 /// running the functional simulators (8-bit operands, as Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct MeasuredCosts {
     /// Transverse-read distance.
     pub trd: usize,
@@ -149,7 +149,7 @@ impl MeasuredCosts {
 
 /// One row of the paper's Table III (speed in cycles, energy in pJ, area
 /// in µm² at 32 nm).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Table3Entry {
     /// Operation label.
     pub unit: &'static str,

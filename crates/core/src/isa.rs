@@ -193,6 +193,47 @@ impl CpimInstr {
         })
     }
 
+    /// The bank this instruction occupies while it executes (schedulers
+    /// key their per-bank FIFOs on this).
+    pub fn target_bank(&self) -> usize {
+        self.src.location.bank
+    }
+
+    /// Coarse planning estimate of the internal operation latency in
+    /// device cycles at transverse-read distance `trd`, following the
+    /// paper's Table III anchors (2/5-op add = 19 cycles at TRD 3, 26 at
+    /// TRD 7; mult = 105 / 64). Schedulers use this to order issue before
+    /// the exact cost is known; functional execution reports the exact
+    /// cost afterwards.
+    pub fn estimated_device_cycles(&self, trd: usize) -> u64 {
+        let add = crate::cost_model::add_cycles(trd, self.blocksize.bits().min(64));
+        match self.opcode {
+            // One transverse read resolves the whole operand stack, plus
+            // the sense/write-back step.
+            CpimOpcode::And
+            | CpimOpcode::Nand
+            | CpimOpcode::Or
+            | CpimOpcode::Nor
+            | CpimOpcode::Xor
+            | CpimOpcode::Xnor
+            | CpimOpcode::Not => 3,
+            CpimOpcode::Add | CpimOpcode::Reduce => add,
+            CpimOpcode::Sub => add + 2,
+            CpimOpcode::Mult => {
+                if trd >= 7 {
+                    64
+                } else {
+                    105
+                }
+            }
+            // Bit-serial scans walk the block width.
+            CpimOpcode::Max | CpimOpcode::Min => self.blocksize.bits() as u64 + 2,
+            CpimOpcode::Relu => 2,
+            CpimOpcode::Vote => 3,
+            CpimOpcode::Copy => 4,
+        }
+    }
+
     fn encode_addr(a: RowAddress) -> u64 {
         // bank:5 | subarray:6 | tile:4 | dbc:4 | row:5 = 24 bits.
         ((a.location.bank as u64) << 19)

@@ -61,6 +61,7 @@ pub mod maxpool;
 pub mod mult;
 pub mod nmr;
 pub mod pimblock;
+pub mod program;
 pub mod relu;
 pub mod sense;
 pub mod shift_logic;

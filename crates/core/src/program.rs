@@ -1,0 +1,287 @@
+//! The PIM program/job model: a sequence of [`Step`]s (data loads, `cpim`
+//! instructions, result readouts) with explicit data placement.
+//!
+//! Programs are what clients hand to the execution runtime: the compiler
+//! (or a user) builds a [`PimProgram`], and either [`execute`] replays it
+//! on a fresh [`PimMachine`](crate::dispatch::PimMachine) or the
+//! `coruscant-runtime` scheduler retargets it onto a PIM unit and runs it
+//! bank-parallel (paper §V-C). Placement is first-class: a program can be
+//! [retargeted](PimProgram::retarget) onto any PIM-enabled DBC, and its
+//! [target banks](PimProgram::target_banks) tell the scheduler which bank
+//! FIFOs it occupies.
+
+use crate::dispatch::PimMachine;
+use crate::isa::CpimInstr;
+use crate::Result;
+use coruscant_mem::{DbcLocation, MemoryConfig, Row, RowAddress};
+use coruscant_racetrack::CostMeter;
+use serde::{Deserialize, Serialize};
+
+/// One program step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Load lane-packed values into a row before the next instruction.
+    Load {
+        /// Destination row.
+        addr: RowAddress,
+        /// Lane-packed values.
+        values: Vec<u64>,
+        /// Lane width in bits.
+        lane: usize,
+    },
+    /// Execute a `cpim` instruction.
+    Exec(CpimInstr),
+    /// Read a result row out and record it under a label.
+    Readout {
+        /// Result label.
+        label: String,
+        /// Source row.
+        addr: RowAddress,
+        /// Lane width for unpacking.
+        lane: usize,
+    },
+}
+
+impl Step {
+    /// The DBC this step touches (the source DBC for instructions).
+    pub fn target(&self) -> DbcLocation {
+        match self {
+            Step::Load { addr, .. } | Step::Readout { addr, .. } => addr.location,
+            Step::Exec(i) => i.src.location,
+        }
+    }
+
+    /// The same step re-placed onto `location`, preserving row offsets.
+    /// Instruction destinations move with the source.
+    pub fn retarget(&self, location: DbcLocation) -> Step {
+        let mv = |a: &RowAddress| RowAddress::new(location, a.row);
+        match self {
+            Step::Load { addr, values, lane } => Step::Load {
+                addr: mv(addr),
+                values: values.clone(),
+                lane: *lane,
+            },
+            Step::Exec(i) => {
+                let mut i = *i;
+                i.src = mv(&i.src);
+                i.dst = i.dst.map(|d| mv(&d));
+                Step::Exec(i)
+            }
+            Step::Readout { label, addr, lane } => Step::Readout {
+                label: label.clone(),
+                addr: mv(addr),
+                lane: *lane,
+            },
+        }
+    }
+}
+
+/// A compiled PIM program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PimProgram {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl PimProgram {
+    /// Number of `cpim` instructions in the program.
+    pub fn instruction_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Exec(_)))
+            .count()
+    }
+
+    /// Whether the program has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The program with every step re-placed onto `location` (data
+    /// placement: operands, instructions, and readouts move together so
+    /// the program runs self-contained on one PIM unit).
+    #[must_use]
+    pub fn retarget(&self, location: DbcLocation) -> PimProgram {
+        PimProgram {
+            steps: self.steps.iter().map(|s| s.retarget(location)).collect(),
+        }
+    }
+
+    /// The distinct banks this program's steps touch, ascending.
+    pub fn target_banks(&self) -> Vec<usize> {
+        let mut banks: Vec<usize> = self.steps.iter().map(|s| s.target().bank).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        banks
+    }
+
+    /// Coarse planning estimate of the program's internal PIM latency in
+    /// device cycles (the sum of its instructions' estimates; loads and
+    /// readouts are data movement accounted at the controller).
+    pub fn estimated_device_cycles(&self, trd: usize) -> u64 {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Exec(i) => Some(i.estimated_device_cycles(trd)),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Encodes the instruction stream to its 64-bit trace form (loads and
+    /// readouts are data movement, not instructions).
+    pub fn encode_instructions(&self) -> Vec<u64> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Exec(i) => Some(i.encode()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Decodes a trace back into instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an ISA error on malformed words.
+    pub fn decode_instructions(words: &[u64]) -> Result<Vec<CpimInstr>> {
+        words.iter().map(|&w| CpimInstr::decode(w)).collect()
+    }
+}
+
+/// The outcome of executing a program.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProgramOutcome {
+    /// Labeled readouts, in program order.
+    pub outputs: Vec<(String, Vec<u64>)>,
+    /// Total device cycles across the instructions.
+    pub device_cycles: u64,
+    /// Controller completion time (memory cycles).
+    pub completion: u64,
+}
+
+/// Executes a program on a fresh machine.
+///
+/// # Errors
+///
+/// Propagates placement and execution errors.
+pub fn execute(program: &PimProgram, config: &MemoryConfig) -> Result<ProgramOutcome> {
+    let mut machine = PimMachine::new(config.clone());
+    execute_on(program, &mut machine)
+}
+
+/// Executes a program on an existing machine (the runtime's shard
+/// executors reuse one machine across many programs).
+///
+/// # Errors
+///
+/// Propagates placement and execution errors.
+pub fn execute_on(program: &PimProgram, machine: &mut PimMachine) -> Result<ProgramOutcome> {
+    let mut meter = CostMeter::new();
+    let width = machine.controller().config().nanowires_per_dbc;
+    let mut outputs = Vec::new();
+    let mut device_cycles = 0;
+    let mut completion = 0;
+    for step in &program.steps {
+        match step {
+            Step::Load { addr, values, lane } => {
+                let row = Row::pack(width, *lane, values);
+                machine
+                    .controller_mut()
+                    .store_row(*addr, &row, &mut meter)?;
+            }
+            Step::Exec(instr) => {
+                let out = machine.execute(instr)?;
+                device_cycles += out.cost.cycles;
+                completion = completion.max(out.completion);
+            }
+            Step::Readout { label, addr, lane } => {
+                let row = machine.controller_mut().load_row(*addr, &mut meter)?;
+                outputs.push((label.clone(), row.unpack(*lane)));
+            }
+        }
+    }
+    Ok(ProgramOutcome {
+        outputs,
+        device_cycles,
+        completion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BlockSize, CpimOpcode};
+
+    fn sample_program(loc: DbcLocation) -> PimProgram {
+        let bs = BlockSize::new(8).unwrap();
+        PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(loc, 4),
+                    values: vec![3; 8],
+                    lane: 8,
+                },
+                Step::Load {
+                    addr: RowAddress::new(loc, 5),
+                    values: vec![4; 8],
+                    lane: 8,
+                },
+                Step::Exec(
+                    CpimInstr::new(
+                        CpimOpcode::Add,
+                        RowAddress::new(loc, 4),
+                        2,
+                        bs,
+                        Some(RowAddress::new(loc, 20)),
+                    )
+                    .unwrap(),
+                ),
+                Step::Readout {
+                    label: "sum".into(),
+                    addr: RowAddress::new(loc, 20),
+                    lane: 8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn retarget_moves_every_step() {
+        let src = DbcLocation::new(0, 0, 0, 0);
+        let dst = DbcLocation::new(1, 0, 0, 0);
+        let p = sample_program(src).retarget(dst);
+        assert_eq!(p.target_banks(), vec![1]);
+        for step in &p.steps {
+            assert_eq!(step.target(), dst);
+        }
+        // Instruction destination moved with the source.
+        let Step::Exec(i) = &p.steps[2] else {
+            panic!("expected exec")
+        };
+        assert_eq!(i.dst.unwrap().location, dst);
+        assert_eq!(i.dst.unwrap().row, 20, "row offsets preserved");
+    }
+
+    #[test]
+    fn retargeted_program_computes_the_same_result() {
+        let config = MemoryConfig::tiny();
+        let a = execute(&sample_program(DbcLocation::new(0, 0, 0, 0)), &config).unwrap();
+        let b = execute(
+            &sample_program(DbcLocation::new(0, 0, 0, 0)).retarget(DbcLocation::new(1, 0, 0, 0)),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.outputs[0].1[0], 7);
+        assert_eq!(a.device_cycles, b.device_cycles);
+    }
+
+    #[test]
+    fn estimated_cycles_are_positive_for_instructions() {
+        let p = sample_program(DbcLocation::new(0, 0, 0, 0));
+        assert!(p.estimated_device_cycles(7) > 0);
+        assert_eq!(PimProgram::default().estimated_device_cycles(7), 0);
+    }
+}

@@ -22,6 +22,7 @@ use crate::rowbuffer::RowBuffer;
 use crate::timing::DeviceTiming;
 use crate::Result;
 use coruscant_racetrack::{Cost, CostMeter};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A request presented to the memory controller.
@@ -44,7 +45,7 @@ pub enum Request {
 }
 
 /// Aggregate statistics of a controller run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ControllerStats {
     /// Requests serviced.
     pub requests: u64,
@@ -63,7 +64,7 @@ pub struct ControllerStats {
 }
 
 /// Per-bank load distribution of a run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BankStats {
     /// Requests serviced per bank.
     pub requests: Vec<u64>,
@@ -175,6 +176,34 @@ impl MemoryController {
     /// Per-bank load distribution so far.
     pub fn bank_stats(&self) -> &BankStats {
         &self.bank_stats
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.bank_free.len()
+    }
+
+    /// The memory cycle at which `bank` finishes its outstanding work
+    /// (`<= now` means idle). Schedulers use this to pick the least-loaded
+    /// bank and to predict queueing before submitting.
+    pub fn bank_free_at(&self, bank: usize) -> u64 {
+        self.bank_free[bank]
+    }
+
+    /// Per-bank completion times of outstanding work, indexed by bank.
+    pub fn bank_occupancy(&self) -> &[u64] {
+        &self.bank_free
+    }
+
+    /// Whether `bank` is still servicing work at the current time.
+    pub fn bank_busy(&self, bank: usize) -> bool {
+        self.bank_free[bank] > self.now
+    }
+
+    /// Number of banks with outstanding work at the current time.
+    pub fn busy_bank_count(&self) -> usize {
+        let now = self.now;
+        self.bank_free.iter().filter(|&&t| t > now).count()
     }
 
     /// Converts device cycles (1 ns) to memory cycles (1.25 ns), rounding
@@ -555,6 +584,90 @@ mod tests {
         let bs = c.bank_stats();
         assert_eq!(bs.hottest().unwrap().0, 0);
         assert!(bs.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn hottest_bank_edge_cases() {
+        // No banks at all.
+        let empty = BankStats::default();
+        assert_eq!(empty.hottest(), None);
+        assert_eq!(empty.imbalance(), 1.0);
+
+        // A single bank is trivially the hottest.
+        let single = BankStats {
+            requests: vec![17],
+            busy_cycles: vec![40],
+        };
+        assert_eq!(single.hottest(), Some((0, 17)));
+        assert!((single.imbalance() - 1.0).abs() < 1e-12);
+
+        // Ties resolve to one of the tied banks with the tied count.
+        let tied = BankStats {
+            requests: vec![5, 9, 9, 2],
+            busy_cycles: vec![0; 4],
+        };
+        let (bank, n) = tied.hottest().unwrap();
+        assert_eq!(n, 9);
+        assert!(bank == 1 || bank == 2, "tied bank {bank}");
+
+        // Banks present but no traffic: a zero count from one of the
+        // (all-tied) banks; `max_by_key` resolves ties to the last.
+        let idle = BankStats {
+            requests: vec![0, 0],
+            busy_cycles: vec![0, 0],
+        };
+        assert_eq!(idle.hottest(), Some((1, 0)));
+        assert_eq!(idle.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn stats_roundtrip_through_serde() {
+        let mut c = ctrl();
+        let row_bytes = (c.config().nanowires_per_dbc / 8) as u64;
+        for i in 0..10u64 {
+            c.submit(Request::Read(i * row_bytes)).unwrap();
+        }
+        c.submit(Request::Pim {
+            location: DbcLocation::new(0, 0, 0, 0),
+            device_cycles: 26,
+            energy_pj: 22.14,
+        })
+        .unwrap();
+
+        let stats = *c.stats();
+        let json = serde::json::to_string(&stats);
+        let back: ControllerStats = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+
+        let bank_stats = c.bank_stats().clone();
+        let json = serde::json::to_string(&bank_stats);
+        let back: BankStats = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, bank_stats);
+    }
+
+    #[test]
+    fn bank_occupancy_queries_track_outstanding_work() {
+        let mut c = ctrl();
+        assert_eq!(c.bank_count(), c.config().banks);
+        assert_eq!(c.busy_bank_count(), 0);
+
+        let loc = DbcLocation::new(0, 0, 0, 0);
+        let done = c
+            .submit(Request::Pim {
+                location: loc,
+                device_cycles: 26,
+                energy_pj: 0.0,
+            })
+            .unwrap();
+        assert!(c.bank_busy(0));
+        assert!(!c.bank_busy(1));
+        assert_eq!(c.bank_free_at(0), done);
+        assert_eq!(c.bank_occupancy()[0], done);
+        assert_eq!(c.busy_bank_count(), 1);
+
+        c.advance(done);
+        assert!(!c.bank_busy(0));
+        assert_eq!(c.busy_bank_count(), 0);
     }
 
     #[test]

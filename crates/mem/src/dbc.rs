@@ -55,7 +55,14 @@ impl Dbc {
             .into_iter()
             .enumerate()
             .map(|(i, w)| {
-                w.with_fault_injector(FaultInjector::new(config, seed.wrapping_add(i as u64)))
+                // Spread per-wire seeds across the u64 space: adjacent
+                // integer seeds would collide with adjacent wire indices
+                // (seed s wire i+1 == seed s+1 wire i), correlating fault
+                // streams between nearby campaign trials.
+                w.with_fault_injector(FaultInjector::new(
+                    config,
+                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ))
             })
             .collect();
         self

@@ -260,6 +260,27 @@ mod tests {
     }
 
     #[test]
+    fn trace_file_roundtrip_replays_identically() {
+        let config = cfg();
+        let trace = Trace::strided(&config, 300, 2);
+
+        // Serialize to a file and load it back.
+        let json = serde::json::to_string(&trace);
+        let path = std::env::temp_dir().join("coruscant_trace_roundtrip.json");
+        std::fs::write(&path, &json).unwrap();
+        let loaded: Trace =
+            serde::json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+
+        // The reloaded trace drives the replayer to identical results.
+        let a = replay(&trace, &mut MemoryController::new(config.clone())).unwrap();
+        let b = replay(&loaded, &mut MemoryController::new(config)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.requests, 300);
+    }
+
+    #[test]
     fn trace_accessors() {
         let config = cfg();
         let trace = Trace::strided(&config, 64, 3);

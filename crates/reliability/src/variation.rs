@@ -16,14 +16,14 @@
 //! reliability, DRAM PIM's performance advantage disappears") can be
 //! evaluated quantitatively.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Nominal MTJ process variation the paper's analysis assumes (4%).
 pub const NOMINAL_VARIATION: f64 = 0.04;
 
 /// A log-linear fault-rate curve: `rate(v) = anchor_rate ×
 /// 10^(slope × (v − anchor_var))` with variation `v` as a fraction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FaultCurve {
     /// Scheme label.
     pub name: &'static str,

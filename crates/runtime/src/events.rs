@@ -1,0 +1,119 @@
+//! Optional JSONL event trace of a runtime session.
+//!
+//! Each event is one JSON object on its own line — `submit`, `issue`, and
+//! `complete` records carrying the job id, bank, and modeled times — so a
+//! session can be replayed or inspected with standard line-oriented
+//! tooling.
+
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Event {
+    /// A job entered the queue.
+    Submit {
+        /// Job id.
+        job: u64,
+    },
+    /// The scheduler issued a job to a worker.
+    Issue {
+        /// Job id.
+        job: u64,
+        /// Issue sequence number.
+        seq: u64,
+        /// Resolved bank.
+        bank: usize,
+        /// Worker shard the job went to.
+        shard: usize,
+    },
+    /// A job completed, with its modeled times.
+    Complete {
+        /// Job id.
+        job: u64,
+        /// Resolved bank.
+        bank: usize,
+        /// Memory cycles waited before starting.
+        wait: u64,
+        /// Modeled completion time (memory cycles).
+        done: u64,
+    },
+}
+
+/// A thread-safe JSONL sink.
+#[derive(Debug)]
+pub struct EventTrace {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl EventTrace {
+    /// Creates (truncates) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<EventTrace> {
+        Ok(EventTrace {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one event as a JSON line. I/O errors are swallowed — the
+    /// trace is diagnostics, not a correctness surface.
+    pub fn record(&self, event: &Event) {
+        let line = serde::json::to_string(event);
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{line}");
+    }
+
+    /// Flushes buffered events to disk.
+    pub fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl Drop for EventTrace {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_written_one_json_object_per_line() {
+        let path = std::env::temp_dir().join("coruscant_runtime_events_test.jsonl");
+        {
+            let trace = EventTrace::create(&path).unwrap();
+            trace.record(&Event::Submit { job: 1 });
+            trace.record(&Event::Issue {
+                job: 1,
+                seq: 0,
+                bank: 3,
+                shard: 1,
+            });
+            trace.record(&Event::Complete {
+                job: 1,
+                bank: 3,
+                wait: 0,
+                done: 21,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("Submit"));
+        assert!(lines[1].contains("\"bank\":3"));
+        assert!(lines[2].contains("\"done\":21"));
+        // Every line parses back as a JSON value.
+        for line in lines {
+            serde::json::parse(line).unwrap();
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Jobs: programs plus placement, and what the runtime reports back.
+
+use coruscant_core::program::PimProgram;
+use coruscant_mem::DbcLocation;
+use serde::Serialize;
+
+/// Where a job's program should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// The scheduler picks the next PIM unit in circular-bank order
+    /// (paper §V-C high-throughput dispatch) — or a single fixed unit
+    /// when the runtime runs in single-bank mode.
+    #[default]
+    Auto,
+    /// Run on the `idx`-th PIM unit (bank-major indexing, see
+    /// [`MemoryController::pim_unit`](coruscant_mem::MemoryController::pim_unit)).
+    Unit(usize),
+    /// Run on an explicit DBC.
+    Fixed(DbcLocation),
+}
+
+/// One unit of work: a program to run at some placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PimJob {
+    /// Runtime-assigned id, returned by `submit`.
+    pub id: u64,
+    /// The program (addresses are relative to its compiled placement; the
+    /// scheduler retargets them onto the chosen unit).
+    pub program: PimProgram,
+    /// Requested placement.
+    pub placement: Placement,
+}
+
+/// The completion record of one job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobOutcome {
+    /// The job's id.
+    pub job_id: u64,
+    /// Issue sequence number the scheduler assigned (circular-bank order).
+    pub seq: u64,
+    /// The PIM unit the job ran on.
+    pub unit: DbcLocation,
+    /// The bank that unit occupies.
+    pub bank: usize,
+    /// Labeled readouts, in program order.
+    pub outputs: Vec<(String, Vec<u64>)>,
+    /// Internal PIM latency of the job's instructions, device cycles.
+    pub device_cycles: u64,
+    /// Memory cycles the job waited for its bank (and bus) before its
+    /// first instruction started.
+    pub wait_cycles: u64,
+    /// Modeled completion time, memory cycles — as accounted by the
+    /// runtime's [`MemoryController`](coruscant_mem::MemoryController).
+    pub completion: u64,
+}

@@ -1,0 +1,682 @@
+//! The CORUSCANT execution runtime: a request-serving engine over the
+//! functional PIM stack.
+//!
+//! The paper's high-throughput dispatch mode (§V-C) observes that a PIM
+//! command occupies only its target bank for the internal operation
+//! latency, so a stream of `cpim` commands issued to *different* banks in
+//! a circular fashion overlaps those latencies — the controller issues
+//! one command per bus cycle while every bank computes in parallel. This
+//! crate builds the serving layer around that idea:
+//!
+//! * **Jobs** — a [`PimProgram`] plus a [`Placement`], submitted through
+//!   a bounded [`JobQueue`] that applies backpressure to open-loop
+//!   clients.
+//! * **Scheduling** — the [`BankScheduler`] resolves each job to a PIM
+//!   unit, decodes its target bank, keeps per-bank FIFO queues, and
+//!   issues in circular-bank order so consecutive issues hit different
+//!   banks (§V-C).
+//! * **Execution** — worker threads (*shards*) each own a
+//!   [`PimMachine`](coruscant_core::dispatch::PimMachine); banks are
+//!   partitioned across shards (`bank % shards`), so same-bank jobs stay
+//!   ordered while different banks also run concurrently on the host.
+//! * **Accounting** — workers report each instruction's measured device
+//!   cost, and one [`MemoryController`] replays them in issue order, so
+//!   the modeled completion times are exactly what sequential controller
+//!   accounting produces: different banks overlap, same-bank jobs
+//!   serialize.
+//! * **Observability** — serializable [`RuntimeStats`] with per-bank
+//!   occupancy, queue-depth and wait-time histograms, plus an optional
+//!   JSONL [event trace](events::EventTrace).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod job;
+pub mod queue;
+pub mod sched;
+pub mod stats;
+
+pub use job::{JobOutcome, PimJob, Placement};
+pub use queue::{JobQueue, PushError};
+pub use sched::{BankScheduler, DispatchMode};
+pub use stats::{BankOccupancy, Histogram, RuntimeStats};
+
+use coruscant_core::dispatch::PimMachine;
+use coruscant_core::program::{PimProgram, Step};
+use coruscant_core::PimError;
+use coruscant_mem::controller::Request;
+use coruscant_mem::{DbcLocation, MemoryConfig, MemoryController, Row};
+use coruscant_racetrack::{Cost, CostMeter};
+use events::{Event, EventTrace};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A job failed during execution (first failure in issue order).
+    Pim(PimError),
+    /// The job queue was closed before the submission.
+    QueueClosed,
+    /// A worker or scheduler thread disappeared (panicked) mid-run.
+    WorkerLost,
+    /// The event-trace file could not be created.
+    Trace(std::io::Error),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Pim(e) => write!(f, "job execution failed: {e}"),
+            RuntimeError::QueueClosed => write!(f, "job queue closed"),
+            RuntimeError::WorkerLost => write!(f, "worker thread lost"),
+            RuntimeError::Trace(e) => write!(f, "event trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Pim(e) => Some(e),
+            RuntimeError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PimError> for RuntimeError {
+    fn from(e: PimError) -> RuntimeError {
+        RuntimeError::Pim(e)
+    }
+}
+
+impl From<coruscant_mem::MemError> for RuntimeError {
+    fn from(e: coruscant_mem::MemError) -> RuntimeError {
+        RuntimeError::Pim(PimError::from(e))
+    }
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Worker threads; banks are partitioned `bank % shards`. Clamped to
+    /// `1..=banks`.
+    pub shards: usize,
+    /// Bounded job-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Placement policy for [`Placement::Auto`] jobs.
+    pub dispatch: DispatchMode,
+    /// When set, a JSONL event trace is written here.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> RuntimeOptions {
+        RuntimeOptions {
+            shards: 4,
+            queue_capacity: 64,
+            dispatch: DispatchMode::Circular,
+            trace_path: None,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Options with a given shard count, defaults elsewhere.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> RuntimeOptions {
+        self.shards = shards;
+        self
+    }
+
+    /// Options with a given dispatch mode, defaults elsewhere.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> RuntimeOptions {
+        self.dispatch = dispatch;
+        self
+    }
+}
+
+/// What the scheduler sends each worker.
+struct WorkMsg {
+    seq: u64,
+    job_id: u64,
+    unit: DbcLocation,
+    program: PimProgram,
+}
+
+/// What a worker reports back.
+struct DoneMsg {
+    seq: u64,
+    job_id: u64,
+    unit: DbcLocation,
+    outputs: Vec<(String, Vec<u64>)>,
+    instr_costs: Vec<Cost>,
+    error: Option<PimError>,
+}
+
+/// What the scheduler thread hands back on shutdown.
+struct SchedulerOutput {
+    depth_hist: Histogram,
+    issued: u64,
+}
+
+/// The report a finished session produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Per-job completion records, ordered by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// Aggregate statistics.
+    pub stats: RuntimeStats,
+}
+
+/// The request-serving engine. Create with [`Runtime::new`], feed it with
+/// [`Runtime::submit`], and call [`Runtime::finish`] to drain, join the
+/// workers, and collect the report.
+pub struct Runtime {
+    config: MemoryConfig,
+    queue: Arc<JobQueue<PimJob>>,
+    next_id: AtomicU64,
+    scheduler: Option<JoinHandle<SchedulerOutput>>,
+    workers: Vec<JoinHandle<()>>,
+    done_rx: mpsc::Receiver<DoneMsg>,
+    trace: Option<Arc<EventTrace>>,
+    shards: usize,
+}
+
+impl Runtime {
+    /// Starts the runtime: spawns the scheduler thread and one worker per
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Trace`] if the trace file cannot be
+    /// created.
+    pub fn new(config: MemoryConfig, options: RuntimeOptions) -> Result<Runtime, RuntimeError> {
+        let shards = options.shards.clamp(1, config.banks);
+        let queue = Arc::new(JobQueue::new(options.queue_capacity));
+        let trace = match &options.trace_path {
+            Some(path) => Some(Arc::new(
+                EventTrace::create(path).map_err(RuntimeError::Trace)?,
+            )),
+            None => None,
+        };
+
+        let (done_tx, done_rx) = mpsc::channel::<DoneMsg>();
+        let mut work_txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<WorkMsg>();
+            work_txs.push(tx);
+            let done = done_tx.clone();
+            let cfg = config.clone();
+            workers.push(std::thread::spawn(move || worker_loop(&cfg, &rx, &done)));
+        }
+        drop(done_tx);
+
+        let scheduler = {
+            let queue = Arc::clone(&queue);
+            let cfg = config.clone();
+            let trace = trace.clone();
+            let dispatch = options.dispatch;
+            std::thread::spawn(move || scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace))
+        };
+
+        Ok(Runtime {
+            config,
+            queue,
+            next_id: AtomicU64::new(0),
+            scheduler: Some(scheduler),
+            workers,
+            done_rx,
+            trace,
+            shards,
+        })
+    }
+
+    /// The memory configuration the runtime serves.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure).
+    /// Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::QueueClosed`] after [`Runtime::finish`].
+    pub fn submit(&self, program: PimProgram, placement: Placement) -> Result<u64, RuntimeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Submit { job: id });
+        }
+        self.queue
+            .push(PimJob {
+                id,
+                program,
+                placement,
+            })
+            .map_err(|_| RuntimeError::QueueClosed)?;
+        Ok(id)
+    }
+
+    /// Submits without blocking. A refused program is dropped — clients
+    /// that want to retry keep their own clone.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the queue is at capacity (shed load or
+    /// retry), [`PushError::Closed`] after [`Runtime::finish`].
+    pub fn try_submit(&self, program: PimProgram, placement: Placement) -> Result<u64, PushError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.queue.try_push(PimJob {
+            id,
+            program,
+            placement,
+        })?;
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Submit { job: id });
+        }
+        Ok(id)
+    }
+
+    /// Closes the queue, drains all pending work, joins the scheduler and
+    /// workers, replays the timing accounting, and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job error in issue order, or
+    /// [`RuntimeError::WorkerLost`] if a worker panicked.
+    pub fn finish(mut self) -> Result<RuntimeReport, RuntimeError> {
+        self.queue.close();
+        let sched_out = self
+            .scheduler
+            .take()
+            .expect("scheduler joined only once")
+            .join()
+            .map_err(|_| RuntimeError::WorkerLost)?;
+
+        // Workers exit once the scheduler drops their channels; the
+        // completion stream ends when the last worker hangs up.
+        let mut completions: Vec<DoneMsg> = self.done_rx.iter().collect();
+        for w in self.workers.drain(..) {
+            w.join().map_err(|_| RuntimeError::WorkerLost)?;
+        }
+        if completions.len() as u64 != sched_out.issued {
+            return Err(RuntimeError::WorkerLost);
+        }
+        completions.sort_by_key(|c| c.seq);
+
+        // Timing accounting: replay every instruction's measured device
+        // cost through one MemoryController in issue order — the same
+        // accounting a sequential dispatcher would produce, so bank
+        // conflicts serialize and distinct banks overlap.
+        let mut timing = MemoryController::new(self.config.clone());
+        let mut outcomes = Vec::with_capacity(completions.len());
+        let mut wait_hist = Histogram::new();
+        let mut per_bank: Vec<BankOccupancy> = (0..self.config.banks)
+            .map(|bank| BankOccupancy {
+                bank,
+                ..BankOccupancy::default()
+            })
+            .collect();
+        let mut instructions = 0u64;
+        let mut device_cycles = 0u64;
+        for c in completions {
+            if let Some(err) = c.error {
+                return Err(RuntimeError::Pim(err));
+            }
+            let bank = c.unit.bank;
+            let wait = timing.bank_free_at(bank).saturating_sub(timing.now());
+            let mut done = 0;
+            let mut job_device = 0;
+            for cost in &c.instr_costs {
+                let t = timing.submit(Request::Pim {
+                    location: c.unit,
+                    device_cycles: cost.cycles,
+                    energy_pj: cost.energy_pj,
+                })?;
+                done = done.max(t);
+                job_device += cost.cycles;
+            }
+            instructions += c.instr_costs.len() as u64;
+            device_cycles += job_device;
+            wait_hist.record(wait);
+            per_bank[bank].jobs += 1;
+            per_bank[bank].wait_cycles += wait;
+            if let Some(trace) = &self.trace {
+                trace.record(&Event::Complete {
+                    job: c.job_id,
+                    bank,
+                    wait,
+                    done,
+                });
+            }
+            outcomes.push(JobOutcome {
+                job_id: c.job_id,
+                seq: c.seq,
+                unit: c.unit,
+                bank,
+                outputs: c.outputs,
+                device_cycles: job_device,
+                wait_cycles: wait,
+                completion: done,
+            });
+        }
+        let makespan = timing.drain();
+        for (bank, busy) in timing.bank_stats().busy_cycles.iter().enumerate() {
+            per_bank[bank].busy_cycles = *busy;
+        }
+        outcomes.sort_by_key(|o| o.job_id);
+
+        let jobs = outcomes.len() as u64;
+        let modeled_us = makespan as f64 * self.config.memory_cycle_ns / 1000.0;
+        let stats = RuntimeStats {
+            jobs,
+            instructions,
+            shards: self.shards,
+            makespan_cycles: makespan,
+            device_cycles,
+            jobs_per_us: if modeled_us > 0.0 {
+                jobs as f64 / modeled_us
+            } else {
+                0.0
+            },
+            per_bank,
+            queue_depth: sched_out.depth_hist,
+            wait: wait_hist,
+            controller: *timing.stats(),
+            bank_stats: timing.bank_stats().clone(),
+        };
+        if let Some(trace) = &self.trace {
+            trace.flush();
+        }
+        Ok(RuntimeReport { outcomes, stats })
+    }
+}
+
+/// Convenience: run a batch of [`Placement::Auto`] programs through a
+/// fresh runtime and return the report.
+///
+/// # Errors
+///
+/// Propagates runtime and job errors.
+pub fn run_batch(
+    config: &MemoryConfig,
+    programs: Vec<PimProgram>,
+    options: RuntimeOptions,
+) -> Result<RuntimeReport, RuntimeError> {
+    let runtime = Runtime::new(config.clone(), options)?;
+    for program in programs {
+        runtime.submit(program, Placement::Auto)?;
+    }
+    runtime.finish()
+}
+
+fn scheduler_loop(
+    config: &MemoryConfig,
+    queue: &JobQueue<PimJob>,
+    work_txs: &[mpsc::Sender<WorkMsg>],
+    dispatch: DispatchMode,
+    trace: Option<Arc<EventTrace>>,
+) -> SchedulerOutput {
+    // A controller used only for PIM-unit geometry (bank-major indexing).
+    let units = MemoryController::new(config.clone());
+    let unit_count = units.pim_unit_count();
+    let shards = work_txs.len();
+    let mut sched = BankScheduler::new(config.banks);
+    let mut place_cursor = 0usize;
+    let mut issued = 0u64;
+    let mut batch = Vec::new();
+
+    while let Some(first) = queue.pop() {
+        batch.clear();
+        batch.push(first);
+        queue.drain_ready(&mut batch);
+
+        // Resolve placement and enqueue into the per-bank FIFOs.
+        for job in batch.drain(..) {
+            let unit = match job.placement {
+                Placement::Auto => match dispatch {
+                    DispatchMode::Circular => {
+                        // Bank-major unit indexing: consecutive jobs land
+                        // on consecutive banks (§V-C).
+                        let u = units.pim_unit(place_cursor % unit_count);
+                        place_cursor += 1;
+                        u
+                    }
+                    DispatchMode::SingleBank => units.pim_unit(0),
+                },
+                Placement::Unit(idx) => units.pim_unit(idx % unit_count),
+                Placement::Fixed(loc) => loc,
+            };
+            let retargeted = PimJob {
+                id: job.id,
+                program: job.program.retarget(unit),
+                placement: job.placement,
+            };
+            sched.enqueue(retargeted, unit.bank);
+        }
+
+        // Issue everything in circular-bank order; route each job to the
+        // shard owning its bank so same-bank jobs stay ordered.
+        while let Some(issue) = sched.issue_next() {
+            let shard = issue.bank % shards;
+            let unit = issue
+                .job
+                .program
+                .steps
+                .first()
+                .map_or_else(|| units.pim_unit(issue.bank), Step::target);
+            if let Some(trace) = &trace {
+                trace.record(&Event::Issue {
+                    job: issue.job.id,
+                    seq: issue.seq,
+                    bank: issue.bank,
+                    shard,
+                });
+            }
+            issued += 1;
+            // A send only fails if the worker panicked; the missing
+            // completion is detected in finish().
+            let _ = work_txs[shard].send(WorkMsg {
+                seq: issue.seq,
+                job_id: issue.job.id,
+                unit,
+                program: issue.job.program,
+            });
+        }
+    }
+
+    SchedulerOutput {
+        depth_hist: sched.depth_histogram().clone(),
+        issued,
+    }
+}
+
+fn worker_loop(config: &MemoryConfig, rx: &mpsc::Receiver<WorkMsg>, done: &mpsc::Sender<DoneMsg>) {
+    // Each shard owns a full machine; storage is sparse, so it only pays
+    // for the DBCs of the banks routed to it.
+    let mut machine = PimMachine::new(config.clone());
+    while let Ok(msg) = rx.recv() {
+        let mut outputs = Vec::new();
+        let mut instr_costs = Vec::new();
+        let error = run_program(&mut machine, &msg.program, &mut outputs, &mut instr_costs).err();
+        let _ = done.send(DoneMsg {
+            seq: msg.seq,
+            job_id: msg.job_id,
+            unit: msg.unit,
+            outputs,
+            instr_costs,
+            error,
+        });
+    }
+}
+
+/// Executes a program on a shard machine, collecting per-instruction
+/// device costs for the central timing replay.
+fn run_program(
+    machine: &mut PimMachine,
+    program: &PimProgram,
+    outputs: &mut Vec<(String, Vec<u64>)>,
+    instr_costs: &mut Vec<Cost>,
+) -> Result<(), PimError> {
+    let width = machine.controller().config().nanowires_per_dbc;
+    let mut meter = CostMeter::new();
+    for step in &program.steps {
+        match step {
+            Step::Load { addr, values, lane } => {
+                let row = Row::pack(width, *lane, values);
+                machine
+                    .controller_mut()
+                    .store_row(*addr, &row, &mut meter)?;
+            }
+            Step::Exec(instr) => {
+                let out = machine.execute(instr)?;
+                instr_costs.push(out.cost);
+            }
+            Step::Readout { label, addr, lane } => {
+                let row = machine.controller_mut().load_row(*addr, &mut meter)?;
+                outputs.push((label.clone(), row.unpack(*lane)));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+    use coruscant_mem::RowAddress;
+
+    fn single_add_program() -> PimProgram {
+        let loc = DbcLocation::new(0, 0, 0, 0);
+        let bs = BlockSize::new(8).unwrap();
+        PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(loc, 4),
+                    values: vec![11; 8],
+                    lane: 8,
+                },
+                Step::Load {
+                    addr: RowAddress::new(loc, 5),
+                    values: vec![31; 8],
+                    lane: 8,
+                },
+                Step::Exec(
+                    CpimInstr::new(
+                        CpimOpcode::Add,
+                        RowAddress::new(loc, 4),
+                        2,
+                        bs,
+                        Some(RowAddress::new(loc, 20)),
+                    )
+                    .unwrap(),
+                ),
+                Step::Readout {
+                    label: "sum".into(),
+                    addr: RowAddress::new(loc, 20),
+                    lane: 8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn single_job_round_trips() {
+        let config = MemoryConfig::tiny();
+        let report = run_batch(
+            &config,
+            vec![single_add_program()],
+            RuntimeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        let out = &report.outcomes[0];
+        assert_eq!(out.outputs[0].1, vec![42; 8]);
+        assert!(out.completion > 0);
+        assert_eq!(out.wait_cycles, 0, "first job never waits");
+        assert_eq!(report.stats.jobs, 1);
+        assert_eq!(report.stats.instructions, 1);
+        assert!(report.stats.makespan_cycles >= out.completion);
+        assert!(report.stats.jobs_per_us > 0.0);
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_outcomes_ordered() {
+        let config = MemoryConfig::tiny();
+        let rt = Runtime::new(config, RuntimeOptions::default()).unwrap();
+        let ids: Vec<u64> = (0..6)
+            .map(|_| rt.submit(single_add_program(), Placement::Auto).unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        let report = rt.finish().unwrap();
+        let got: Vec<u64> = report.outcomes.iter().map(|o| o.job_id).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn submit_after_finish_is_rejected() {
+        let config = MemoryConfig::tiny();
+        let rt = Runtime::new(config, RuntimeOptions::default()).unwrap();
+        let queue = Arc::clone(&rt.queue);
+        rt.finish().unwrap();
+        assert_eq!(
+            queue.push(PimJob {
+                id: 0,
+                program: PimProgram::default(),
+                placement: Placement::Auto,
+            }),
+            Err(PushError::Closed)
+        );
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let config = MemoryConfig::tiny();
+        // A storage (non-PIM) DBC: execution must fail with NotPim.
+        let storage = DbcLocation::new(0, 0, 0, 2);
+        let bad = PimProgram {
+            steps: vec![Step::Exec(
+                CpimInstr::new(
+                    CpimOpcode::Or,
+                    RowAddress::new(storage, 0),
+                    2,
+                    BlockSize::new(8).unwrap(),
+                    None,
+                )
+                .unwrap(),
+            )],
+        };
+        let rt = Runtime::new(config, RuntimeOptions::default()).unwrap();
+        rt.submit(bad, Placement::Fixed(storage)).unwrap();
+        match rt.finish() {
+            Err(RuntimeError::Pim(PimError::NotPim)) => {}
+            other => panic!("expected NotPim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_queue_depth() {
+        let config = MemoryConfig::tiny();
+        let options = RuntimeOptions {
+            queue_capacity: 2,
+            ..RuntimeOptions::default()
+        };
+        let rt = Runtime::new(config, options).unwrap();
+        for _ in 0..16 {
+            rt.submit(single_add_program(), Placement::Auto).unwrap();
+        }
+        let depth = rt.queue.max_depth();
+        assert!(depth <= 2, "bounded queue never exceeded capacity: {depth}");
+        let report = rt.finish().unwrap();
+        assert_eq!(report.stats.jobs, 16);
+    }
+}

@@ -1,0 +1,225 @@
+//! A bounded multi-producer job queue with backpressure.
+//!
+//! Clients submit [`PimJob`](crate::job::PimJob)s through the queue; the
+//! scheduler thread drains it. When the queue is full, [`JobQueue::push`]
+//! blocks the submitting client until the scheduler catches up — the
+//! backpressure that keeps an open-loop client from buffering unbounded
+//! work — while [`JobQueue::try_push`] refuses instead, for clients that
+//! would rather shed load.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded blocking FIFO. `T` is the job type; the queue itself is
+/// generic so tests can drive it with plain integers.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    /// Signaled when an item is popped (space available).
+    space: Condvar,
+    /// Signaled when an item is pushed or the queue closes.
+    items: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue depth, for observability.
+    max_depth: usize,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (only from [`JobQueue::try_push`]).
+    Full,
+    /// The queue was closed; no more work is accepted.
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            space: Condvar::new(),
+            items: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has been.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().unwrap().max_depth
+    }
+
+    /// Enqueues a job, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.inner.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                state.max_depth = state.max_depth.max(state.items.len());
+                self.items.notify_one();
+                return Ok(());
+            }
+            state = self.space.wait(state).unwrap();
+        }
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] at capacity, [`PushError::Closed`]
+    /// after close.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.inner.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        state.max_depth = state.max_depth.max(state.items.len());
+        self.items.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.space.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.items.wait(state).unwrap();
+        }
+    }
+
+    /// Dequeues every job currently available without blocking (the
+    /// scheduler uses this to batch a burst into its bank FIFOs).
+    pub fn drain_ready(&self, into: &mut Vec<T>) {
+        let mut state = self.inner.lock().unwrap();
+        let had = !state.items.is_empty();
+        into.extend(state.items.drain(..));
+        if had {
+            self.space.notify_all();
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, and
+    /// blocked poppers wake up.
+    pub fn close(&self) {
+        let mut state = self.inner.lock().unwrap();
+        state.closed = true;
+        self.items.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = JobQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.max_depth(), 5);
+    }
+
+    #[test]
+    fn try_push_refuses_when_full() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        q.pop();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed));
+        assert_eq!(q.try_push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_space_frees() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(10u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(20).unwrap());
+        // Give the producer time to block against the full queue.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer is blocked, not enqueued");
+        assert_eq!(q.pop(), Some(10));
+        producer.join().unwrap();
+        assert_eq!(q.pop(), Some(20));
+    }
+
+    #[test]
+    fn drain_ready_takes_everything_available() {
+        let q = JobQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        q.drain_ready(&mut batch);
+        assert_eq!(batch, vec![0, 1, 2, 3, 4, 5]);
+        assert!(q.is_empty());
+        // Draining an empty queue is a no-op, not a block.
+        q.drain_ready(&mut batch);
+        assert_eq!(batch.len(), 6);
+    }
+}

@@ -1,0 +1,175 @@
+//! The bank-parallel scheduler: per-bank FIFOs issued in circular-bank
+//! order (paper §V-C).
+//!
+//! Jobs land in the FIFO of the bank their placement resolves to. Issue
+//! then walks the banks in a circular fashion — one job from each
+//! non-empty FIFO per sweep — so consecutive issues target *different*
+//! banks whenever possible and their internal PIM latencies overlap.
+//! Same-bank jobs stay FIFO within their queue and therefore serialize,
+//! exactly as the bank-occupancy model in the memory controller charges
+//! them.
+
+use crate::job::PimJob;
+use crate::stats::Histogram;
+use std::collections::VecDeque;
+
+/// How the runtime places `Placement::Auto` jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Successive jobs go to successive PIM units in bank-major order, so
+    /// consecutive jobs occupy different banks (high-throughput mode,
+    /// §V-C).
+    #[default]
+    Circular,
+    /// Every job goes to PIM unit 0 — the paper's low-cost baseline where
+    /// one bank serves all PIM traffic and operations serialize.
+    SingleBank,
+}
+
+/// A job bound to its resolved bank, carrying its issue sequence number
+/// once the scheduler emits it.
+#[derive(Debug)]
+pub struct IssuedJob {
+    /// Issue sequence number (global, dense from 0).
+    pub seq: u64,
+    /// The job, already retargeted to its unit.
+    pub job: PimJob,
+    /// Resolved bank.
+    pub bank: usize,
+}
+
+/// Per-bank FIFO queues plus the circular issue cursor.
+#[derive(Debug)]
+pub struct BankScheduler {
+    fifos: Vec<VecDeque<PimJob>>,
+    /// Next bank the circular sweep starts from.
+    cursor: usize,
+    /// Next issue sequence number.
+    next_seq: u64,
+    /// Queue depth observed at each enqueue.
+    depth_hist: Histogram,
+    pending: usize,
+}
+
+impl BankScheduler {
+    /// Creates a scheduler over `banks` bank queues.
+    pub fn new(banks: usize) -> BankScheduler {
+        BankScheduler {
+            fifos: (0..banks).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            next_seq: 0,
+            depth_hist: Histogram::new(),
+            pending: 0,
+        }
+    }
+
+    /// Jobs enqueued but not yet issued.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The distribution of per-bank queue depths sampled at enqueue time.
+    pub fn depth_histogram(&self) -> &Histogram {
+        &self.depth_hist
+    }
+
+    /// Adds a job to its bank's FIFO.
+    pub fn enqueue(&mut self, job: PimJob, bank: usize) {
+        let fifo = &mut self.fifos[bank];
+        fifo.push_back(job);
+        self.depth_hist.record(fifo.len() as u64);
+        self.pending += 1;
+    }
+
+    /// Issues the next job in circular-bank order: scan banks starting at
+    /// the cursor, take the head of the first non-empty FIFO, and advance
+    /// the cursor past that bank so the next issue prefers a *different*
+    /// bank.
+    pub fn issue_next(&mut self) -> Option<IssuedJob> {
+        let banks = self.fifos.len();
+        for off in 0..banks {
+            let bank = (self.cursor + off) % banks;
+            if let Some(job) = self.fifos[bank].pop_front() {
+                self.cursor = (bank + 1) % banks;
+                self.pending -= 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                return Some(IssuedJob { seq, job, bank });
+            }
+        }
+        None
+    }
+
+    /// Issues everything pending, in circular-bank order.
+    pub fn issue_all(&mut self) -> Vec<IssuedJob> {
+        let mut out = Vec::with_capacity(self.pending);
+        while let Some(issued) = self.issue_next() {
+            out.push(issued);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Placement;
+    use coruscant_core::program::PimProgram;
+
+    fn job(id: u64) -> PimJob {
+        PimJob {
+            id,
+            program: PimProgram::default(),
+            placement: Placement::Auto,
+        }
+    }
+
+    #[test]
+    fn circular_issue_interleaves_banks() {
+        let mut s = BankScheduler::new(4);
+        // Two jobs per bank on banks 0 and 1, one on bank 3.
+        s.enqueue(job(0), 0);
+        s.enqueue(job(1), 0);
+        s.enqueue(job(2), 1);
+        s.enqueue(job(3), 1);
+        s.enqueue(job(4), 3);
+        assert_eq!(s.pending(), 5);
+
+        let order: Vec<(u64, usize)> = s.issue_all().iter().map(|i| (i.job.id, i.bank)).collect();
+        // Sweep 1: bank 0 (job 0), bank 1 (job 2), bank 3 (job 4);
+        // sweep 2: bank 0 (job 1), bank 1 (job 3).
+        assert_eq!(order, vec![(0, 0), (2, 1), (4, 3), (1, 0), (3, 1)]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn same_bank_jobs_stay_fifo() {
+        let mut s = BankScheduler::new(2);
+        for id in 0..5 {
+            s.enqueue(job(id), 1);
+        }
+        let ids: Vec<u64> = s.issue_all().iter().map(|i| i.job.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_and_ordered() {
+        let mut s = BankScheduler::new(3);
+        for id in 0..7 {
+            s.enqueue(job(id), (id % 3) as usize);
+        }
+        let seqs: Vec<u64> = s.issue_all().iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_histogram_sees_queue_buildup() {
+        let mut s = BankScheduler::new(1);
+        for id in 0..4 {
+            s.enqueue(job(id), 0);
+        }
+        let h = s.depth_histogram();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Runtime observability: histograms, per-bank occupancy, and the
+//! serializable [`RuntimeStats`] roll-up.
+
+use coruscant_mem::controller::{BankStats, ControllerStats};
+use serde::Serialize;
+
+/// A power-of-two-bucket histogram of `u64` samples. Bucket `i` counts
+/// samples in `[2^(i-1), 2^i)` (bucket 0 counts zeros and ones), which
+/// keeps the serialized form compact at any dynamic range.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Histogram {
+    /// Bucket counts; index `i` covers values below `2^i` and at or above
+    /// `2^(i-1)`.
+    pub buckets: Vec<u64>,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One bank's share of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct BankOccupancy {
+    /// Bank index.
+    pub bank: usize,
+    /// Jobs that ran on this bank.
+    pub jobs: u64,
+    /// Busy (service) memory cycles the bank accumulated.
+    pub busy_cycles: u64,
+    /// Memory cycles jobs spent waiting for this bank before starting.
+    pub wait_cycles: u64,
+}
+
+/// Aggregate, serializable statistics of a runtime session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RuntimeStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// `cpim` instructions executed.
+    pub instructions: u64,
+    /// Worker shards the run used.
+    pub shards: usize,
+    /// Modeled end-to-end makespan in memory cycles (all banks drained).
+    pub makespan_cycles: u64,
+    /// Total internal PIM device cycles across all jobs.
+    pub device_cycles: u64,
+    /// Jobs per thousand modeled memory cycles ×1000 would overflow
+    /// nothing but stays integer-hostile; this is jobs per modeled
+    /// microsecond assuming the configured memory cycle time.
+    pub jobs_per_us: f64,
+    /// Per-bank occupancy, densest first.
+    pub per_bank: Vec<BankOccupancy>,
+    /// Distribution of per-bank scheduler queue depths at enqueue.
+    pub queue_depth: Histogram,
+    /// Distribution of per-job wait times (memory cycles).
+    pub wait: Histogram,
+    /// The timing controller's aggregate statistics.
+    pub controller: ControllerStats,
+    /// The timing controller's per-bank request distribution.
+    pub bank_stats: BankStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1025.0 / 8.0).abs() < 1e-9);
+        // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4,7 -> bucket 3;
+        // 8 -> bucket 4; 1000 -> bucket 10.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[3], 2);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let mut stats = RuntimeStats {
+            jobs: 3,
+            shards: 2,
+            ..RuntimeStats::default()
+        };
+        stats.wait.record(17);
+        let json = serde::json::to_string(&stats);
+        assert!(json.contains("\"jobs\":3"));
+        assert!(json.contains("\"queue_depth\""));
+        assert!(json.contains("\"buckets\""));
+    }
+}

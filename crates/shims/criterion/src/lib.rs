@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!` — backed by a simple wall-clock
+//! timer: a short warm-up, then timed batches until a measurement budget
+//! is spent, reporting the median ns/iteration to stdout.
+//!
+//! No statistics, plots, or saved baselines; the goal is that `cargo
+//! bench` runs and prints usable numbers in an offline build.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, printed `name/param`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A per-iteration work amount, used to report element/byte rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures and measures their time.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    ns_per_iter: f64,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: find how many iterations
+        // fit in ~1/10 of the budget.
+        let warmup_target = self.budget / 10;
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let t = start.elapsed();
+            if t >= warmup_target || batch >= 1 << 20 {
+                let per_iter = t.max(Duration::from_nanos(1)) / batch as u32;
+                batch = (warmup_target.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+                break;
+            }
+            batch *= 2;
+        }
+        // Timed batches.
+        let mut samples = Vec::new();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.budget && samples.len() < 64 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let t = start.elapsed();
+            samples.push(t.as_secs_f64() / batch as f64);
+            total += t;
+            iters += batch;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_sec = if b.ns_per_iter > 0.0 {
+        1e9 / b.ns_per_iter
+    } else {
+        f64::INFINITY
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" {:>14.1} elem/s", per_sec * n as f64),
+        Some(Throughput::Bytes(n)) => format!(" {:>14.1} B/s", per_sec * n as f64),
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<48} {:>14.1} ns/iter {:>14.1} iter/s{rate} ({} iters)",
+        b.ns_per_iter, per_sec, b.iters
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of the group's benchmarks, adding
+    /// an element/byte rate column to the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.criterion.bencher();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.criterion.bencher();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep runs quick: the shim targets "numbers in seconds", not
+        // statistical rigor. CRITERION_SHIM_MS overrides the per-bench
+        // measurement budget.
+        let ms = std::env::var("CRITERION_SHIM_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+            budget: self.budget,
+        }
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` under `name` outside any group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = self.bencher();
+        f(&mut b);
+        report(&name.to_string(), &b, None);
+        self
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group!(benches, bench_nothing);
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_SHIM_MS", "10");
+        benches();
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a minimal serde-compatible facade: the same `use serde::{Serialize,
+//! Deserialize}` imports and `#[derive(...)]` attributes work, backed by a
+//! JSON-style [`json::Value`] tree instead of serde's visitor machinery.
+//!
+//! The surface is deliberately small — exactly what this repository needs:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (value-tree based),
+//! * derive macros re-exported from the sibling `serde_derive` shim,
+//! * [`json::to_string`] / [`json::from_str`] for a real text round-trip.
+//!
+//! Integers round-trip exactly (`u64`/`i64` are kept out of `f64`), which
+//! the trace and stats snapshots rely on.
+
+// The derive macros emit `serde::`-rooted paths; alias this crate to its
+// own name so the derives also work in this crate's tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Serialization into the shim's JSON-style value tree.
+pub trait Serialize {
+    /// Converts `self` to a [`json::Value`].
+    fn to_value(&self) -> json::Value;
+}
+
+/// Deserialization from the shim's JSON-style value tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a [`json::Value`].
+    fn from_value(value: &json::Value) -> Result<Self, json::Error>;
+}
+
+/// Helpers used by the generated derive code.
+pub mod de {
+    use crate::json::{Error, Value};
+    use crate::Deserialize;
+
+    /// Looks up `name` in an object and deserializes it.
+    pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| T::from_value(v))
+                .unwrap_or_else(|| Err(Error::msg(format!("missing field `{name}`")))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Expects an array of exactly `n` items.
+    pub fn expect_array(value: &Value, n: usize) -> Result<&[Value], Error> {
+        match value {
+            Value::Array(items) if items.len() == n => Ok(items),
+            other => Err(Error::msg(format!(
+                "expected {n}-element array, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Expects `null` (unit structs).
+    pub fn expect_null(value: &Value) -> Result<(), Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::msg(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+// ---- Serialize / Deserialize implementations for primitives ----
+
+use json::{Error, Value};
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v.as_u64()?;
+        usize::try_from(n).map_err(|_| Error::msg(format!("{n} out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v.as_i64()?;
+        isize::try_from(n).map_err(|_| Error::msg(format!("{n} out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = de::expect_array(v, N)?;
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $( + { let _ = stringify!($name); 1 } )+;
+                let items = de::expect_array(v, N)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| {
+                    let pair = de::expect_array(item, 2)?;
+                    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                })
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected array of pairs, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        a: u64,
+        b: f64,
+        s: String,
+        v: Vec<u32>,
+        o: Option<i32>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        One(u64),
+        Pair(u8, bool),
+        Rec { x: i64, y: String },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u16);
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Plain {
+            a: u64::MAX,
+            b: -1.5e30,
+            s: "hi \"there\"\n".into(),
+            v: vec![1, 2, 3],
+            o: None,
+        };
+        let text = json::to_string(&p);
+        let back: Plain = json::from_str(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        for m in [
+            Mixed::Unit,
+            Mixed::One(9),
+            Mixed::Pair(3, true),
+            Mixed::Rec {
+                x: -7,
+                y: "s".into(),
+            },
+        ] {
+            let text = json::to_string(&m);
+            let back: Mixed = json::from_str(&text).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn newtype_roundtrip() {
+        let n = Newtype(512);
+        let back: Newtype = json::from_str(&json::to_string(&n)).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let v = vec![u64::MAX, u64::MAX - 1, 1 << 53];
+        let back: Vec<u64> = json::from_str(&json::to_string(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+}

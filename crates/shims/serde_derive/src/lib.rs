@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! (and its `syn`/`quote` dependency tree) cannot be fetched. This crate
+//! derives `Serialize`/`Deserialize` for the vendored `serde` facade in
+//! `crates/shims/serde`, which models data as a JSON-style `Value` tree.
+//!
+//! The parser is hand-rolled over `proc_macro::TokenStream` and supports
+//! the shapes this workspace uses: structs with named fields, tuple and
+//! unit structs, and enums whose variants are units (optionally with
+//! discriminants), tuples, or named-field records. Generic types are not
+//! supported and produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: named (`Some(name)`) or positional (`None`).
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T, U);` — arity recorded via the fields vec.
+    Tuple(Vec<Field>),
+    /// `struct S { a: T }`
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // Optional `(crate)` / `(super)` restriction group.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match it.next() {
+                None => Shape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                other => return Err(format!("unexpected struct body {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive serde for `{other}`")),
+    }
+}
+
+/// Parses `attr* vis? name : type ,`-separated named fields; only the
+/// names matter (serialization goes through trait method calls).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut angle: i32 = 0;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name: Some(name) });
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct fields (top-level comma-separated types).
+fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut angle: i32 = 0;
+    let mut saw_tokens = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                angle += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                angle -= 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle == 0 => {
+                fields.push(Field { name: None });
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        fields.push(Field { name: None });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let mut shape = Shape::Unit;
+        // Optional payload, discriminant, then the separating comma.
+        loop {
+            match it.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    // Discriminant: skip the expression until the comma.
+                    for tt in it.by_ref() {
+                        if let TokenTree::Punct(p) = tt {
+                            if p.as_char() == ',' {
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    shape = Shape::Tuple(parse_tuple_fields(g.stream()));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    shape = Shape::Named(parse_named_fields(g.stream())?);
+                }
+                other => return Err(format!("unexpected token in variant `{name}`: {other:?}")),
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn serialize_shape(receiver: &str, shape: &Shape, out: &mut String) {
+    match shape {
+        Shape::Unit => out.push_str("serde::json::Value::Null"),
+        Shape::Tuple(fields) => {
+            if fields.len() == 1 {
+                out.push_str(&format!("serde::Serialize::to_value(&{receiver}0)"));
+            } else {
+                out.push_str("serde::json::Value::Array(vec![");
+                for i in 0..fields.len() {
+                    out.push_str(&format!("serde::Serialize::to_value(&{receiver}{i}),"));
+                }
+                out.push_str("])");
+            }
+        }
+        Shape::Named(fields) => {
+            out.push_str("serde::json::Value::Object(vec![");
+            for f in fields {
+                let n = f.name.as_ref().unwrap();
+                out.push_str(&format!(
+                    "(\"{n}\".to_string(), serde::Serialize::to_value(&{receiver}{n})),"
+                ));
+            }
+            out.push_str("])");
+        }
+    }
+}
+
+fn derive_struct_serialize(name: &str, shape: &Shape) -> String {
+    let mut body = String::new();
+    serialize_shape("self.", shape, &mut body);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::json::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn derive_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("{{ serde::de::expect_null(value)?; Ok({name}) }}"),
+        Shape::Tuple(fields) => {
+            if fields.len() == 1 {
+                format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+            } else {
+                let mut s = format!(
+                    "{{ let items = serde::de::expect_array(value, {n})?;\nOk({name}(",
+                    n = fields.len()
+                );
+                for i in 0..fields.len() {
+                    s.push_str(&format!("serde::Deserialize::from_value(&items[{i}])?,"));
+                }
+                s.push_str(")) }");
+                s
+            }
+        }
+        Shape::Named(fields) => {
+            let mut s = format!("Ok({name} {{");
+            for f in fields {
+                let n = f.name.as_ref().unwrap();
+                s.push_str(&format!("{n}: serde::de::field(value, \"{n}\")?,"));
+            }
+            s.push_str("})");
+            s
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::json::Value) -> ::std::result::Result<Self, serde::json::Error> {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn derive_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => serde::json::Value::Str(\"{vn}\".to_string()),\n"
+            )),
+            Shape::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("f{i}")).collect();
+                let payload = if fields.len() == 1 {
+                    "serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::json::Value::Array(vec![{}])", items.join(","))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({bl}) => serde::json::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                    bl = binds.join(","),
+                ));
+            }
+            Shape::Named(fields) => {
+                let names: Vec<&str> = fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                let items: Vec<String> = names
+                    .iter()
+                    .map(|n| format!("(\"{n}\".to_string(), serde::Serialize::to_value({n}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {bl} }} => serde::json::Value::Object(vec![(\"{vn}\".to_string(), serde::json::Value::Object(vec![{il}]))]),\n",
+                    bl = names.join(","),
+                    il = items.join(","),
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::json::Value {{ match self {{ {arms} }} }}\n\
+         }}\n"
+    )
+}
+
+fn derive_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as a bare string; payload variants as a
+    // single-key object {"Variant": payload}.
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+            }
+            Shape::Tuple(fields) => {
+                let body = if fields.len() == 1 {
+                    format!("Ok({name}::{vn}(serde::Deserialize::from_value(payload)?))")
+                } else {
+                    let mut s = format!(
+                        "{{ let items = serde::de::expect_array(payload, {n})?; Ok({name}::{vn}(",
+                        n = fields.len()
+                    );
+                    for i in 0..fields.len() {
+                        s.push_str(&format!("serde::Deserialize::from_value(&items[{i}])?,"));
+                    }
+                    s.push_str(")) }");
+                    s
+                };
+                keyed_arms.push_str(&format!("\"{vn}\" => return {body},\n"));
+            }
+            Shape::Named(fields) => {
+                let mut s = format!("Ok({name}::{vn} {{");
+                for f in fields {
+                    let n = f.name.as_ref().unwrap();
+                    s.push_str(&format!("{n}: serde::de::field(payload, \"{n}\")?,"));
+                }
+                s.push_str("})");
+                keyed_arms.push_str(&format!("\"{vn}\" => return {s},\n"));
+            }
+        }
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::json::Value) -> ::std::result::Result<Self, serde::json::Error> {{\n\
+             match value {{\n\
+                 serde::json::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\n\
+                     other => Err(serde::json::Error::msg(format!(\"unknown {name} variant {{other}}\"))),\n\
+                 }},\n\
+                 serde::json::Value::Object(entries) if entries.len() == 1 => {{\n\
+                     let (key, payload) = (&entries[0].0, &entries[0].1);\n\
+                     #[allow(clippy::match_single_binding)]\n\
+                     match key.as_str() {{\n\
+                         {keyed_arms}\n\
+                         other => Err(serde::json::Error::msg(format!(\"unknown {name} variant {{other}}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 other => Err(serde::json::Error::msg(format!(\"bad {name} encoding: {{other:?}}\"))),\n\
+             }}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse().expect("derive produced invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the shim `serde::Serialize` (tree-building) implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, shape }) => emit(derive_struct_serialize(&name, &shape)),
+        Ok(Item::Enum { name, variants }) => emit(derive_enum_serialize(&name, &variants)),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` (tree-reading) implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, shape }) => emit(derive_struct_deserialize(&name, &shape)),
+        Ok(Item::Enum { name, variants }) => emit(derive_enum_deserialize(&name, &variants)),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -10,6 +10,9 @@
 //!   CORUSCANT PIM DBCs and analytically on the DRAM PIM baselines.
 //! * [`datagen`] — deterministic synthetic-data helpers shared by the
 //!   workloads.
+//! * [`serve`] — the workloads expressed as jobs for the
+//!   `coruscant-runtime` request-serving engine: bitmap-query chunks and
+//!   compiled matmul programs dispatched bank-parallel (§V-C).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,3 +22,4 @@ pub mod compile;
 pub mod datagen;
 pub mod memwall;
 pub mod polybench;
+pub mod serve;

@@ -1,0 +1,242 @@
+//! Serving the workloads through the execution runtime: the bitmap query
+//! and the matmul kernel expressed as [`PimProgram`] jobs submitted to
+//! [`coruscant_runtime::Runtime`].
+//!
+//! The bitmap query (§V-D) decomposes naturally into one job per
+//! DBC-width chunk of the bitmaps — a `(w + 1)`-operand bulk AND plus a
+//! result readout — and those chunks are exactly the independent
+//! bank-parallel work the paper's high-throughput dispatch overlaps
+//! (§V-C). The matmul front end submits one compiled program per matrix
+//! pair.
+
+use crate::bitmap::BitmapDataset;
+use crate::compile::{compile_matmul, fold_products, PimProgram, ProgramOutcome, Step};
+use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant_core::Result;
+use coruscant_mem::{DbcLocation, MemoryConfig, RowAddress};
+use coruscant_runtime::{run_batch, RuntimeError, RuntimeOptions, RuntimeReport};
+
+/// First operand row of a query-chunk program (clear of controller
+/// scratch conventions; retargeting preserves row offsets).
+const OPERAND_BASE: usize = 4;
+/// Result row of a query-chunk program.
+const RESULT_ROW: usize = 20;
+
+/// A dense row-major matrix of 64-bit words.
+pub type Matrix = Vec<Vec<u64>>;
+/// One multiplicand pair for [`serve_matmul_batch`].
+pub type MatrixPair = (Matrix, Matrix);
+
+/// Compiles the `w`-week bitmap query into one program per DBC-width
+/// chunk: load `w + 1` operand rows, resolve the conjunction with a
+/// single multi-operand AND (one transverse read), read the result row
+/// back for the population count.
+///
+/// # Errors
+///
+/// Returns an ISA error if `w + 1` operands exceed what one instruction
+/// encodes.
+pub fn compile_bitmap_query(
+    dataset: &BitmapDataset,
+    w: usize,
+    config: &MemoryConfig,
+) -> Result<Vec<PimProgram>> {
+    let operands = dataset.operands(w);
+    let width = config.nanowires_per_dbc;
+    let chunks = dataset.users().div_ceil(width);
+    let loc = DbcLocation::new(0, 0, 0, 0); // nominal; the scheduler retargets
+    let bs = BlockSize::new(64.min(width))?;
+
+    let mut programs = Vec::with_capacity(chunks);
+    for c in 0..chunks {
+        let mut steps = Vec::with_capacity(operands.len() + 2);
+        for (k, words) in operands.iter().enumerate() {
+            steps.push(Step::Load {
+                addr: RowAddress::new(loc, OPERAND_BASE + k),
+                values: chunk_words(words, c, width, dataset.users()),
+                lane: 64,
+            });
+        }
+        steps.push(Step::Exec(CpimInstr::new(
+            CpimOpcode::And,
+            RowAddress::new(loc, OPERAND_BASE),
+            operands.len() as u8,
+            bs,
+            Some(RowAddress::new(loc, RESULT_ROW)),
+        )?));
+        steps.push(Step::Readout {
+            label: format!("chunk{c}"),
+            addr: RowAddress::new(loc, RESULT_ROW),
+            lane: 64,
+        });
+        programs.push(PimProgram { steps });
+    }
+    Ok(programs)
+}
+
+/// The 64-bit words of one DBC-width chunk of a bitmap, with bits past
+/// `total_bits` masked off.
+fn chunk_words(words: &[u64], chunk: usize, width: usize, total_bits: usize) -> Vec<u64> {
+    let lanes = width.div_ceil(64);
+    (0..lanes)
+        .map(|lane| {
+            let mut out = 0u64;
+            for bit in 0..64 {
+                let global = chunk * width + lane * 64 + bit;
+                if global < total_bits && (words[global / 64] >> (global % 64)) & 1 == 1 {
+                    out |= 1 << bit;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Runs the `w`-week query through the runtime — one job per chunk,
+/// placed by the runtime's dispatch mode — and returns the matching-user
+/// count with the runtime report (modeled makespan, per-bank occupancy).
+///
+/// # Errors
+///
+/// Propagates compilation and runtime errors.
+pub fn serve_bitmap_query(
+    dataset: &BitmapDataset,
+    w: usize,
+    config: &MemoryConfig,
+    options: RuntimeOptions,
+) -> std::result::Result<(u64, RuntimeReport), RuntimeError> {
+    let programs = compile_bitmap_query(dataset, w, config).map_err(RuntimeError::Pim)?;
+    let report = run_batch(config, programs, options)?;
+    let count = report
+        .outcomes
+        .iter()
+        .flat_map(|o| &o.outputs)
+        .flat_map(|(_, words)| words)
+        .map(|w| w.count_ones() as u64)
+        .sum();
+    Ok((count, report))
+}
+
+/// Runs a batch of `n × n` matrix multiplies through the runtime — one
+/// job per pair — and returns the result matrices (in input order) with
+/// the report.
+///
+/// # Errors
+///
+/// Propagates compilation and runtime errors.
+pub fn serve_matmul_batch(
+    pairs: &[MatrixPair],
+    config: &MemoryConfig,
+    options: RuntimeOptions,
+) -> std::result::Result<(Vec<Matrix>, RuntimeReport), RuntimeError> {
+    let programs = pairs
+        .iter()
+        .map(|(a, b)| compile_matmul(a, b, config))
+        .collect::<Result<Vec<_>>>()
+        .map_err(RuntimeError::Pim)?;
+    let report = run_batch(config, programs, options)?;
+    let results = report
+        .outcomes
+        .iter()
+        .zip(pairs)
+        .map(|(out, (a, _))| {
+            let outcome = ProgramOutcome {
+                outputs: out.outputs.clone(),
+                device_cycles: out.device_cycles,
+                completion: out.completion,
+            };
+            fold_products(&outcome, a.len())
+        })
+        .collect();
+    Ok((results, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coruscant_runtime::DispatchMode;
+
+    #[test]
+    fn served_bitmap_query_matches_reference() {
+        let config = MemoryConfig::tiny();
+        let ds = BitmapDataset::generate(1000, 4, 42);
+        for w in 1..=4 {
+            let (count, report) =
+                serve_bitmap_query(&ds, w, &config, RuntimeOptions::default()).unwrap();
+            assert_eq!(count, ds.reference_count(w), "w={w}");
+            assert_eq!(report.stats.jobs as usize, 1000usize.div_ceil(64));
+        }
+    }
+
+    #[test]
+    fn circular_chunks_overlap_single_bank_serializes() {
+        let config = MemoryConfig::tiny(); // 2 banks
+        let ds = BitmapDataset::generate(1000, 3, 7);
+        let circular = serve_bitmap_query(
+            &ds,
+            3,
+            &config,
+            RuntimeOptions::default().with_dispatch(DispatchMode::Circular),
+        )
+        .unwrap()
+        .1;
+        let serial = serve_bitmap_query(
+            &ds,
+            3,
+            &config,
+            RuntimeOptions::default().with_dispatch(DispatchMode::SingleBank),
+        )
+        .unwrap()
+        .1;
+        assert!(
+            circular.stats.makespan_cycles < serial.stats.makespan_cycles,
+            "circular {} vs single-bank {}",
+            circular.stats.makespan_cycles,
+            serial.stats.makespan_cycles
+        );
+        let busy_banks = circular
+            .stats
+            .per_bank
+            .iter()
+            .filter(|b| b.jobs > 0)
+            .count();
+        assert_eq!(busy_banks, config.banks, "chunks spread over both banks");
+    }
+
+    #[test]
+    fn served_matmul_batch_matches_reference() {
+        let config = MemoryConfig::tiny();
+        let pairs: Vec<MatrixPair> = (0..4)
+            .map(|t| {
+                let n = 3;
+                let a = (0..n)
+                    .map(|i| {
+                        (0..n)
+                            .map(|j| ((t * 13 + i * 5 + j * 3) % 100) as u64)
+                            .collect()
+                    })
+                    .collect();
+                let b = (0..n)
+                    .map(|i| {
+                        (0..n)
+                            .map(|j| ((t * 11 + i * 7 + j * 2) % 100) as u64)
+                            .collect()
+                    })
+                    .collect();
+                (a, b)
+            })
+            .collect();
+        let (results, report) =
+            serve_matmul_batch(&pairs, &config, RuntimeOptions::default()).unwrap();
+        assert_eq!(report.stats.jobs, 4);
+        for (t, (a, b)) in pairs.iter().enumerate() {
+            let n = a.len();
+            for i in 0..n {
+                for j in 0..n {
+                    let want: u64 = (0..n).map(|k| a[i][k] * b[k][j]).sum();
+                    assert_eq!(results[t][i][j], want, "pair {t} C[{i}][{j}]");
+                }
+            }
+        }
+    }
+}

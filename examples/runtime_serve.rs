@@ -1,0 +1,51 @@
+//! Serving PIM jobs through the execution runtime: the bitmap query
+//! decomposed into bank-parallel chunk jobs, dispatched in the paper's
+//! circular-bank order (§V-C) versus forced onto a single bank.
+//!
+//! Run with: `cargo run --example runtime_serve`
+
+use coruscant::mem::MemoryConfig;
+use coruscant::runtime::{DispatchMode, RuntimeOptions};
+use coruscant::workloads::bitmap::BitmapDataset;
+use coruscant::workloads::serve::serve_bitmap_query;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MemoryConfig::tiny();
+    let users = 50_000;
+    let ds = BitmapDataset::generate(users, 4, 1);
+    println!("Dataset: {users} users, 4 weekly activity bitmaps");
+    println!(
+        "Geometry: {} banks, {} PIM units\n",
+        config.banks,
+        config.banks * config.subarrays_per_bank * config.tiles_per_subarray
+    );
+
+    let trace = std::env::temp_dir().join("runtime_serve_trace.jsonl");
+    for (mode, label) in [
+        (DispatchMode::Circular, "circular (§V-C)"),
+        (DispatchMode::SingleBank, "single-bank"),
+    ] {
+        let mut options = RuntimeOptions::default().with_dispatch(mode);
+        if mode == DispatchMode::Circular {
+            options.trace_path = Some(trace.clone());
+        }
+        let (count, report) = serve_bitmap_query(&ds, 3, &config, options)?;
+        assert_eq!(count, ds.reference_count(3), "PIM answer must be exact");
+        println!("{label}:");
+        println!(
+            "  {} jobs, {} matching users, makespan {} cycles, {:.2} jobs/us",
+            report.stats.jobs, count, report.stats.makespan_cycles, report.stats.jobs_per_us
+        );
+        for bank in &report.stats.per_bank {
+            println!(
+                "  bank {}: {:>4} jobs, {:>7} busy cycles, {:>7} wait cycles",
+                bank.bank, bank.jobs, bank.busy_cycles, bank.wait_cycles
+            );
+        }
+    }
+
+    let lines = std::fs::read_to_string(&trace)?.lines().count();
+    println!("\nEvent trace: {lines} JSONL events at {}", trace.display());
+    std::fs::remove_file(&trace).ok();
+    Ok(())
+}

@@ -14,6 +14,8 @@
 //! * [`baselines`] — Ambit, ELP²IM, DW-NN, SPIM, ISAAC and CPU models.
 //! * [`nn`] — the CNN case study (LeNet-5, AlexNet; full/BWN/TWN modes).
 //! * [`workloads`] — polybench kernel models and bitmap-index queries.
+//! * [`runtime`] — the request-serving execution runtime: job queue,
+//!   bank-parallel circular dispatch (§V-C), sharded executor, stats.
 //! * [`reliability`] — analytic fault rates, NMR math, Monte-Carlo.
 //!
 //! # Quickstart
@@ -47,4 +49,5 @@ pub use coruscant_mem as mem;
 pub use coruscant_nn as nn;
 pub use coruscant_racetrack as racetrack;
 pub use coruscant_reliability as reliability;
+pub use coruscant_runtime as runtime;
 pub use coruscant_workloads as workloads;

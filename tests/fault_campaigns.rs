@@ -106,7 +106,9 @@ fn empirical_rate_tracks_analytic_model() {
     let adder = MultiOperandAdder::new(&config);
     let p = 2e-3;
     let fault = FaultConfig::NONE.with_tr_fault_rate(p);
-    let operands: Vec<Row> = (1..=5u64).map(|k| Row::pack(64, 8, &[k * 37 % 256; 8])).collect();
+    let operands: Vec<Row> = (1..=5u64)
+        .map(|k| Row::pack(64, 8, &[k * 37 % 256; 8]))
+        .collect();
     let golden = MultiOperandAdder::reference(&operands, 8);
 
     let trials = 400;
