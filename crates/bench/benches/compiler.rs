@@ -1,0 +1,70 @@
+//! Criterion benches of the optimizing compiler: pipeline wall time over
+//! the bitmap pairwise-chain workload, plus a modeled-gains table showing
+//! estimated device cycles saved per pass (the §III-B fusion win and the
+//! shift-scheduling win, separately attributed).
+
+use coruscant_compiler::{CompileOptions, Compiler};
+use coruscant_mem::MemoryConfig;
+use coruscant_workloads::bitmap::BitmapDataset;
+use coruscant_workloads::serve::{compile_bitmap_query_with, QueryPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn config() -> MemoryConfig {
+    MemoryConfig::tiny()
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let config = config();
+    let ds = BitmapDataset::generate(16_000, 4, 11);
+    let w = 4;
+    let chains = compile_bitmap_query_with(&ds, w, &config, QueryPlan::PairwiseChain).unwrap();
+
+    // Pipeline wall time, with and without differential verification
+    // (verify executes every program twice on the functional path).
+    let mut g = c.benchmark_group("compiler_pipeline");
+    g.throughput(Throughput::Elements(chains.len() as u64));
+    for (name, options) in [
+        ("optimize", CompileOptions::default()),
+        (
+            "optimize_verify",
+            CompileOptions::default().with_verify(true),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, chains.len()), &options, |b, o| {
+            let compiler = Compiler::new(config.clone(), o);
+            b.iter(|| {
+                for p in &chains {
+                    black_box(compiler.optimize(p).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+
+    // Modeled gains (not a wall-clock measurement): per-pass cycles and
+    // shifts saved on one representative chain program.
+    let compiler = Compiler::new(config.clone(), &CompileOptions::default());
+    let (_, report) = compiler.optimize(&chains[0]).unwrap();
+    println!("\nper-pass modeled gains (w={w} bitmap chain, one chunk):");
+    for p in &report.passes {
+        println!(
+            "  {:<16} -{} est cycles, -{} est shifts, {} -> {} instrs",
+            p.pass,
+            p.cycles_saved(),
+            p.shifts_saved(),
+            p.before.instructions,
+            p.after.instructions
+        );
+    }
+    println!(
+        "  total: {:.1}% est device-cycle reduction ({} -> {})",
+        report.cycle_reduction() * 100.0,
+        report.before.est_device_cycles,
+        report.after.est_device_cycles
+    );
+    println!("{}", report.render_table());
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Differential verification: the optimized program must produce exactly
+//! the outputs of the original through the functional `execute()` path.
+//!
+//! This is the compiler's ground-truth invariant (DESIGN.md §5): for any
+//! program whose original form executes cleanly on a fresh machine, the
+//! optimized form executes cleanly too and yields an identical ordered
+//! `ProgramOutcome.outputs`. Cycle and completion counts are *expected*
+//! to differ — that is the optimization.
+
+use crate::CompileError;
+use coruscant_core::program::{execute, PimProgram};
+use coruscant_mem::MemoryConfig;
+
+/// The outcome of a differential check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Both programs executed and their outputs matched.
+    Match,
+    /// The original program itself failed to execute on a fresh machine
+    /// (e.g. it depends on pre-loaded state), so equivalence cannot be
+    /// judged this way.
+    OriginalFailed,
+}
+
+/// Executes both programs on fresh machines and compares their outputs.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Diverged`] when the optimized program errors
+/// or produces different outputs while the original executed cleanly.
+pub fn differential_verify(
+    original: &PimProgram,
+    optimized: &PimProgram,
+    config: &MemoryConfig,
+) -> Result<VerifyOutcome, CompileError> {
+    let reference = match execute(original, config) {
+        Ok(outcome) => outcome,
+        Err(_) => return Ok(VerifyOutcome::OriginalFailed),
+    };
+    let candidate = execute(optimized, config).map_err(|e| CompileError::Diverged {
+        detail: format!("optimized program failed where original succeeded: {e}"),
+    })?;
+    if candidate.outputs != reference.outputs {
+        return Err(CompileError::Diverged {
+            detail: format!(
+                "outputs differ: original {} readouts {:?}…, optimized {} readouts {:?}…",
+                reference.outputs.len(),
+                reference.outputs.first().map(|(l, _)| l),
+                candidate.outputs.len(),
+                candidate.outputs.first().map(|(l, _)| l),
+            ),
+        });
+    }
+    Ok(VerifyOutcome::Match)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coruscant_core::program::Step;
+    use coruscant_mem::{DbcLocation, RowAddress};
+
+    fn loc() -> DbcLocation {
+        DbcLocation::new(0, 0, 0, 0)
+    }
+
+    fn program(v: u64) -> PimProgram {
+        PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(loc(), 4),
+                    values: vec![v; 8],
+                    lane: 8,
+                },
+                Step::Readout {
+                    label: "x".into(),
+                    addr: RowAddress::new(loc(), 4),
+                    lane: 8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_programs_match() {
+        let config = MemoryConfig::tiny();
+        assert_eq!(
+            differential_verify(&program(7), &program(7), &config).unwrap(),
+            VerifyOutcome::Match
+        );
+    }
+
+    #[test]
+    fn divergent_programs_are_reported() {
+        let config = MemoryConfig::tiny();
+        let err = differential_verify(&program(7), &program(9), &config).unwrap_err();
+        assert!(matches!(err, CompileError::Diverged { .. }));
+    }
+
+    #[test]
+    fn failing_original_is_not_judged() {
+        let config = MemoryConfig::tiny();
+        let bad = PimProgram {
+            steps: vec![Step::Load {
+                addr: RowAddress::new(DbcLocation::new(99, 0, 0, 0), 4),
+                values: vec![1],
+                lane: 8,
+            }],
+        };
+        assert_eq!(
+            differential_verify(&bad, &program(1), &config).unwrap(),
+            VerifyOutcome::OriginalFailed
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end acceptance: the standard pipeline run over the bitmap
+//! bulk-bitwise chain (the conventional-PIM emission of the paper's §V-D
+//! query) must cut estimated device cycles by at least 10% via TR fusion,
+//! and the optimized program must be output-equivalent to the original.
+
+use coruscant_compiler::{differential_verify, CompileOptions, Compiler, VerifyOutcome};
+use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant_core::program::{PimProgram, Step};
+use coruscant_mem::{DbcLocation, MemoryConfig, RowAddress};
+
+const OPERAND_BASE: usize = 4;
+const RESULT_ROW: usize = 20;
+
+/// One bitmap-query chunk as a conventional bulk-bitwise PIM code
+/// generator emits it: load `n` operand bitmaps, fold them with a
+/// descending pairwise AND accumulator chain, read the result back.
+fn bitmap_chain(n: usize) -> PimProgram {
+    let loc = DbcLocation::new(0, 0, 0, 0);
+    let bs = BlockSize::new(64).unwrap();
+    let mut steps = Vec::new();
+    for k in 0..n {
+        steps.push(Step::Load {
+            addr: RowAddress::new(loc, OPERAND_BASE + k),
+            values: vec![0x5a5a_a5a5_0ff0_f00fu64.rotate_left(5 * k as u32)],
+            lane: 64,
+        });
+    }
+    for j in 0..n - 1 {
+        let src = OPERAND_BASE + n - 2 - j;
+        let dst = if j == n - 2 { RESULT_ROW } else { src };
+        steps.push(Step::Exec(
+            CpimInstr::new(
+                CpimOpcode::And,
+                RowAddress::new(loc, src),
+                2,
+                bs,
+                Some(RowAddress::new(loc, dst)),
+            )
+            .unwrap(),
+        ));
+    }
+    steps.push(Step::Readout {
+        label: "result".into(),
+        addr: RowAddress::new(loc, RESULT_ROW),
+        lane: 64,
+    });
+    PimProgram { steps }
+}
+
+#[test]
+fn bitmap_chain_gains_ten_percent_from_fusion() {
+    let config = MemoryConfig::tiny();
+    let compiler = Compiler::new(config.clone(), &CompileOptions::default().with_verify(true));
+    let program = bitmap_chain(5);
+
+    let (optimized, report) = compiler.optimize(&program).unwrap();
+    assert!(report.verified, "verification ran");
+    assert_eq!(
+        optimized.instruction_count(),
+        1,
+        "4-instruction chain fuses to one 5-operand TR"
+    );
+    assert!(
+        report.cycle_reduction() >= 0.10,
+        "acceptance floor: got {:.1}% ({} -> {} est cycles)",
+        report.cycle_reduction() * 100.0,
+        report.before.est_device_cycles,
+        report.after.est_device_cycles
+    );
+    let fusion = report
+        .passes
+        .iter()
+        .find(|p| p.pass == "tr-fusion")
+        .expect("fusion pass in report");
+    assert!(
+        fusion.cycles_saved() > 0,
+        "the gain is attributed to TR fusion"
+    );
+
+    // Independent of the pipeline's own verify flag: the optimized
+    // program is output-equivalent.
+    assert_eq!(
+        differential_verify(&program, &optimized, &config).unwrap(),
+        VerifyOutcome::Match
+    );
+}
+
+#[test]
+fn chain_lengths_up_to_trd_all_verify_and_gain() {
+    let config = MemoryConfig::tiny();
+    let compiler = Compiler::new(config.clone(), &CompileOptions::default().with_verify(true));
+    for n in 3..=7 {
+        let program = bitmap_chain(n);
+        let (optimized, report) = compiler.optimize(&program).unwrap();
+        assert_eq!(optimized.instruction_count(), 1, "n={n}");
+        assert!(report.cycle_reduction() >= 0.10, "n={n}");
+        assert_eq!(
+            differential_verify(&program, &optimized, &config).unwrap(),
+            VerifyOutcome::Match,
+            "n={n}"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! Programs are what clients hand to the execution runtime: the compiler
 //! (or a user) builds a [`PimProgram`], and either [`execute`] replays it
-//! on a fresh [`PimMachine`](crate::dispatch::PimMachine) or the
+//! on a fresh [`PimMachine`] or the
 //! `coruscant-runtime` scheduler retargets it onto a PIM unit and runs it
 //! bank-parallel (paper §V-C). Placement is first-class: a program can be
 //! [retargeted](PimProgram::retarget) onto any PIM-enabled DBC, and its
@@ -84,12 +84,21 @@ pub struct PimProgram {
 }
 
 impl PimProgram {
+    /// The program's `cpim` instructions in order, skipping loads and
+    /// readouts (data movement, not instructions). The single source of
+    /// truth behind [`instruction_count`](PimProgram::instruction_count),
+    /// [`estimated_device_cycles`](PimProgram::estimated_device_cycles)
+    /// and [`encode_instructions`](PimProgram::encode_instructions).
+    pub fn instructions(&self) -> impl Iterator<Item = &CpimInstr> {
+        self.steps.iter().filter_map(|s| match s {
+            Step::Exec(i) => Some(i),
+            _ => None,
+        })
+    }
+
     /// Number of `cpim` instructions in the program.
     pub fn instruction_count(&self) -> usize {
-        self.steps
-            .iter()
-            .filter(|s| matches!(s, Step::Exec(_)))
-            .count()
+        self.instructions().count()
     }
 
     /// Whether the program has no steps.
@@ -119,25 +128,15 @@ impl PimProgram {
     /// device cycles (the sum of its instructions' estimates; loads and
     /// readouts are data movement accounted at the controller).
     pub fn estimated_device_cycles(&self, trd: usize) -> u64 {
-        self.steps
-            .iter()
-            .filter_map(|s| match s {
-                Step::Exec(i) => Some(i.estimated_device_cycles(trd)),
-                _ => None,
-            })
+        self.instructions()
+            .map(|i| i.estimated_device_cycles(trd))
             .sum()
     }
 
     /// Encodes the instruction stream to its 64-bit trace form (loads and
     /// readouts are data movement, not instructions).
     pub fn encode_instructions(&self) -> Vec<u64> {
-        self.steps
-            .iter()
-            .filter_map(|s| match s {
-                Step::Exec(i) => Some(i.encode()),
-                _ => None,
-            })
-            .collect()
+        self.instructions().map(|i| i.encode()).collect()
     }
 
     /// Decodes a trace back into instructions.
@@ -283,5 +282,48 @@ mod tests {
         let p = sample_program(DbcLocation::new(0, 0, 0, 0));
         assert!(p.estimated_device_cycles(7) > 0);
         assert_eq!(PimProgram::default().estimated_device_cycles(7), 0);
+    }
+
+    #[test]
+    fn program_estimate_is_pinned_to_instruction_estimates() {
+        // The program-level estimate must stay the sum of the
+        // instruction-level estimates for every opcode and TRD — the two
+        // views share one instruction iterator and must never drift.
+        use CpimOpcode::*;
+        let loc = DbcLocation::new(0, 0, 0, 0);
+        let bs = BlockSize::new(8).unwrap();
+        let steps: Vec<Step> = [
+            And, Nand, Or, Nor, Xor, Xnor, Not, Add, Reduce, Mult, Max, Relu, Vote, Copy, Sub, Min,
+        ]
+        .into_iter()
+        .map(|op| {
+            let operands = match op {
+                Not | Relu | Copy => 1,
+                Vote => 3,
+                _ => 2,
+            };
+            Step::Exec(
+                CpimInstr::new(
+                    op,
+                    RowAddress::new(loc, 4),
+                    operands,
+                    bs,
+                    Some(RowAddress::new(loc, 20)),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+        let program = PimProgram { steps };
+        for trd in [3, 5, 7] {
+            let per_instr: u64 = program
+                .instructions()
+                .map(|i| i.estimated_device_cycles(trd))
+                .sum();
+            assert_eq!(program.estimated_device_cycles(trd), per_instr, "trd={trd}");
+            assert!(per_instr > 0);
+        }
+        assert_eq!(program.instruction_count(), 16);
+        assert_eq!(program.encode_instructions().len(), 16);
     }
 }

@@ -3,6 +3,7 @@
 use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
 use coruscant_core::mult::{csd_digits, csd_terms};
 use coruscant_core::pimblock::PimBlock;
+use coruscant_core::program::{PimProgram, Step};
 use coruscant_core::relu::{lane_as_signed, relu_reference};
 use coruscant_core::sense::SenseLevels;
 use coruscant_core::shift_logic::shift_row_left;
@@ -86,6 +87,50 @@ proptest! {
         let instr = CpimInstr::new(opcode, src, operands, bs, dst).unwrap();
         let decoded = CpimInstr::decode(instr.encode()).unwrap();
         prop_assert_eq!(decoded, instr);
+    }
+
+    /// A whole program's instruction stream survives the 64-bit trace
+    /// round-trip: `encode_instructions` drops loads and readouts, and
+    /// `decode_instructions` reproduces exactly the `Exec` instructions
+    /// in program order.
+    #[test]
+    fn program_trace_roundtrip(
+        opcodes in proptest::collection::vec(0u8..=15, 0..12),
+        salt: u64,
+    ) {
+        let loc = DbcLocation::new(1, 2, 3, 4);
+        let mut steps = Vec::new();
+        for (i, &ob) in opcodes.iter().enumerate() {
+            let mix = salt.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let row = (mix % 25) as usize;
+            let operands = ((mix >> 8) % 7 + 1) as u8;
+            let bs = BlockSize::new(1 << ((mix >> 16) % 7 + 3)).unwrap();
+            let dst = ((mix >> 24) & 1 == 1)
+                .then(|| RowAddress::new(loc, ((mix >> 25) % 32) as usize));
+            if (mix >> 32) & 3 == 0 {
+                steps.push(Step::Load {
+                    addr: RowAddress::new(loc, row),
+                    values: vec![mix],
+                    lane: 64,
+                });
+            }
+            let opcode = CpimOpcode::from_bits(ob).unwrap();
+            steps.push(Step::Exec(
+                CpimInstr::new(opcode, RowAddress::new(loc, row), operands, bs, dst).unwrap(),
+            ));
+            if (mix >> 34) & 3 == 0 {
+                steps.push(Step::Readout {
+                    label: format!("r{i}"),
+                    addr: RowAddress::new(loc, row),
+                    lane: 64,
+                });
+            }
+        }
+        let program = PimProgram { steps };
+        prop_assert_eq!(program.instruction_count(), opcodes.len());
+        let decoded = PimProgram::decode_instructions(&program.encode_instructions()).unwrap();
+        let instrs: Vec<CpimInstr> = program.instructions().copied().collect();
+        prop_assert_eq!(decoded, instrs);
     }
 
     /// Sense levels are monotone threshold outputs for any count/span.

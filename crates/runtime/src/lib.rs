@@ -16,9 +16,14 @@
 //!   issues in circular-bank order so consecutive issues hit different
 //!   banks (§V-C).
 //! * **Execution** — worker threads (*shards*) each own a
-//!   [`PimMachine`](coruscant_core::dispatch::PimMachine); banks are
+//!   [`coruscant_core::dispatch::PimMachine`]; banks are
 //!   partitioned across shards (`bank % shards`), so same-bank jobs stay
 //!   ordered while different banks also run concurrently on the host.
+//! * **Compilation** — submitted programs are rewritten by the
+//!   `coruscant-compiler` pass pipeline on enqueue (TR fusion, dead-step
+//!   elimination, shift-minimizing scheduling), controlled by
+//!   [`RuntimeOptions::compile`]; the differential verifier can be
+//!   enabled there to prove every optimized job output-equivalent.
 //! * **Accounting** — workers report each instruction's measured device
 //!   cost, and one [`MemoryController`] replays them in issue order, so
 //!   the modeled completion times are exactly what sequential controller
@@ -37,11 +42,13 @@ pub mod queue;
 pub mod sched;
 pub mod stats;
 
+pub use coruscant_compiler::CompileOptions;
 pub use job::{JobOutcome, PimJob, Placement};
 pub use queue::{JobQueue, PushError};
 pub use sched::{BankScheduler, DispatchMode};
 pub use stats::{BankOccupancy, Histogram, RuntimeStats};
 
+use coruscant_compiler::{CompileError, Compiler};
 use coruscant_core::dispatch::PimMachine;
 use coruscant_core::program::{PimProgram, Step};
 use coruscant_core::PimError;
@@ -60,6 +67,9 @@ use std::thread::JoinHandle;
 pub enum RuntimeError {
     /// A job failed during execution (first failure in issue order).
     Pim(PimError),
+    /// The on-enqueue compiler rejected a job (pass failure or
+    /// differential-verification divergence).
+    Compile(CompileError),
     /// The job queue was closed before the submission.
     QueueClosed,
     /// A worker or scheduler thread disappeared (panicked) mid-run.
@@ -72,6 +82,7 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Pim(e) => write!(f, "job execution failed: {e}"),
+            RuntimeError::Compile(e) => write!(f, "job compilation failed: {e}"),
             RuntimeError::QueueClosed => write!(f, "job queue closed"),
             RuntimeError::WorkerLost => write!(f, "worker thread lost"),
             RuntimeError::Trace(e) => write!(f, "event trace: {e}"),
@@ -83,6 +94,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Pim(e) => Some(e),
+            RuntimeError::Compile(e) => Some(e),
             RuntimeError::Trace(e) => Some(e),
             _ => None,
         }
@@ -111,6 +123,10 @@ pub struct RuntimeOptions {
     pub queue_capacity: usize,
     /// Placement policy for [`Placement::Auto`] jobs.
     pub dispatch: DispatchMode,
+    /// On-enqueue program optimization (pass pipeline and differential
+    /// verification); [`CompileOptions::disabled`] submits programs
+    /// verbatim.
+    pub compile: CompileOptions,
     /// When set, a JSONL event trace is written here.
     pub trace_path: Option<PathBuf>,
 }
@@ -121,6 +137,7 @@ impl Default for RuntimeOptions {
             shards: 4,
             queue_capacity: 64,
             dispatch: DispatchMode::Circular,
+            compile: CompileOptions::default(),
             trace_path: None,
         }
     }
@@ -138,6 +155,13 @@ impl RuntimeOptions {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> RuntimeOptions {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Options with given compile options, defaults elsewhere.
+    #[must_use]
+    pub fn with_compile(mut self, compile: CompileOptions) -> RuntimeOptions {
+        self.compile = compile;
         self
     }
 }
@@ -187,6 +211,10 @@ pub struct Runtime {
     done_rx: mpsc::Receiver<DoneMsg>,
     trace: Option<Arc<EventTrace>>,
     shards: usize,
+    compiler: Compiler,
+    optimized_jobs: AtomicU64,
+    instructions_eliminated: AtomicU64,
+    est_device_cycles_saved: AtomicU64,
 }
 
 impl Runtime {
@@ -227,6 +255,7 @@ impl Runtime {
             std::thread::spawn(move || scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace))
         };
 
+        let compiler = Compiler::new(config.clone(), &options.compile);
         Ok(Runtime {
             config,
             queue,
@@ -236,7 +265,25 @@ impl Runtime {
             done_rx,
             trace,
             shards,
+            compiler,
+            optimized_jobs: AtomicU64::new(0),
+            instructions_eliminated: AtomicU64::new(0),
+            est_device_cycles_saved: AtomicU64::new(0),
         })
+    }
+
+    /// Runs a program through the on-enqueue compiler, accumulating the
+    /// optimization counters.
+    fn compile(&self, program: PimProgram) -> Result<PimProgram, CompileError> {
+        let (optimized, report) = self.compiler.optimize(&program)?;
+        if report.instructions_saved() > 0 || report.cycles_saved() > 0 {
+            self.optimized_jobs.fetch_add(1, Ordering::Relaxed);
+            self.instructions_eliminated
+                .fetch_add(report.instructions_saved(), Ordering::Relaxed);
+            self.est_device_cycles_saved
+                .fetch_add(report.cycles_saved(), Ordering::Relaxed);
+        }
+        Ok(optimized)
     }
 
     /// The memory configuration the runtime serves.
@@ -251,6 +298,7 @@ impl Runtime {
     ///
     /// Returns [`RuntimeError::QueueClosed`] after [`Runtime::finish`].
     pub fn submit(&self, program: PimProgram, placement: Placement) -> Result<u64, RuntimeError> {
+        let program = self.compile(program).map_err(RuntimeError::Compile)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Some(trace) = &self.trace {
             trace.record(&Event::Submit { job: id });
@@ -266,13 +314,19 @@ impl Runtime {
     }
 
     /// Submits without blocking. A refused program is dropped — clients
-    /// that want to retry keep their own clone.
+    /// that want to retry keep their own clone. A program the compiler
+    /// rejects is submitted *unoptimized* (the error, if real, surfaces
+    /// at execution).
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] when the queue is at capacity (shed load or
     /// retry), [`PushError::Closed`] after [`Runtime::finish`].
     pub fn try_submit(&self, program: PimProgram, placement: Placement) -> Result<u64, PushError> {
+        let program = match self.compile(program.clone()) {
+            Ok(optimized) => optimized,
+            Err(_) => program,
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.queue.try_push(PimJob {
             id,
@@ -380,6 +434,9 @@ impl Runtime {
             jobs,
             instructions,
             shards: self.shards,
+            optimized_jobs: self.optimized_jobs.load(Ordering::Relaxed),
+            instructions_eliminated: self.instructions_eliminated.load(Ordering::Relaxed),
+            est_device_cycles_saved: self.est_device_cycles_saved.load(Ordering::Relaxed),
             makespan_cycles: makespan,
             device_cycles,
             jobs_per_us: if modeled_us > 0.0 {

@@ -80,6 +80,13 @@ pub struct RuntimeStats {
     pub instructions: u64,
     /// Worker shards the run used.
     pub shards: usize,
+    /// Jobs the on-enqueue compiler changed (fusion, elimination, or
+    /// estimated-cycle reduction).
+    pub optimized_jobs: u64,
+    /// Instructions the compiler removed across all submitted jobs.
+    pub instructions_eliminated: u64,
+    /// Estimated device cycles the compiler removed across all jobs.
+    pub est_device_cycles_saved: u64,
     /// Modeled end-to-end makespan in memory cycles (all banks drained).
     pub makespan_cycles: u64,
     /// Total internal PIM device cycles across all jobs.

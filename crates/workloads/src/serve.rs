@@ -27,19 +27,36 @@ pub type Matrix = Vec<Vec<u64>>;
 /// One multiplicand pair for [`serve_matmul_batch`].
 pub type MatrixPair = (Matrix, Matrix);
 
+/// How the bitmap-query conjunction is emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryPlan {
+    /// One multi-operand AND resolves the whole conjunction in a single
+    /// transverse read (CORUSCANT-native emission, §III-B).
+    #[default]
+    Fused,
+    /// A pairwise accumulator chain, one 2-operand AND per week — the
+    /// instruction stream a conventional bulk-bitwise PIM (Ambit-style)
+    /// code generator produces. The chain folds *downward* (each step
+    /// accumulates in place, consuming operand rows top to bottom) so the
+    /// placement residue each bulk op leaves lands only on rows already
+    /// consumed. The `coruscant-compiler` TR-fusion pass collapses this
+    /// back to the fused form.
+    PairwiseChain,
+}
+
 /// Compiles the `w`-week bitmap query into one program per DBC-width
-/// chunk: load `w + 1` operand rows, resolve the conjunction with a
-/// single multi-operand AND (one transverse read), read the result row
-/// back for the population count.
+/// chunk: load `w + 1` operand rows, resolve the conjunction per `plan`,
+/// read the result row back for the population count.
 ///
 /// # Errors
 ///
 /// Returns an ISA error if `w + 1` operands exceed what one instruction
 /// encodes.
-pub fn compile_bitmap_query(
+pub fn compile_bitmap_query_with(
     dataset: &BitmapDataset,
     w: usize,
     config: &MemoryConfig,
+    plan: QueryPlan,
 ) -> Result<Vec<PimProgram>> {
     let operands = dataset.operands(w);
     let width = config.nanowires_per_dbc;
@@ -57,13 +74,34 @@ pub fn compile_bitmap_query(
                 lane: 64,
             });
         }
-        steps.push(Step::Exec(CpimInstr::new(
-            CpimOpcode::And,
-            RowAddress::new(loc, OPERAND_BASE),
-            operands.len() as u8,
-            bs,
-            Some(RowAddress::new(loc, RESULT_ROW)),
-        )?));
+        match plan {
+            QueryPlan::Fused => {
+                steps.push(Step::Exec(CpimInstr::new(
+                    CpimOpcode::And,
+                    RowAddress::new(loc, OPERAND_BASE),
+                    operands.len() as u8,
+                    bs,
+                    Some(RowAddress::new(loc, RESULT_ROW)),
+                )?));
+            }
+            QueryPlan::PairwiseChain => {
+                // Fold rows pairwise from the top down, accumulating in
+                // place so each op's placement residue only hits rows
+                // already consumed; the last pair lands on the result row.
+                let n = operands.len();
+                for j in 0..n - 1 {
+                    let src = OPERAND_BASE + n - 2 - j;
+                    let dst = if j == n - 2 { RESULT_ROW } else { src };
+                    steps.push(Step::Exec(CpimInstr::new(
+                        CpimOpcode::And,
+                        RowAddress::new(loc, src),
+                        2,
+                        bs,
+                        Some(RowAddress::new(loc, dst)),
+                    )?));
+                }
+            }
+        }
         steps.push(Step::Readout {
             label: format!("chunk{c}"),
             addr: RowAddress::new(loc, RESULT_ROW),
@@ -72,6 +110,20 @@ pub fn compile_bitmap_query(
         programs.push(PimProgram { steps });
     }
     Ok(programs)
+}
+
+/// [`compile_bitmap_query_with`] using the native fused plan.
+///
+/// # Errors
+///
+/// Returns an ISA error if `w + 1` operands exceed what one instruction
+/// encodes.
+pub fn compile_bitmap_query(
+    dataset: &BitmapDataset,
+    w: usize,
+    config: &MemoryConfig,
+) -> Result<Vec<PimProgram>> {
+    compile_bitmap_query_with(dataset, w, config, QueryPlan::Fused)
 }
 
 /// The 64-bit words of one DBC-width chunk of a bitmap, with bits past
@@ -105,7 +157,26 @@ pub fn serve_bitmap_query(
     config: &MemoryConfig,
     options: RuntimeOptions,
 ) -> std::result::Result<(u64, RuntimeReport), RuntimeError> {
-    let programs = compile_bitmap_query(dataset, w, config).map_err(RuntimeError::Pim)?;
+    serve_bitmap_query_with(dataset, w, config, options, QueryPlan::Fused)
+}
+
+/// [`serve_bitmap_query`] with an explicit emission plan. A
+/// [`QueryPlan::PairwiseChain`] submission exercises the runtime's
+/// on-enqueue compiler: with compilation enabled the chains are fused
+/// back to multi-operand TRs before they reach the scheduler.
+///
+/// # Errors
+///
+/// Propagates compilation and runtime errors.
+pub fn serve_bitmap_query_with(
+    dataset: &BitmapDataset,
+    w: usize,
+    config: &MemoryConfig,
+    options: RuntimeOptions,
+    plan: QueryPlan,
+) -> std::result::Result<(u64, RuntimeReport), RuntimeError> {
+    let programs =
+        compile_bitmap_query_with(dataset, w, config, plan).map_err(RuntimeError::Pim)?;
     let report = run_batch(config, programs, options)?;
     let count = report
         .outcomes
@@ -154,7 +225,81 @@ pub fn serve_matmul_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coruscant_compiler::{CompileOptions, Compiler, VerifyOutcome};
     use coruscant_runtime::DispatchMode;
+
+    /// Every program the workload front ends emit, for the given config
+    /// (used to differentially verify the whole compiler pipeline).
+    fn all_workload_programs(config: &MemoryConfig) -> Vec<PimProgram> {
+        let ds = BitmapDataset::generate(300, 4, 11);
+        let mut programs = Vec::new();
+        for w in 1..=4 {
+            programs.extend(compile_bitmap_query_with(&ds, w, config, QueryPlan::Fused).unwrap());
+            programs.extend(
+                compile_bitmap_query_with(&ds, w, config, QueryPlan::PairwiseChain).unwrap(),
+            );
+        }
+        let n = 3;
+        let a: Matrix = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 5 + j * 3) % 100) as u64).collect())
+            .collect();
+        let b: Matrix = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 7 + j * 11) % 100) as u64).collect())
+            .collect();
+        programs.push(compile_matmul(&a, &b, config).unwrap());
+        programs
+    }
+
+    #[test]
+    fn every_workload_program_passes_differential_verification() {
+        let config = MemoryConfig::tiny();
+        let compiler = Compiler::new(config.clone(), &CompileOptions::default());
+        for (i, program) in all_workload_programs(&config).iter().enumerate() {
+            let (optimized, _) = compiler
+                .optimize(program)
+                .unwrap_or_else(|e| panic!("program {i}: {e}"));
+            assert_eq!(
+                coruscant_compiler::differential_verify(program, &optimized, &config)
+                    .unwrap_or_else(|e| panic!("program {i}: {e}")),
+                VerifyOutcome::Match,
+                "program {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_queries_fuse_on_enqueue() {
+        let config = MemoryConfig::tiny();
+        let ds = BitmapDataset::generate(1000, 4, 42);
+        let w = 4;
+        // Verification on — every optimized chunk is proven
+        // output-equivalent as it is submitted.
+        let options =
+            RuntimeOptions::default().with_compile(CompileOptions::default().with_verify(true));
+        let (count, report) =
+            serve_bitmap_query_with(&ds, w, &config, options, QueryPlan::PairwiseChain).unwrap();
+        assert_eq!(count, ds.reference_count(w));
+        let chunks = 1000usize.div_ceil(64) as u64;
+        // w+1 = 5 operands: the 4-instruction chain fuses to 1 TR.
+        assert_eq!(report.stats.instructions, chunks);
+        assert_eq!(report.stats.optimized_jobs, chunks);
+        assert_eq!(report.stats.instructions_eliminated, 3 * chunks);
+        assert!(report.stats.est_device_cycles_saved > 0);
+
+        // Same chains submitted verbatim: correct too, but 4 TRs each.
+        let raw = RuntimeOptions::default().with_compile(CompileOptions::disabled());
+        let (raw_count, raw_report) =
+            serve_bitmap_query_with(&ds, w, &config, raw, QueryPlan::PairwiseChain).unwrap();
+        assert_eq!(raw_count, ds.reference_count(w));
+        assert_eq!(raw_report.stats.instructions, 4 * chunks);
+        assert_eq!(raw_report.stats.optimized_jobs, 0);
+        assert!(
+            report.stats.device_cycles < raw_report.stats.device_cycles,
+            "fusion saves measured device cycles: {} < {}",
+            report.stats.device_cycles,
+            raw_report.stats.device_cycles
+        );
+    }
 
     #[test]
     fn served_bitmap_query_matches_reference() {

@@ -1,0 +1,38 @@
+//! Inspecting the optimizing compiler: a conventional pairwise-chain
+//! emission of the bitmap query run through the pass pipeline, with the
+//! per-pass before/after statistics table and the differential-verifier
+//! verdict printed for each stage.
+//!
+//! Run with: `cargo run --example compile_inspect`
+
+use coruscant::compiler::{differential_verify, CompileOptions, Compiler, VerifyOutcome};
+use coruscant::mem::MemoryConfig;
+use coruscant::workloads::bitmap::BitmapDataset;
+use coruscant::workloads::serve::{compile_bitmap_query_with, QueryPlan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MemoryConfig::tiny();
+    let ds = BitmapDataset::generate(5_000, 4, 7);
+    println!("Dataset: 5000 users, 4 weekly activity bitmaps");
+    println!("Query: users active in all 4 weeks (w = 4)\n");
+
+    for (plan, label) in [
+        (
+            QueryPlan::PairwiseChain,
+            "pairwise chain (Ambit-style emission)",
+        ),
+        (QueryPlan::Fused, "fused multi-operand TR (native emission)"),
+    ] {
+        let programs = compile_bitmap_query_with(&ds, 4, &config, plan)?;
+        let compiler = Compiler::new(config.clone(), &CompileOptions::default().with_verify(true));
+        let (optimized, report) = compiler.optimize(&programs[0])?;
+
+        println!("== {label} — one chunk program ==");
+        print!("{}", report.render_table());
+        match differential_verify(&programs[0], &optimized, &config)? {
+            VerifyOutcome::Match => println!("differential verify: outputs identical\n"),
+            VerifyOutcome::OriginalFailed => println!("differential verify: skipped\n"),
+        }
+    }
+    Ok(())
+}

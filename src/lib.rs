@@ -11,6 +11,9 @@
 //! * [`core`] — the PIM engine: polymorphic TR gates, multi-operand
 //!   bulk-bitwise logic and addition, carry-save multiplication, max,
 //!   ReLU, N-modular redundancy, the `cpim` ISA and its executor.
+//! * [`compiler`] — the optimizing pass pipeline over `cpim` programs:
+//!   multi-operand TR fusion, shift-minimizing scheduling, dead-step
+//!   elimination, differential verification.
 //! * [`baselines`] — Ambit, ELP²IM, DW-NN, SPIM, ISAAC and CPU models.
 //! * [`nn`] — the CNN case study (LeNet-5, AlexNet; full/BWN/TWN modes).
 //! * [`workloads`] — polybench kernel models and bitmap-index queries.
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use coruscant_baselines as baselines;
+pub use coruscant_compiler as compiler;
 pub use coruscant_core as core;
 pub use coruscant_mem as mem;
 pub use coruscant_nn as nn;
