@@ -43,6 +43,16 @@ impl PimMachine {
         }
     }
 
+    /// Creates a machine whose memory runs under seeded, per-bank fault
+    /// injection (see [`coruscant_mem::FaultPlan`]): every DBC the
+    /// machine touches materializes with fault injectors attached, so
+    /// whole programs execute under the paper's §V-F fault model.
+    pub fn with_faults(config: MemoryConfig, plan: coruscant_mem::FaultPlan) -> PimMachine {
+        PimMachine {
+            ctrl: MemoryController::with_faults(config, plan),
+        }
+    }
+
     /// Wraps an existing controller.
     pub fn from_controller(ctrl: MemoryController) -> PimMachine {
         PimMachine { ctrl }
@@ -500,6 +510,36 @@ mod tests {
         let out = m.execute(&instr).unwrap();
         let r = out.result.unwrap().unpack(8);
         assert_eq!(&r[..4], &[8, 249, 6, 0]);
+    }
+
+    #[test]
+    fn faulty_machine_corrupts_results_reproducibly() {
+        use coruscant_mem::FaultPlan;
+        use coruscant_racetrack::FaultConfig;
+        let run = |plan: Option<FaultPlan>| {
+            let mut m = match plan {
+                Some(p) => PimMachine::with_faults(MemoryConfig::tiny(), p),
+                None => machine(),
+            };
+            load(&mut m, 4, &[0x35; 8], 8);
+            load(&mut m, 5, &[0x12; 8], 8);
+            let instr = CpimInstr::new(
+                CpimOpcode::Add,
+                pim_addr(4),
+                2,
+                BlockSize::new(8).unwrap(),
+                Some(pim_addr(20)),
+            )
+            .unwrap();
+            m.execute(&instr).unwrap().result.unwrap().unpack(8)
+        };
+        let clean = run(None);
+        assert_eq!(clean, vec![0x47; 8]);
+        let storm = FaultConfig::NONE.with_tr_fault_rate(0.5);
+        let faulty = run(Some(FaultPlan::uniform(storm, 3).unwrap()));
+        assert_ne!(faulty, clean, "a 50% TR fault storm must corrupt the sum");
+        let again = run(Some(FaultPlan::uniform(storm, 3).unwrap()));
+        assert_eq!(faulty, again, "seeded campaigns reproduce exactly");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::address::{DbcLocation, RowAddress};
 use crate::config::MemoryConfig;
 use crate::dbc::Dbc;
+use crate::fault::{FaultPlan, ScrubOutcome};
 use crate::row::Row;
 use crate::rowbuffer::RowBuffer;
 use crate::timing::DeviceTiming;
@@ -111,6 +112,8 @@ pub struct MemoryController {
     buffers: HashMap<(usize, usize), RowBuffer>,
     /// Round-robin cursor for high-throughput PIM dispatch.
     pim_cursor: usize,
+    /// Fault model applied to DBCs as they materialize.
+    faults: Option<FaultPlan>,
     now: u64,
     stats: ControllerStats,
     bank_stats: BankStats,
@@ -138,6 +141,7 @@ impl MemoryController {
             store: HashMap::new(),
             buffers: HashMap::new(),
             pim_cursor: 0,
+            faults: None,
             now: 0,
             stats: ControllerStats::default(),
             bank_stats: BankStats {
@@ -145,6 +149,46 @@ impl MemoryController {
                 busy_cycles: vec![0; banks],
             },
         }
+    }
+
+    /// Creates a controller whose DBCs run under the given fault plan:
+    /// every DBC of a bank with an active [`FaultPlan`] configuration
+    /// materializes with seeded per-wire injectors, and (when shift
+    /// faults are active) with position codes installed for scrubbing.
+    pub fn with_faults(config: MemoryConfig, plan: FaultPlan) -> MemoryController {
+        let mut ctrl = MemoryController::new(config);
+        ctrl.faults = Some(plan);
+        ctrl
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Total faults injected so far across all materialized DBCs.
+    pub fn injected_fault_count(&self) -> u64 {
+        self.store.values().map(Dbc::injected_fault_count).sum()
+    }
+
+    /// Runs a position-code scrub pass over every materialized DBC of
+    /// `bank`, charging the maintenance cost to `meter`, and forgets the
+    /// controller's aligned-row hints for the scrubbed DBCs (they end at
+    /// canonical alignment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the checks.
+    pub fn scrub_bank(&mut self, bank: usize, meter: &mut CostMeter) -> Result<ScrubOutcome> {
+        let mut total = ScrubOutcome::default();
+        for (loc, dbc) in self.store.iter_mut() {
+            if loc.bank != bank {
+                continue;
+            }
+            total.merge(dbc.scrub(meter)?);
+            self.aligned.remove(loc);
+        }
+        Ok(total)
     }
 
     /// The configuration.
@@ -222,11 +266,31 @@ impl MemoryController {
     pub fn dbc_mut(&mut self, location: DbcLocation) -> Result<&mut Dbc> {
         location.validate(&self.config)?;
         let config = &self.config;
+        let faults = &self.faults;
         Ok(self.store.entry(location).or_insert_with(|| {
-            if location.is_pim(config) {
+            let dbc = if location.is_pim(config) {
                 Dbc::pim_enabled(config)
             } else {
                 Dbc::storage(config)
+            };
+            match faults {
+                Some(plan) => {
+                    let fc = plan.config_for_bank(location.bank);
+                    if fc.is_active() {
+                        let mut dbc = dbc.with_faults(fc, plan.dbc_seed(location, config));
+                        if fc.p_over_shift > 0.0 || fc.p_under_shift > 0.0 {
+                            // Shift faults drift alignment: guard with
+                            // position codes so scrub passes can check and
+                            // repair. Best-effort — storage wires without
+                            // overhead room simply go unguarded.
+                            let _ = dbc.install_position_codes();
+                        }
+                        dbc
+                    } else {
+                        dbc
+                    }
+                }
+                None => dbc,
             }
         }))
     }
@@ -668,6 +732,89 @@ mod tests {
         c.advance(done);
         assert!(!c.bank_busy(0));
         assert_eq!(c.busy_bank_count(), 0);
+    }
+
+    #[test]
+    fn fault_plan_attaches_injectors_per_bank() {
+        use coruscant_racetrack::FaultConfig;
+        let hot = FaultConfig::NONE.with_tr_fault_rate(1.0);
+        let plan = FaultPlan::healthy(9).with_bank(1, hot).unwrap();
+        let mut c = MemoryController::with_faults(MemoryConfig::tiny(), plan);
+        assert!(c.fault_plan().is_some());
+
+        // Bank 0 is healthy: TRs on its PIM DBC never fault.
+        let mut m = CostMeter::new();
+        let healthy = c.dbc_mut(DbcLocation::new(0, 0, 0, 0)).unwrap();
+        let before = healthy.injected_fault_count();
+        healthy.transverse_read_all(&mut m).unwrap();
+        assert_eq!(healthy.injected_fault_count(), before);
+
+        // Bank 1 faults on every TR.
+        let faulty = c.dbc_mut(DbcLocation::new(1, 0, 0, 0)).unwrap();
+        faulty.transverse_read_all(&mut m).unwrap();
+        assert_eq!(faulty.injected_fault_count(), 64, "one fault per wire");
+        assert_eq!(c.injected_fault_count(), 64);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_across_controllers() {
+        use coruscant_racetrack::FaultConfig;
+        let cfg = FaultConfig::NONE.with_tr_fault_rate(0.3);
+        let read_all = |seed: u64| {
+            let plan = FaultPlan::uniform(cfg, seed).unwrap();
+            let mut c = MemoryController::with_faults(MemoryConfig::tiny(), plan);
+            let mut m = CostMeter::new();
+            let d = c.dbc_mut(DbcLocation::new(0, 0, 0, 0)).unwrap();
+            let out: Vec<u8> = (0..20)
+                .flat_map(|_| d.transverse_read_all(&mut m).unwrap())
+                .map(|o| o.value)
+                .collect();
+            out
+        };
+        assert_eq!(read_all(5), read_all(5), "same seed, same stream");
+        assert_ne!(read_all(5), read_all(6), "different seed, different stream");
+    }
+
+    #[test]
+    fn shift_faults_get_position_codes_and_scrub_realigns() {
+        use coruscant_racetrack::FaultConfig;
+        let plan = FaultPlan::uniform(FaultConfig::NONE.with_shift_fault_rate(0.1), 11).unwrap();
+        let mut c = MemoryController::with_faults(MemoryConfig::tiny(), plan);
+        let loc = DbcLocation::new(0, 0, 0, 0);
+        let mut m = CostMeter::new();
+        c.store_row(
+            RowAddress::new(loc, 9),
+            &Row::from_u64_words(64, &[0xCAFE]),
+            &mut m,
+        )
+        .unwrap();
+        assert!(
+            c.dbc(loc).unwrap().position_code().is_some(),
+            "shift-fault DBCs carry position codes"
+        );
+        // Walk interior rows so alignment shifts draw plenty of fault
+        // events without running any wire into its extremity.
+        for r in [16, 9, 20, 12, 9] {
+            c.load_row(RowAddress::new(loc, r), &mut m).unwrap();
+        }
+        let out = c.scrub_bank(0, &mut m).unwrap();
+        assert_eq!(out.wires_checked, 64);
+        assert_eq!(out.realigned, 64, "every wire was away from canonical");
+        assert!(
+            out.repaired > 0,
+            "the scrub's own realigning shifts fault and get repaired: {out:?}"
+        );
+        assert_eq!(out.out_of_range, 0, "drift within code range (seeded)");
+        // Every wire ends at its canonical alignment...
+        let canonical = c.dbc(loc).unwrap().wire(0).spec().initial_offset as isize;
+        for i in 0..64 {
+            assert_eq!(c.dbc(loc).unwrap().wire(i).offset(), canonical, "wire {i}");
+        }
+        // ...so a second scrub (shift-free) finds nothing to do.
+        let again = c.scrub_bank(0, &mut m).unwrap();
+        assert_eq!(again.realigned, 0);
+        assert_eq!(again.repaired, 0);
+        assert_eq!(c.scrub_bank(1, &mut m).unwrap(), ScrubOutcome::default());
     }
 
     #[test]

@@ -2,10 +2,12 @@
 
 use crate::config::MemoryConfig;
 use crate::error::MemError;
+use crate::fault::ScrubOutcome;
 use crate::row::Row;
 use crate::Result;
 use coruscant_racetrack::{
-    Cost, CostMeter, FaultConfig, FaultInjector, Nanowire, NanowireSpec, OpClass, PortId, TrOutcome,
+    Alignment, Cost, CostMeter, FaultConfig, FaultInjector, Nanowire, NanowireSpec, OpClass,
+    PortId, PositionCode, TrOutcome,
 };
 
 /// A domain-block cluster: `X` parallel nanowires that shift together and
@@ -26,6 +28,8 @@ pub struct Dbc {
     wires: Vec<Nanowire>,
     rows: usize,
     pim: bool,
+    /// Position code installed on every wire (shift-fault scrubbing).
+    code: Option<PositionCode>,
 }
 
 impl Dbc {
@@ -43,7 +47,12 @@ impl Dbc {
 
     fn from_spec(spec: NanowireSpec, width: usize, rows: usize, pim: bool) -> Dbc {
         let wires = (0..width).map(|_| Nanowire::new(spec.clone())).collect();
-        Dbc { wires, rows, pim }
+        Dbc {
+            wires,
+            rows,
+            pim,
+            code: None,
+        }
     }
 
     /// Attaches fault injectors to every wire (each wire gets a distinct
@@ -55,17 +64,83 @@ impl Dbc {
             .into_iter()
             .enumerate()
             .map(|(i, w)| {
-                // Spread per-wire seeds across the u64 space: adjacent
-                // integer seeds would collide with adjacent wire indices
-                // (seed s wire i+1 == seed s+1 wire i), correlating fault
-                // streams between nearby campaign trials.
+                // Spread per-wire seeds through the SplitMix64 finalizer.
+                // A bare additive walk is NOT enough: the injector's RNG
+                // advances its state by the same golden-ratio constant
+                // per draw, so `seed + i*G` would make wire i's draw k+1
+                // identical to wire i+1's draw k — consecutive program
+                // executions would replay each other's faults shifted by
+                // one wire, correlating re-execution compare-pairs.
                 w.with_fault_injector(FaultInjector::new(
                     config,
-                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    crate::fault::mix(
+                        seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ),
                 ))
             })
             .collect();
         self
+    }
+
+    /// Installs a position code on every wire for shift-fault scrubbing
+    /// (paper §V-F / DSN'19 scheme): the widest even check window that
+    /// fits both the TRD and the left overhead. The wires must be at
+    /// their canonical alignment (they are at construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error when the geometry leaves no room for a
+    /// code (e.g. single-port storage wires with no left overhead).
+    pub fn install_position_codes(&mut self) -> Result<()> {
+        let spec = self.wires[0].spec();
+        let window = spec.trd_limit.min(spec.initial_offset) & !1;
+        let code = PositionCode::plan(&self.wires[0], window)?;
+        for w in &mut self.wires {
+            code.install(w)?;
+        }
+        self.code = Some(code);
+        Ok(())
+    }
+
+    /// The installed position code, if any.
+    pub fn position_code(&self) -> Option<&PositionCode> {
+        self.code.as_ref()
+    }
+
+    /// A maintenance scrub pass: commands every wire back to its
+    /// canonical alignment (the realigning shifts themselves run under
+    /// fault injection) and, when position codes are installed, checks
+    /// and repairs each wire's alignment with one transverse read per
+    /// wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the checks.
+    pub fn scrub(&mut self, meter: &mut CostMeter) -> Result<ScrubOutcome> {
+        let mut out = ScrubOutcome::default();
+        for w in &mut self.wires {
+            out.wires_checked += 1;
+            let delta = w.spec().initial_offset as isize - w.offset();
+            if delta != 0 {
+                out.realigned += 1;
+                if w.shift(delta, meter).is_err() {
+                    w.force_shift(delta, meter);
+                }
+            }
+            if let Some(code) = &self.code {
+                match code.check_and_repair(w, meter)? {
+                    Alignment::Aligned => {}
+                    Alignment::OutOfRange => out.out_of_range += 1,
+                    _ => out.repaired += 1,
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total faults injected so far across all wires.
+    pub fn injected_fault_count(&self) -> u64 {
+        self.wires.iter().map(Nanowire::injected_fault_count).sum()
     }
 
     /// Number of nanowires (bits per row).

@@ -44,6 +44,7 @@ pub mod address;
 pub mod config;
 pub mod controller;
 pub mod dbc;
+pub mod fault;
 pub mod row;
 pub mod rowbuffer;
 pub mod timing;
@@ -58,6 +59,7 @@ pub use config::MemoryConfig;
 pub use controller::{MemoryController, Request};
 pub use dbc::Dbc;
 pub use error::MemError;
+pub use fault::{FaultPlan, ScrubOutcome};
 pub use row::Row;
 pub use rowbuffer::RowBuffer;
 pub use timing::{DeviceTiming, Protocol};

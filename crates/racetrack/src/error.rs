@@ -46,6 +46,9 @@ pub enum Error {
     /// The nanowire specification is inconsistent (e.g. ports placed outside
     /// the wire, or too few overhead domains).
     BadSpec(String),
+    /// A fault-injection configuration holds a probability that is NaN,
+    /// infinite, outside `[0, 1]`, or a direction pair that sums past one.
+    BadFaultConfig(String),
 }
 
 impl fmt::Display for Error {
@@ -76,6 +79,7 @@ impl fmt::Display for Error {
                 write!(f, "row index {index} out of range for {len} data rows")
             }
             Error::BadSpec(msg) => write!(f, "invalid nanowire specification: {msg}"),
+            Error::BadFaultConfig(msg) => write!(f, "invalid fault configuration: {msg}"),
         }
     }
 }
@@ -102,6 +106,7 @@ mod tests {
             Error::SegmentIndex { index: 8, len: 7 },
             Error::RowIndex { index: 40, len: 32 },
             Error::BadSpec("ports overlap".into()),
+            Error::BadFaultConfig("p_tr_up = NaN is not a probability".into()),
         ];
         for c in cases {
             let s = c.to_string();

@@ -10,6 +10,8 @@
 //! [`FaultInjector`] draws these events from a seeded RNG so that fault
 //! campaigns are reproducible.
 
+use crate::error::Error;
+use crate::Result;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -105,6 +107,48 @@ impl FaultConfig {
             || self.p_tr_up > 0.0
             || self.p_tr_down > 0.0
     }
+
+    /// Checks that every field is a probability and that the directional
+    /// pairs describe a distribution: each shift step is exactly one of
+    /// over-shifted / under-shifted / correct, and each transverse read is
+    /// exactly one of level-up / level-down / correct, so each pair must
+    /// sum to at most one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadFaultConfig`] naming the offending field if any
+    /// probability is NaN, infinite, or outside `[0, 1]`, or if a
+    /// direction pair sums past one.
+    pub fn validate(&self) -> Result<()> {
+        let fields = [
+            ("p_over_shift", self.p_over_shift),
+            ("p_under_shift", self.p_under_shift),
+            ("p_tr_up", self.p_tr_up),
+            ("p_tr_down", self.p_tr_down),
+        ];
+        for (name, p) in fields {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(Error::BadFaultConfig(format!(
+                    "{name} = {p} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        let pairs = [
+            (
+                "p_over_shift + p_under_shift",
+                self.p_over_shift + self.p_under_shift,
+            ),
+            ("p_tr_up + p_tr_down", self.p_tr_up + self.p_tr_down),
+        ];
+        for (name, sum) in pairs {
+            if sum > 1.0 {
+                return Err(Error::BadFaultConfig(format!(
+                    "{name} = {sum} exceeds 1 (the directions are mutually exclusive per operation)"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for FaultConfig {
@@ -129,6 +173,19 @@ impl FaultInjector {
             rng: SmallRng::seed_from_u64(seed),
             injected: 0,
         }
+    }
+
+    /// Creates an injector after [validating](FaultConfig::validate) the
+    /// configuration — the entry point fault campaigns should use, so a
+    /// NaN or out-of-range probability fails loudly instead of silently
+    /// skewing every draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadFaultConfig`] on an invalid configuration.
+    pub fn validated(config: FaultConfig, seed: u64) -> Result<FaultInjector> {
+        config.validate()?;
+        Ok(FaultInjector::new(config, seed))
     }
 
     /// The active configuration.
@@ -229,6 +286,60 @@ mod tests {
             }
         }
         assert!(saw.iter().all(|&s| s), "saw {saw:?}");
+    }
+
+    #[test]
+    fn validate_accepts_sane_configs() {
+        FaultConfig::NONE.validate().unwrap();
+        FaultConfig::paper().validate().unwrap();
+        FaultConfig::NONE
+            .with_tr_fault_rate(1.0)
+            .validate()
+            .unwrap();
+        FaultInjector::validated(FaultConfig::paper(), 1).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nan_infinite_and_out_of_range() {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.5];
+        for v in bad {
+            for field in 0..4 {
+                let mut c = FaultConfig::NONE;
+                match field {
+                    0 => c.p_over_shift = v,
+                    1 => c.p_under_shift = v,
+                    2 => c.p_tr_up = v,
+                    _ => c.p_tr_down = v,
+                }
+                let err = c.validate().unwrap_err();
+                assert!(
+                    matches!(err, Error::BadFaultConfig(_)),
+                    "field {field} value {v}: {err}"
+                );
+            }
+        }
+        assert!(
+            FaultInjector::validated(FaultConfig::NONE.with_tr_fault_rate(f64::NAN), 0).is_err()
+        );
+    }
+
+    #[test]
+    fn validate_rejects_direction_pairs_past_one() {
+        let c = FaultConfig {
+            p_over_shift: 0.7,
+            p_under_shift: 0.7,
+            ..FaultConfig::NONE
+        };
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            Error::BadFaultConfig(_)
+        ));
+        let c = FaultConfig {
+            p_tr_up: 0.6,
+            p_tr_down: 0.6,
+            ..FaultConfig::NONE
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -24,4 +24,5 @@
 pub mod model;
 pub mod montecarlo;
 pub mod nmr;
+pub mod retry;
 pub mod variation;

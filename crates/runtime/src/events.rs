@@ -41,6 +41,51 @@ pub enum Event {
         /// Modeled completion time (memory cycles).
         done: u64,
     },
+    /// A protected job attempt detected at least one fault.
+    FaultDetected {
+        /// Job id.
+        job: u64,
+        /// Bank the faulty attempt ran on.
+        bank: usize,
+        /// Dispatch attempt (0 = first placement).
+        attempt: u32,
+        /// Faults the protection detected in this attempt.
+        faults: u64,
+    },
+    /// An unverified job was re-dispatched to a different bank.
+    Redispatch {
+        /// Job id.
+        job: u64,
+        /// Bank the unverified attempt ran on.
+        from_bank: usize,
+        /// Bank the job was re-routed to.
+        to_bank: usize,
+        /// The new dispatch attempt number.
+        attempt: u32,
+    },
+    /// A bank crossed the suspect threshold.
+    BankSuspect {
+        /// Bank index.
+        bank: usize,
+        /// Leaky-bucket score at the transition.
+        score: u32,
+    },
+    /// A bank was quarantined (sticky for the rest of the session).
+    BankQuarantined {
+        /// Bank index.
+        bank: usize,
+        /// Leaky-bucket score at the transition.
+        score: u32,
+    },
+    /// A position-code scrub pass over a bank completed.
+    Scrub {
+        /// Bank index.
+        bank: usize,
+        /// Wires commanded back to canonical alignment.
+        realigned: u64,
+        /// Wires whose position code repaired a misalignment.
+        repaired: u64,
+    },
 }
 
 /// A thread-safe JSONL sink.

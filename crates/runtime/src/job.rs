@@ -52,4 +52,22 @@ pub struct JobOutcome {
     /// Modeled completion time, memory cycles — as accounted by the
     /// runtime's [`MemoryController`](coruscant_mem::MemoryController).
     pub completion: u64,
+    /// Dispatch attempt this outcome came from (0 = first placement;
+    /// higher values mean the job was re-dispatched after failing
+    /// verification on another bank).
+    pub attempt: u32,
+    /// Executions of the program this attempt ran (1 unprotected, 2 + 2
+    /// per retry under re-execute-and-compare, N under NMR).
+    pub replicas: u32,
+    /// Faults the attempt's protection detected (mismatching compare
+    /// pairs, or voted readouts whose replicas disagreed).
+    pub faults_detected: u64,
+    /// Extra compare-pairs re-execute-and-compare ran after mismatches.
+    pub retries: u32,
+    /// Readouts where the NMR majority overruled at least one replica.
+    pub votes_overturned: u64,
+    /// Whether the outputs were verified by the protection policy
+    /// (compare pairs agreed, or an NMR vote completed). Always `false`
+    /// when protection is off.
+    pub verified: bool,
 }

@@ -32,35 +32,53 @@
 //! * **Observability** — serializable [`RuntimeStats`] with per-bank
 //!   occupancy, queue-depth and wait-time histograms, plus an optional
 //!   JSONL [event trace](events::EventTrace).
+//! * **Fault tolerance** — with a [`FaultPlan`] and/or a
+//!   [`ProtectionPolicy`] configured, every worker machine runs under
+//!   seeded per-bank fault injection, jobs are verified by
+//!   re-execute-and-compare or NMR voting, detected faults feed the
+//!   per-bank [`HealthTracker`] state machine (Healthy → Suspect →
+//!   Quarantined), suspect banks get position-code scrub passes,
+//!   quarantined banks are drained and avoided, and unverified jobs are
+//!   re-dispatched to healthy banks. The counters surface in
+//!   [`stats::FaultStats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod health;
 pub mod job;
 pub mod queue;
 pub mod sched;
 pub mod stats;
 
 pub use coruscant_compiler::CompileOptions;
+pub use health::{BankState, HealthPolicy, HealthTracker, ProtectionPolicy};
 pub use job::{JobOutcome, PimJob, Placement};
-pub use queue::{JobQueue, PushError};
+pub use queue::{JobQueue, Pop, PushError};
 pub use sched::{BankScheduler, DispatchMode};
-pub use stats::{BankOccupancy, Histogram, RuntimeStats};
+pub use stats::{BankOccupancy, FaultStats, Histogram, RuntimeStats};
 
 use coruscant_compiler::{CompileError, Compiler};
 use coruscant_core::dispatch::PimMachine;
+use coruscant_core::nmr::NmrVoter;
 use coruscant_core::program::{PimProgram, Step};
 use coruscant_core::PimError;
 use coruscant_mem::controller::Request;
-use coruscant_mem::{DbcLocation, MemoryConfig, MemoryController, Row};
+use coruscant_mem::{
+    Dbc, DbcLocation, FaultPlan, MemoryConfig, MemoryController, Row, ScrubOutcome,
+};
 use coruscant_racetrack::{Cost, CostMeter};
 use events::{Event, EventTrace};
+use health::Transition;
+use sched::IssuedJob;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]
@@ -72,6 +90,9 @@ pub enum RuntimeError {
     Compile(CompileError),
     /// The job queue was closed before the submission.
     QueueClosed,
+    /// The runtime options are inconsistent (e.g. an NMR degree the
+    /// configured TRD cannot vote on, or zero health thresholds).
+    Config(String),
     /// A worker or scheduler thread disappeared (panicked) mid-run.
     WorkerLost,
     /// The event-trace file could not be created.
@@ -84,6 +105,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Pim(e) => write!(f, "job execution failed: {e}"),
             RuntimeError::Compile(e) => write!(f, "job compilation failed: {e}"),
             RuntimeError::QueueClosed => write!(f, "job queue closed"),
+            RuntimeError::Config(msg) => write!(f, "invalid runtime configuration: {msg}"),
             RuntimeError::WorkerLost => write!(f, "worker thread lost"),
             RuntimeError::Trace(e) => write!(f, "event trace: {e}"),
         }
@@ -129,6 +151,15 @@ pub struct RuntimeOptions {
     pub compile: CompileOptions,
     /// When set, a JSONL event trace is written here.
     pub trace_path: Option<PathBuf>,
+    /// Per-job corruption detection (re-execute-and-compare or NMR).
+    pub protection: ProtectionPolicy,
+    /// Bank health thresholds and recovery actions. Only consulted when
+    /// the fault-aware scheduler runs (a fault plan or an active
+    /// protection policy is configured).
+    pub health: HealthPolicy,
+    /// When set, every worker machine materializes its DBCs with the
+    /// plan's seeded per-bank fault injectors.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RuntimeOptions {
@@ -139,6 +170,9 @@ impl Default for RuntimeOptions {
             dispatch: DispatchMode::Circular,
             compile: CompileOptions::default(),
             trace_path: None,
+            protection: ProtectionPolicy::None,
+            health: HealthPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -164,30 +198,107 @@ impl RuntimeOptions {
         self.compile = compile;
         self
     }
+
+    /// Options with a given protection policy, defaults elsewhere.
+    #[must_use]
+    pub fn with_protection(mut self, protection: ProtectionPolicy) -> RuntimeOptions {
+        self.protection = protection;
+        self
+    }
+
+    /// Options with given health thresholds, defaults elsewhere.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthPolicy) -> RuntimeOptions {
+        self.health = health;
+        self
+    }
+
+    /// Options with a fault-injection plan, defaults elsewhere.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> RuntimeOptions {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Whether these options activate the fault-aware scheduler.
+    pub fn fault_aware(&self) -> bool {
+        self.faults.is_some() || self.protection.is_active()
+    }
 }
 
 /// What the scheduler sends each worker.
-struct WorkMsg {
-    seq: u64,
-    job_id: u64,
-    unit: DbcLocation,
-    program: PimProgram,
+enum WorkMsg {
+    /// Execute one job attempt.
+    Job {
+        seq: u64,
+        job_id: u64,
+        unit: DbcLocation,
+        program: PimProgram,
+        attempt: u32,
+    },
+    /// Run a position-code scrub pass over one bank's materialized DBCs.
+    Scrub { bank: usize },
 }
 
-/// What a worker reports back.
+/// What a worker reports back to [`Runtime::finish`], once per job
+/// attempt.
 struct DoneMsg {
     seq: u64,
     job_id: u64,
     unit: DbcLocation,
+    attempt: u32,
     outputs: Vec<(String, Vec<u64>)>,
     instr_costs: Vec<Cost>,
     error: Option<PimError>,
+    replicas: u32,
+    faults_detected: u64,
+    retries: u32,
+    votes_overturned: u64,
+    verified: bool,
+}
+
+/// What a worker reports back to the fault-aware scheduler, so health
+/// accounting and re-dispatch can happen while the session is live.
+enum AckMsg {
+    Job {
+        seq: u64,
+        job_id: u64,
+        bank: usize,
+        attempt: u32,
+        faults: u64,
+        verified: bool,
+    },
+    Scrub {
+        bank: usize,
+        outcome: ScrubOutcome,
+    },
 }
 
 /// What the scheduler thread hands back on shutdown.
 struct SchedulerOutput {
     depth_hist: Histogram,
     issued: u64,
+    redispatches: u64,
+    scrubs: u64,
+    scrub_total: ScrubOutcome,
+    suspect_banks: u64,
+    quarantined_banks: u64,
+    degraded_capacity: f64,
+}
+
+impl SchedulerOutput {
+    fn plain(depth_hist: Histogram, issued: u64) -> SchedulerOutput {
+        SchedulerOutput {
+            depth_hist,
+            issued,
+            redispatches: 0,
+            scrubs: 0,
+            scrub_total: ScrubOutcome::default(),
+            suspect_banks: 0,
+            quarantined_banks: 0,
+            degraded_capacity: 0.0,
+        }
+    }
 }
 
 /// The report a finished session produces.
@@ -211,6 +322,7 @@ pub struct Runtime {
     done_rx: mpsc::Receiver<DoneMsg>,
     trace: Option<Arc<EventTrace>>,
     shards: usize,
+    protection: ProtectionPolicy,
     compiler: Compiler,
     optimized_jobs: AtomicU64,
     instructions_eliminated: AtomicU64,
@@ -224,8 +336,21 @@ impl Runtime {
     /// # Errors
     ///
     /// Returns [`RuntimeError::Trace`] if the trace file cannot be
-    /// created.
+    /// created, or [`RuntimeError::Config`] for an NMR degree the
+    /// configured TRD cannot vote on or inconsistent health thresholds.
     pub fn new(config: MemoryConfig, options: RuntimeOptions) -> Result<Runtime, RuntimeError> {
+        if let ProtectionPolicy::Nmr { n } = options.protection {
+            if !NmrVoter::new(&config).supported_n().contains(&n) {
+                return Err(RuntimeError::Config(format!(
+                    "NMR degree {n} unsupported at TRD {}",
+                    config.trd
+                )));
+            }
+        }
+        let fault_aware = options.fault_aware();
+        if fault_aware {
+            options.health.check().map_err(RuntimeError::Config)?;
+        }
         let shards = options.shards.clamp(1, config.banks);
         let queue = Arc::new(JobQueue::new(options.queue_capacity));
         let trace = match &options.trace_path {
@@ -236,23 +361,40 @@ impl Runtime {
         };
 
         let (done_tx, done_rx) = mpsc::channel::<DoneMsg>();
+        let (ack_tx, ack_rx) = mpsc::channel::<AckMsg>();
         let mut work_txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = mpsc::channel::<WorkMsg>();
             work_txs.push(tx);
             let done = done_tx.clone();
+            let ack = fault_aware.then(|| ack_tx.clone());
             let cfg = config.clone();
-            workers.push(std::thread::spawn(move || worker_loop(&cfg, &rx, &done)));
+            let faults = options.faults.clone();
+            let protection = options.protection;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&cfg, faults, protection, &rx, &done, ack.as_ref());
+            }));
         }
         drop(done_tx);
+        drop(ack_tx);
 
         let scheduler = {
             let queue = Arc::clone(&queue);
             let cfg = config.clone();
             let trace = trace.clone();
             let dispatch = options.dispatch;
-            std::thread::spawn(move || scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace))
+            let protection = options.protection;
+            let policy = options.health;
+            std::thread::spawn(move || {
+                if fault_aware {
+                    fault_scheduler_loop(
+                        &cfg, &queue, &work_txs, &ack_rx, dispatch, protection, policy, trace,
+                    )
+                } else {
+                    scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace)
+                }
+            })
         };
 
         let compiler = Compiler::new(config.clone(), &options.compile);
@@ -265,6 +407,7 @@ impl Runtime {
             done_rx,
             trace,
             shards,
+            protection: options.protection,
             compiler,
             optimized_jobs: AtomicU64::new(0),
             instructions_eliminated: AtomicU64::new(0),
@@ -369,9 +512,11 @@ impl Runtime {
         // Timing accounting: replay every instruction's measured device
         // cost through one MemoryController in issue order — the same
         // accounting a sequential dispatcher would produce, so bank
-        // conflicts serialize and distinct banks overlap.
+        // conflicts serialize and distinct banks overlap. Every attempt
+        // (retries and re-dispatches included) is replayed, so wasted
+        // work honestly degrades the modeled throughput; only the final
+        // attempt per job becomes its reported outcome.
         let mut timing = MemoryController::new(self.config.clone());
-        let mut outcomes = Vec::with_capacity(completions.len());
         let mut wait_hist = Histogram::new();
         let mut per_bank: Vec<BankOccupancy> = (0..self.config.banks)
             .map(|bank| BankOccupancy {
@@ -381,10 +526,18 @@ impl Runtime {
             .collect();
         let mut instructions = 0u64;
         let mut device_cycles = 0u64;
+        let mut fstats = FaultStats {
+            redispatches: sched_out.redispatches,
+            scrubs: sched_out.scrubs,
+            scrub: sched_out.scrub_total,
+            suspect_banks: sched_out.suspect_banks,
+            quarantined_banks: sched_out.quarantined_banks,
+            degraded_capacity: sched_out.degraded_capacity,
+            ..FaultStats::default()
+        };
+        // Winning (latest-seq) attempt per job id, with any error it hit.
+        let mut winners: HashMap<u64, (JobOutcome, Option<PimError>)> = HashMap::new();
         for c in completions {
-            if let Some(err) = c.error {
-                return Err(RuntimeError::Pim(err));
-            }
             let bank = c.unit.bank;
             let wait = timing.bank_free_at(bank).saturating_sub(timing.now());
             let mut done = 0;
@@ -403,6 +556,10 @@ impl Runtime {
             wait_hist.record(wait);
             per_bank[bank].jobs += 1;
             per_bank[bank].wait_cycles += wait;
+            fstats.replicas_run += u64::from(c.replicas);
+            fstats.faults_detected += c.faults_detected;
+            fstats.retries += u64::from(c.retries);
+            fstats.votes_overturned += c.votes_overturned;
             if let Some(trace) = &self.trace {
                 trace.record(&Event::Complete {
                     job: c.job_id,
@@ -411,7 +568,7 @@ impl Runtime {
                     done,
                 });
             }
-            outcomes.push(JobOutcome {
+            let outcome = JobOutcome {
                 job_id: c.job_id,
                 seq: c.seq,
                 unit: c.unit,
@@ -420,13 +577,41 @@ impl Runtime {
                 device_cycles: job_device,
                 wait_cycles: wait,
                 completion: done,
-            });
+                attempt: c.attempt,
+                replicas: c.replicas,
+                faults_detected: c.faults_detected,
+                retries: c.retries,
+                votes_overturned: c.votes_overturned,
+                verified: c.verified,
+            };
+            // Attempts arrive in seq order, so a later re-dispatch of the
+            // same job replaces the unverified earlier outcome.
+            winners.insert(c.job_id, (outcome, c.error));
         }
         let makespan = timing.drain();
         for (bank, busy) in timing.bank_stats().busy_cycles.iter().enumerate() {
             per_bank[bank].busy_cycles = *busy;
         }
+        // Surface the first (issue-order) error among winning attempts.
+        let mut first_err: Option<(u64, PimError)> = None;
+        let mut outcomes = Vec::with_capacity(winners.len());
+        for (outcome, error) in winners.into_values() {
+            if let Some(err) = error {
+                if first_err.as_ref().is_none_or(|(seq, _)| outcome.seq < *seq) {
+                    first_err = Some((outcome.seq, err));
+                }
+                continue;
+            }
+            outcomes.push(outcome);
+        }
+        if let Some((_, err)) = first_err {
+            return Err(RuntimeError::Pim(err));
+        }
         outcomes.sort_by_key(|o| o.job_id);
+        if self.protection.is_active() {
+            fstats.protected_jobs = outcomes.len() as u64;
+            fstats.unverified_jobs = outcomes.iter().filter(|o| !o.verified).count() as u64;
+        }
 
         let jobs = outcomes.len() as u64;
         let modeled_us = makespan as f64 * self.config.memory_cycle_ns / 1000.0;
@@ -449,6 +634,7 @@ impl Runtime {
             wait: wait_hist,
             controller: *timing.stats(),
             bank_stats: timing.bank_stats().clone(),
+            faults: fstats,
         };
         if let Some(trace) = &self.trace {
             trace.flush();
@@ -541,69 +727,612 @@ fn scheduler_loop(
             issued += 1;
             // A send only fails if the worker panicked; the missing
             // completion is detected in finish().
-            let _ = work_txs[shard].send(WorkMsg {
+            let _ = work_txs[shard].send(WorkMsg::Job {
                 seq: issue.seq,
                 job_id: issue.job.id,
                 unit,
                 program: issue.job.program,
+                attempt: 0,
             });
         }
     }
 
-    SchedulerOutput {
-        depth_hist: sched.depth_histogram().clone(),
-        issued,
-    }
+    SchedulerOutput::plain(sched.depth_histogram().clone(), issued)
 }
 
-fn worker_loop(config: &MemoryConfig, rx: &mpsc::Receiver<WorkMsg>, done: &mpsc::Sender<DoneMsg>) {
-    // Each shard owns a full machine; storage is sparse, so it only pays
-    // for the DBCs of the banks routed to it.
-    let mut machine = PimMachine::new(config.clone());
-    while let Ok(msg) = rx.recv() {
-        let mut outputs = Vec::new();
-        let mut instr_costs = Vec::new();
-        let error = run_program(&mut machine, &msg.program, &mut outputs, &mut instr_costs).err();
-        let _ = done.send(DoneMsg {
-            seq: msg.seq,
-            job_id: msg.job_id,
-            unit: msg.unit,
-            outputs,
-            instr_costs,
-            error,
+/// A dispatched-but-unacknowledged job attempt the fault-aware scheduler
+/// keeps so it can re-route the job if verification fails.
+struct InflightRec {
+    job: PimJob,
+}
+
+/// The fault-aware scheduler's mutable state, factored out so ack
+/// handling can be invoked from both the polling and the blocking paths
+/// of the loop.
+struct FaultSched<'a> {
+    units: MemoryController,
+    unit_count: usize,
+    shards: usize,
+    dispatch: DispatchMode,
+    policy: HealthPolicy,
+    protection_active: bool,
+    trace: Option<Arc<EventTrace>>,
+    work_txs: &'a [mpsc::Sender<WorkMsg>],
+    sched: BankScheduler,
+    health: HealthTracker,
+    inflight: HashMap<u64, InflightRec>,
+    inflight_per_bank: Vec<usize>,
+    /// Re-dispatch count per job id (bounds recovery attempts).
+    redispatched: HashMap<u64, u32>,
+    place_cursor: usize,
+    issued: u64,
+    redispatches: u64,
+    scrubs_outstanding: usize,
+    scrubs: u64,
+    scrub_total: ScrubOutcome,
+}
+
+impl FaultSched<'_> {
+    /// The next PIM unit in circular order, skipping quarantined banks
+    /// (and `avoid`, when alternatives exist). Falls back to plain
+    /// circular order if every unit is excluded.
+    fn pick_unit(&mut self, avoid: Option<usize>) -> DbcLocation {
+        for _ in 0..self.unit_count {
+            let unit = self.units.pim_unit(self.place_cursor % self.unit_count);
+            self.place_cursor += 1;
+            if self.health.is_quarantined(unit.bank) {
+                continue;
+            }
+            if avoid == Some(unit.bank) && self.unit_count > 1 {
+                continue;
+            }
+            return unit;
+        }
+        let unit = self.units.pim_unit(self.place_cursor % self.unit_count);
+        self.place_cursor += 1;
+        unit
+    }
+
+    /// Resolves a job's placement (quarantine-aware for anything but
+    /// [`Placement::Fixed`]) and enqueues it into the bank FIFOs.
+    fn place(&mut self, job: PimJob) {
+        let unit = match job.placement {
+            Placement::Auto => match self.dispatch {
+                DispatchMode::Circular => self.pick_unit(None),
+                DispatchMode::SingleBank => {
+                    let unit = self.units.pim_unit(0);
+                    if self.health.is_quarantined(unit.bank) {
+                        self.pick_unit(None)
+                    } else {
+                        unit
+                    }
+                }
+            },
+            Placement::Unit(idx) => {
+                let unit = self.units.pim_unit(idx % self.unit_count);
+                if self.health.is_quarantined(unit.bank) {
+                    self.pick_unit(None)
+                } else {
+                    unit
+                }
+            }
+            Placement::Fixed(loc) => loc,
+        };
+        let retargeted = PimJob {
+            id: job.id,
+            program: job.program.retarget(unit),
+            placement: job.placement,
+        };
+        self.sched.enqueue(retargeted, unit.bank);
+    }
+
+    /// Issues every queued job whose bank is below the in-flight cap.
+    fn issue_ready(&mut self) {
+        let cap = self.policy.max_inflight_per_bank;
+        loop {
+            let Some(issue) = self
+                .sched
+                .issue_next_where(|bank| self.inflight_per_bank[bank] < cap)
+            else {
+                return;
+            };
+            self.dispatch_issue(issue);
+        }
+    }
+
+    /// Sends one issued job to its shard and records it in flight.
+    fn dispatch_issue(&mut self, issue: IssuedJob) {
+        let IssuedJob { seq, job, bank } = issue;
+        let shard = bank % self.shards;
+        let unit = job
+            .program
+            .steps
+            .first()
+            .map_or_else(|| self.units.pim_unit(bank), Step::target);
+        let attempt = self.redispatched.get(&job.id).copied().unwrap_or(0);
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Issue {
+                job: job.id,
+                seq,
+                bank,
+                shard,
+            });
+        }
+        self.issued += 1;
+        self.inflight_per_bank[bank] += 1;
+        let _ = self.work_txs[shard].send(WorkMsg::Job {
+            seq,
+            job_id: job.id,
+            unit,
+            program: job.program.clone(),
+            attempt,
         });
+        self.inflight.insert(seq, InflightRec { job });
     }
-}
 
-/// Executes a program on a shard machine, collecting per-instruction
-/// device costs for the central timing replay.
-fn run_program(
-    machine: &mut PimMachine,
-    program: &PimProgram,
-    outputs: &mut Vec<(String, Vec<u64>)>,
-    instr_costs: &mut Vec<Cost>,
-) -> Result<(), PimError> {
-    let width = machine.controller().config().nanowires_per_dbc;
-    let mut meter = CostMeter::new();
-    for step in &program.steps {
-        match step {
-            Step::Load { addr, values, lane } => {
-                let row = Row::pack(width, *lane, values);
-                machine
-                    .controller_mut()
-                    .store_row(*addr, &row, &mut meter)?;
+    /// Processes one worker acknowledgement: health accounting, state
+    /// transitions (scrub dispatch, quarantine drain), and re-dispatch of
+    /// unverified jobs.
+    fn handle_ack(&mut self, ack: AckMsg) {
+        match ack {
+            AckMsg::Scrub { bank, outcome } => {
+                self.scrubs_outstanding -= 1;
+                self.scrubs += 1;
+                self.scrub_total.merge(outcome);
+                if let Some(trace) = &self.trace {
+                    trace.record(&Event::Scrub {
+                        bank,
+                        realigned: outcome.realigned,
+                        repaired: outcome.repaired,
+                    });
+                }
             }
-            Step::Exec(instr) => {
-                let out = machine.execute(instr)?;
-                instr_costs.push(out.cost);
-            }
-            Step::Readout { label, addr, lane } => {
-                let row = machine.controller_mut().load_row(*addr, &mut meter)?;
-                outputs.push((label.clone(), row.unpack(*lane)));
+            AckMsg::Job {
+                seq,
+                job_id,
+                bank,
+                attempt,
+                faults,
+                verified,
+            } => {
+                let rec = self
+                    .inflight
+                    .remove(&seq)
+                    .expect("every ack matches a dispatched attempt");
+                self.inflight_per_bank[bank] -= 1;
+                let faulty = faults > 0;
+                if faulty {
+                    if let Some(trace) = &self.trace {
+                        trace.record(&Event::FaultDetected {
+                            job: job_id,
+                            bank,
+                            attempt,
+                            faults,
+                        });
+                    }
+                }
+                match self.health.record(bank, faulty) {
+                    Transition::Suspect(score) => {
+                        if let Some(trace) = &self.trace {
+                            trace.record(&Event::BankSuspect { bank, score });
+                        }
+                        if self.policy.scrub_on_suspect {
+                            self.scrubs_outstanding += 1;
+                            let _ = self.work_txs[bank % self.shards].send(WorkMsg::Scrub { bank });
+                        }
+                    }
+                    Transition::Quarantined(score) => {
+                        if let Some(trace) = &self.trace {
+                            trace.record(&Event::BankQuarantined { bank, score });
+                        }
+                        // Re-route the quarantined bank's backlog; only
+                        // explicitly pinned jobs stay.
+                        for queued in self.sched.drain_bank(bank) {
+                            if matches!(queued.placement, Placement::Fixed(_)) {
+                                self.sched.enqueue(queued, bank);
+                            } else {
+                                self.place(queued);
+                            }
+                        }
+                    }
+                    Transition::None | Transition::Recovered => {}
+                }
+                if !verified && self.protection_active {
+                    let count = self.redispatched.entry(job_id).or_insert(0);
+                    if *count < self.policy.max_redispatch
+                        && !matches!(rec.job.placement, Placement::Fixed(_))
+                    {
+                        *count += 1;
+                        let next = *count;
+                        self.redispatches += 1;
+                        let unit = self.pick_unit(Some(bank));
+                        if let Some(trace) = &self.trace {
+                            trace.record(&Event::Redispatch {
+                                job: job_id,
+                                from_bank: bank,
+                                to_bank: unit.bank,
+                                attempt: next,
+                            });
+                        }
+                        let job = PimJob {
+                            id: job_id,
+                            program: rec.job.program.retarget(unit),
+                            placement: rec.job.placement,
+                        };
+                        self.sched.enqueue(job, unit.bank);
+                    }
+                }
             }
         }
     }
-    Ok(())
+}
+
+/// The scheduler loop used when fault injection or a protection policy is
+/// active: interleaves queue draining with worker-ack processing so bank
+/// health transitions and re-dispatch happen while the session is live.
+///
+/// Unlike [`scheduler_loop`], issue order here depends on completion
+/// timing (the in-flight cap gates issue on acks), so reports are *not*
+/// bit-deterministic across shard counts — the no-fault path keeps that
+/// property by never entering this loop.
+#[allow(clippy::too_many_arguments)]
+fn fault_scheduler_loop(
+    config: &MemoryConfig,
+    queue: &JobQueue<PimJob>,
+    work_txs: &[mpsc::Sender<WorkMsg>],
+    ack_rx: &mpsc::Receiver<AckMsg>,
+    dispatch: DispatchMode,
+    protection: ProtectionPolicy,
+    policy: HealthPolicy,
+    trace: Option<Arc<EventTrace>>,
+) -> SchedulerOutput {
+    let units = MemoryController::new(config.clone());
+    let unit_count = units.pim_unit_count();
+    let mut state = FaultSched {
+        unit_count,
+        shards: work_txs.len(),
+        dispatch,
+        policy,
+        protection_active: protection.is_active(),
+        trace,
+        work_txs,
+        sched: BankScheduler::new(config.banks),
+        health: HealthTracker::new(config.banks, policy),
+        inflight: HashMap::new(),
+        inflight_per_bank: vec![0; config.banks],
+        redispatched: HashMap::new(),
+        place_cursor: 0,
+        issued: 0,
+        redispatches: 0,
+        scrubs_outstanding: 0,
+        scrubs: 0,
+        scrub_total: ScrubOutcome::default(),
+        units,
+    };
+    let mut batch: Vec<PimJob> = Vec::new();
+    let mut closed = false;
+
+    loop {
+        // 1. Pull newly submitted jobs, bounded so acks stay responsive.
+        if !closed {
+            match queue.pop_timeout(Duration::from_millis(1)) {
+                Pop::Item(first) => {
+                    batch.push(first);
+                    queue.drain_ready(&mut batch);
+                }
+                Pop::Timeout => {}
+                Pop::Closed => closed = true,
+            }
+        }
+        for job in batch.drain(..) {
+            state.place(job);
+        }
+
+        // 2. Process every acknowledgement already available.
+        while let Ok(ack) = ack_rx.try_recv() {
+            state.handle_ack(ack);
+        }
+
+        // 3. Issue everything the in-flight cap allows.
+        state.issue_ready();
+
+        // 4. Termination and anti-spin blocking once the queue is closed.
+        if closed {
+            if state.sched.pending() == 0 && state.inflight.is_empty() {
+                // Only background scrubs can still be outstanding.
+                while state.scrubs_outstanding > 0 {
+                    match ack_rx.recv() {
+                        Ok(ack) => state.handle_ack(ack),
+                        Err(_) => break,
+                    }
+                }
+                break;
+            }
+            // Progress now requires an ack (a free bank slot or a
+            // completion that may trigger re-dispatch); block for one.
+            if !state.inflight.is_empty() || state.scrubs_outstanding > 0 {
+                match ack_rx.recv() {
+                    Ok(ack) => state.handle_ack(ack),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    SchedulerOutput {
+        depth_hist: state.sched.depth_histogram().clone(),
+        issued: state.issued,
+        redispatches: state.redispatches,
+        scrubs: state.scrubs,
+        scrub_total: state.scrub_total,
+        suspect_banks: state.health.suspect_count(),
+        quarantined_banks: state.health.quarantined_count(),
+        degraded_capacity: state.health.degraded_capacity(),
+    }
+}
+
+/// What one protected execution of a job produced.
+struct ExecOutcome {
+    outputs: Vec<(String, Vec<u64>)>,
+    instr_costs: Vec<Cost>,
+    error: Option<PimError>,
+    replicas: u32,
+    faults_detected: u64,
+    retries: u32,
+    votes_overturned: u64,
+    verified: bool,
+}
+
+fn worker_loop(
+    config: &MemoryConfig,
+    faults: Option<FaultPlan>,
+    protection: ProtectionPolicy,
+    rx: &mpsc::Receiver<WorkMsg>,
+    done: &mpsc::Sender<DoneMsg>,
+    ack: Option<&mpsc::Sender<AckMsg>>,
+) {
+    // Each shard owns a full machine; storage is sparse, so it only pays
+    // for the DBCs of the banks routed to it.
+    let mut machine = match faults {
+        Some(plan) => PimMachine::with_faults(config.clone(), plan),
+        None => PimMachine::new(config.clone()),
+    };
+    // The NMR majority gate: a fault-free PIM DBC reserved as the voter
+    // (paper §III-F models voting as one write per replica plus one TR).
+    let mut voter = match protection {
+        ProtectionPolicy::Nmr { .. } => Some((NmrVoter::new(config), Dbc::pim_enabled(config))),
+        _ => None,
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkMsg::Scrub { bank } => {
+                let mut meter = CostMeter::new();
+                let outcome = machine
+                    .controller_mut()
+                    .scrub_bank(bank, &mut meter)
+                    .unwrap_or_default();
+                if let Some(ack) = ack {
+                    let _ = ack.send(AckMsg::Scrub { bank, outcome });
+                }
+            }
+            WorkMsg::Job {
+                seq,
+                job_id,
+                unit,
+                program,
+                attempt,
+            } => {
+                let out = execute_protected(&mut machine, protection, &program, voter.as_mut());
+                if let Some(ack) = ack {
+                    let _ = ack.send(AckMsg::Job {
+                        seq,
+                        job_id,
+                        bank: unit.bank,
+                        attempt,
+                        faults: out.faults_detected + u64::from(out.error.is_some()),
+                        verified: out.verified,
+                    });
+                }
+                let _ = done.send(DoneMsg {
+                    seq,
+                    job_id,
+                    unit,
+                    attempt,
+                    outputs: out.outputs,
+                    instr_costs: out.instr_costs,
+                    error: out.error,
+                    replicas: out.replicas,
+                    faults_detected: out.faults_detected,
+                    retries: out.retries,
+                    votes_overturned: out.votes_overturned,
+                    verified: out.verified,
+                });
+            }
+        }
+    }
+}
+
+/// Runs a job under the worker's protection policy.
+fn execute_protected(
+    machine: &mut PimMachine,
+    protection: ProtectionPolicy,
+    program: &PimProgram,
+    voter: Option<&mut (NmrVoter, Dbc)>,
+) -> ExecOutcome {
+    match protection {
+        ProtectionPolicy::None => {
+            let (readouts, instr_costs, error) = run_once(machine, program);
+            ExecOutcome {
+                outputs: unpack_readouts(&readouts),
+                instr_costs,
+                error,
+                replicas: 1,
+                faults_detected: 0,
+                retries: 0,
+                votes_overturned: 0,
+                verified: false,
+            }
+        }
+        ProtectionPolicy::Reexecute { max_retries } => {
+            let mut instr_costs = Vec::new();
+            let mut replicas = 0u32;
+            let mut faults_detected = 0u64;
+            let mut retries = 0u32;
+            let mut pairs = 0u32;
+            loop {
+                let (ro_a, c_a, e_a) = run_once(machine, program);
+                let (ro_b, c_b, e_b) = run_once(machine, program);
+                replicas += 2;
+                instr_costs.extend(c_a);
+                instr_costs.extend(c_b);
+                let clean = e_a.is_none() && e_b.is_none();
+                if clean && readout_rows_equal(&ro_a, &ro_b) {
+                    return ExecOutcome {
+                        outputs: unpack_readouts(&ro_b),
+                        instr_costs,
+                        error: None,
+                        replicas,
+                        faults_detected,
+                        retries,
+                        votes_overturned: 0,
+                        verified: true,
+                    };
+                }
+                faults_detected += 1;
+                if pairs >= max_retries {
+                    // Exhausted: surface the least-broken run unverified;
+                    // the scheduler may re-dispatch to another bank.
+                    let (readouts, error) = if e_b.is_none() {
+                        (ro_b, None)
+                    } else if e_a.is_none() {
+                        (ro_a, None)
+                    } else {
+                        (ro_b, e_b)
+                    };
+                    return ExecOutcome {
+                        outputs: unpack_readouts(&readouts),
+                        instr_costs,
+                        error,
+                        replicas,
+                        faults_detected,
+                        retries,
+                        votes_overturned: 0,
+                        verified: false,
+                    };
+                }
+                pairs += 1;
+                retries += 1;
+            }
+        }
+        ProtectionPolicy::Nmr { n } => {
+            let (voter, vote_dbc) = voter.expect("worker allocates a voter for NMR policies");
+            let mut instr_costs = Vec::new();
+            let mut runs = Vec::with_capacity(n);
+            for i in 0..n {
+                let (readouts, costs, error) = run_once(machine, program);
+                instr_costs.extend(costs);
+                if let Some(err) = error {
+                    return ExecOutcome {
+                        outputs: unpack_readouts(&readouts),
+                        instr_costs,
+                        error: Some(err),
+                        replicas: i as u32 + 1,
+                        faults_detected: 0,
+                        retries: 0,
+                        votes_overturned: 0,
+                        verified: false,
+                    };
+                }
+                runs.push(readouts);
+            }
+            let mut outputs = Vec::with_capacity(runs[0].len());
+            let mut faults_detected = 0u64;
+            let mut votes_overturned = 0u64;
+            let mut meter = CostMeter::new();
+            for i in 0..runs[0].len() {
+                let (label, lane, _) = &runs[0][i];
+                let rows: Vec<Row> = runs.iter().map(|r| r[i].2.clone()).collect();
+                let disagree = rows.windows(2).any(|w| w[0] != w[1]);
+                if disagree {
+                    faults_detected += 1;
+                    votes_overturned += 1;
+                }
+                let voted = voter
+                    .vote_rows(vote_dbc, &rows, &mut meter)
+                    .unwrap_or_else(|_| NmrVoter::reference(&rows));
+                outputs.push((label.clone(), voted.unpack(*lane)));
+            }
+            let vote_cost = meter.total();
+            if vote_cost.cycles > 0 {
+                instr_costs.push(vote_cost);
+            }
+            ExecOutcome {
+                outputs,
+                instr_costs,
+                error: None,
+                replicas: n as u32,
+                faults_detected,
+                retries: 0,
+                votes_overturned,
+                verified: true,
+            }
+        }
+    }
+}
+
+/// Labeled raw readout rows of one program execution.
+type Readouts = Vec<(String, usize, Row)>;
+
+/// Unpacks raw readout rows into the per-lane word outputs jobs report.
+fn unpack_readouts(readouts: &Readouts) -> Vec<(String, Vec<u64>)> {
+    readouts
+        .iter()
+        .map(|(label, lane, row)| (label.clone(), row.unpack(*lane)))
+        .collect()
+}
+
+/// Whether two executions produced identical raw readout rows (compared
+/// at full row width — stricter than the unpacked lanes).
+fn readout_rows_equal(a: &Readouts, b: &Readouts) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.2 == y.2)
+}
+
+/// Executes a program once on a shard machine, collecting raw readout
+/// rows (for verification) and per-instruction device costs (for the
+/// central timing replay).
+fn run_once(
+    machine: &mut PimMachine,
+    program: &PimProgram,
+) -> (Readouts, Vec<Cost>, Option<PimError>) {
+    let width = machine.controller().config().nanowires_per_dbc;
+    let mut meter = CostMeter::new();
+    let mut readouts = Vec::new();
+    let mut instr_costs = Vec::new();
+    for step in &program.steps {
+        let result: Result<(), PimError> = (|| {
+            match step {
+                Step::Load { addr, values, lane } => {
+                    let row = Row::pack(width, *lane, values);
+                    machine
+                        .controller_mut()
+                        .store_row(*addr, &row, &mut meter)?;
+                }
+                Step::Exec(instr) => {
+                    let out = machine.execute(instr)?;
+                    instr_costs.push(out.cost);
+                }
+                Step::Readout { label, addr, lane } => {
+                    let row = machine.controller_mut().load_row(*addr, &mut meter)?;
+                    readouts.push((label.clone(), *lane, row));
+                }
+            }
+            Ok(())
+        })();
+        if let Err(err) = result {
+            return (readouts, instr_costs, Some(err));
+        }
+    }
+    (readouts, instr_costs, None)
 }
 
 #[cfg(test)]

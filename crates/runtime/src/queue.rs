@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// A bounded blocking FIFO. `T` is the job type; the queue itself is
 /// generic so tests can drive it with plain integers.
@@ -36,6 +37,17 @@ pub enum PushError {
     /// The queue is at capacity (only from [`JobQueue::try_push`]).
     Full,
     /// The queue was closed; no more work is accepted.
+    Closed,
+}
+
+/// The outcome of a [`JobQueue::pop_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still empty (and open).
+    Timeout,
+    /// The queue is closed and fully drained.
     Closed,
 }
 
@@ -132,6 +144,29 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Dequeues with a bounded wait: blocks at most `timeout` while the
+    /// queue is empty. The fault-aware scheduler uses this to interleave
+    /// queue draining with worker-ack processing without busy-spinning.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.space.notify_one();
+                return Pop::Item(item);
+            }
+            if state.closed {
+                return Pop::Closed;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Pop::Timeout;
+            }
+            let (guard, _) = self.items.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+        }
+    }
+
     /// Dequeues every job currently available without blocking (the
     /// scheduler uses this to batch a burst into its bank FIFOs).
     pub fn drain_ready(&self, into: &mut Vec<T>) {
@@ -206,6 +241,25 @@ mod tests {
         assert_eq!(q.pop(), Some(10));
         producer.join().unwrap();
         assert_eq!(q.pop(), Some(20));
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_delivers() {
+        let q: JobQueue<u32> = JobQueue::new(4);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Timeout);
+        q.push(9).unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Item(9));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Closed);
+    }
+
+    #[test]
+    fn pop_timeout_drains_before_reporting_closed() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Item(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Closed);
     }
 
     #[test]

@@ -86,9 +86,23 @@ impl BankScheduler {
     /// the cursor past that bank so the next issue prefers a *different*
     /// bank.
     pub fn issue_next(&mut self) -> Option<IssuedJob> {
+        self.issue_next_where(|_| true)
+    }
+
+    /// Like [`BankScheduler::issue_next`], but only considers banks the
+    /// `eligible` predicate accepts — the fault-aware scheduler passes an
+    /// in-flight cap so a failing bank cannot absorb unbounded work
+    /// before its health score catches up.
+    pub fn issue_next_where<F: FnMut(usize) -> bool>(
+        &mut self,
+        mut eligible: F,
+    ) -> Option<IssuedJob> {
         let banks = self.fifos.len();
         for off in 0..banks {
             let bank = (self.cursor + off) % banks;
+            if !eligible(bank) {
+                continue;
+            }
             if let Some(job) = self.fifos[bank].pop_front() {
                 self.cursor = (bank + 1) % banks;
                 self.pending -= 1;
@@ -98,6 +112,14 @@ impl BankScheduler {
             }
         }
         None
+    }
+
+    /// Removes and returns every queued job of `bank`, in FIFO order —
+    /// used when a bank is quarantined and its backlog must be re-routed.
+    pub fn drain_bank(&mut self, bank: usize) -> Vec<PimJob> {
+        let drained: Vec<PimJob> = self.fifos[bank].drain(..).collect();
+        self.pending -= drained.len();
+        drained
     }
 
     /// Issues everything pending, in circular-bank order.
@@ -160,6 +182,35 @@ mod tests {
         }
         let seqs: Vec<u64> = s.issue_all().iter().map(|i| i.seq).collect();
         assert_eq!(seqs, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ineligible_banks_are_skipped_until_allowed() {
+        let mut s = BankScheduler::new(3);
+        s.enqueue(job(0), 0);
+        s.enqueue(job(1), 1);
+        // Bank 0 gated: the sweep starts at the cursor but takes bank 1.
+        let first = s.issue_next_where(|b| b != 0).unwrap();
+        assert_eq!((first.job.id, first.bank), (1, 1));
+        // Nothing else is eligible.
+        assert!(s.issue_next_where(|b| b != 0).is_none());
+        assert_eq!(s.pending(), 1);
+        // Once ungated, bank 0's job issues with the next dense seq.
+        let second = s.issue_next().unwrap();
+        assert_eq!((second.job.id, second.bank, second.seq), (0, 0, 1));
+    }
+
+    #[test]
+    fn drain_bank_empties_only_that_bank() {
+        let mut s = BankScheduler::new(2);
+        s.enqueue(job(0), 0);
+        s.enqueue(job(1), 1);
+        s.enqueue(job(2), 1);
+        let drained: Vec<u64> = s.drain_bank(1).iter().map(|j| j.id).collect();
+        assert_eq!(drained, vec![1, 2]);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.issue_next().unwrap().job.id, 0);
+        assert!(s.drain_bank(1).is_empty());
     }
 
     #[test]

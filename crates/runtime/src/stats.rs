@@ -2,6 +2,7 @@
 //! serializable [`RuntimeStats`] roll-up.
 
 use coruscant_mem::controller::{BankStats, ControllerStats};
+use coruscant_mem::ScrubOutcome;
 use serde::Serialize;
 
 /// A power-of-two-bucket histogram of `u64` samples. Bucket `i` counts
@@ -71,6 +72,38 @@ pub struct BankOccupancy {
     pub wait_cycles: u64,
 }
 
+/// Fault-tolerance counters of a runtime session (all zero when neither
+/// fault injection nor a protection policy is configured).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FaultStats {
+    /// Distinct jobs that ran under an active protection policy.
+    pub protected_jobs: u64,
+    /// Program executions across all jobs and attempts (replication and
+    /// retries included) — the detection overhead in units of runs.
+    pub replicas_run: u64,
+    /// Faults detected by protection: mismatching compare-pairs plus
+    /// voted readouts whose replicas disagreed.
+    pub faults_detected: u64,
+    /// Extra compare-pairs run after a mismatch (re-execute policy).
+    pub retries: u64,
+    /// Readouts where the NMR majority overruled at least one replica.
+    pub votes_overturned: u64,
+    /// Unverified jobs the scheduler re-dispatched to a different bank.
+    pub redispatches: u64,
+    /// Jobs whose final attempt still failed verification.
+    pub unverified_jobs: u64,
+    /// Position-code scrub passes dispatched to suspect banks.
+    pub scrubs: u64,
+    /// Aggregate wires checked/realigned/repaired across all scrubs.
+    pub scrub: ScrubOutcome,
+    /// Banks in the Suspect state at session end.
+    pub suspect_banks: u64,
+    /// Banks quarantined during the session (sticky).
+    pub quarantined_banks: u64,
+    /// Fraction of banks lost to quarantine, `0.0..=1.0`.
+    pub degraded_capacity: f64,
+}
+
 /// Aggregate, serializable statistics of a runtime session.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RuntimeStats {
@@ -105,6 +138,8 @@ pub struct RuntimeStats {
     pub controller: ControllerStats,
     /// The timing controller's per-bank request distribution.
     pub bank_stats: BankStats,
+    /// Fault detection, retry, and quarantine counters.
+    pub faults: FaultStats,
 }
 
 #[cfg(test)]

@@ -384,4 +384,35 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn served_query_stays_correct_under_faults_with_protection() {
+        use coruscant_mem::FaultPlan;
+        use coruscant_racetrack::FaultConfig;
+        use coruscant_runtime::{HealthPolicy, ProtectionPolicy};
+
+        let config = MemoryConfig::tiny();
+        let ds = BitmapDataset::generate(1000, 3, 11);
+        // Uniform accelerated TR faults on every bank: don't quarantine,
+        // just detect and retry until each chunk verifies.
+        let plan = FaultPlan::uniform(FaultConfig::NONE.with_tr_fault_rate(2e-3), 0xFA117).unwrap();
+        let health = HealthPolicy {
+            suspect_after: 10_000,
+            quarantine_after: 100_000,
+            scrub_on_suspect: false,
+            ..HealthPolicy::default()
+        };
+        let options = RuntimeOptions::default()
+            .with_faults(plan)
+            .with_health(health)
+            .with_protection(ProtectionPolicy::Reexecute { max_retries: 6 });
+        let (count, report) = serve_bitmap_query(&ds, 3, &config, options).unwrap();
+        assert_eq!(count, ds.reference_count(3), "protected count is exact");
+        assert_eq!(report.stats.faults.unverified_jobs, 0);
+        assert_eq!(
+            report.stats.faults.protected_jobs,
+            1000u64.div_ceil(64),
+            "every chunk ran protected"
+        );
+    }
 }

@@ -1,16 +1,21 @@
 //! Fault tolerance with N-modular redundancy (paper §III-F, §V-F):
 //! injects transverse-read faults at an accelerated rate, shows
 //! unprotected operations failing, and recovers the correct results by
-//! voting through the super-carry majority gate.
+//! voting through the super-carry majority gate. A second section serves
+//! the same accelerated faults through the execution runtime with
+//! re-execute-and-compare protection and prints its fault counters.
 //!
 //! Run with: `cargo run --example fault_tolerance`
 
 use coruscant::core::bulk::{BulkExecutor, BulkOp};
 use coruscant::core::nmr::NmrVoter;
-use coruscant::mem::{Dbc, MemoryConfig, Row};
+use coruscant::mem::{Dbc, FaultPlan, MemoryConfig, Row};
 use coruscant::racetrack::{CostMeter, FaultConfig};
 use coruscant::reliability::model::OpReliability;
 use coruscant::reliability::nmr::NmrReliability;
+use coruscant::runtime::{HealthPolicy, ProtectionPolicy, RuntimeOptions};
+use coruscant::workloads::bitmap::BitmapDataset;
+use coruscant::workloads::serve::serve_bitmap_query;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MemoryConfig::tiny();
@@ -67,5 +72,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tmr = NmrReliability::at(3, 7);
     let n5 = NmrReliability::at(5, 7);
     println!("  TMR 8-bit add: {:.1e};  N=5: {:.1e}", tmr.add8, n5.add8);
+
+    // ---- Fault-tolerant serving through the runtime ----------------
+    // The same accelerated faults, but now injected under a whole
+    // serving session: the bitmap query is chunked into jobs, every
+    // bank's DBCs draw seeded fault streams, and the runtime's
+    // re-execute-and-compare policy verifies each job before it counts.
+    println!("\nFault-tolerant serving (runtime, accelerated p = 2e-3):");
+    let ds = BitmapDataset::generate(2000, 3, 17);
+    let reference = ds.reference_count(3);
+    let plan = || FaultPlan::uniform(FaultConfig::NONE.with_tr_fault_rate(2e-3), 0xFA11).unwrap();
+    // Uniform faults hit every bank, so disable quarantine and let the
+    // retry loop do the work.
+    let health = HealthPolicy {
+        suspect_after: 10_000,
+        quarantine_after: 100_000,
+        scrub_on_suspect: false,
+        ..HealthPolicy::default()
+    };
+
+    let (count_off, off) = serve_bitmap_query(
+        &ds,
+        3,
+        &config,
+        RuntimeOptions::default()
+            .with_faults(plan())
+            .with_health(health),
+    )?;
+    println!(
+        "  protection off: count {count_off} vs reference {reference} ({})",
+        if count_off == reference {
+            "correct by luck"
+        } else {
+            "CORRUPTED"
+        }
+    );
+
+    let (count_on, on) = serve_bitmap_query(
+        &ds,
+        3,
+        &config,
+        RuntimeOptions::default()
+            .with_faults(plan())
+            .with_health(health)
+            .with_protection(ProtectionPolicy::Reexecute { max_retries: 6 }),
+    )?;
+    let f = &on.stats.faults;
+    println!("  protection on:  count {count_on} vs reference {reference}");
+    assert_eq!(count_on, reference, "re-execution must verify every chunk");
+    println!(
+        "    jobs {} | replicas run {} | faults detected {} | retries {} | unverified {}",
+        f.protected_jobs, f.replicas_run, f.faults_detected, f.retries, f.unverified_jobs
+    );
+    println!(
+        "    makespan {} cycles (unprotected: {})",
+        on.stats.makespan_cycles, off.stats.makespan_cycles
+    );
     Ok(())
 }

@@ -135,3 +135,70 @@ fn empirical_rate_tracks_analytic_model() {
         "empirical {empirical:.3} suspiciously low vs {naive:.3}"
     );
 }
+
+use coruscant::core::bulk::{BulkExecutor, BulkOp};
+use coruscant::reliability::nmr::p_word_fails;
+use proptest::prelude::*;
+
+/// Empirical NMR word-error rate of one trial batch: vote `n` faulty XOR
+/// replicas per trial and count trials whose voted 64-bit word is wrong.
+///
+/// The replica computation is a row-wide XOR of bit-complementary
+/// operands, so every wire's transverse read holds exactly one `1`: an
+/// injected ±1 level error always flips that wire's output bit and never
+/// clamps at a window boundary. The per-bit replica error rate is
+/// therefore *exactly* the injector's per-draw rate, which is what makes
+/// the analytic comparison tight.
+fn empirical_nmr_word_error(n: usize, q: f64, trials: u64, seed: u64) -> f64 {
+    let config = MemoryConfig::tiny();
+    let exec = BulkExecutor::new(&config);
+    let voter = NmrVoter::new(&config);
+    let fault = FaultConfig::NONE.with_tr_fault_rate(q);
+    let operands = [Row::pack(64, 8, &[0xAA; 8]), Row::pack(64, 8, &[0x55; 8])];
+    let golden = Row::pack(64, 8, &[0xFF; 8]);
+
+    let mut failures = 0u64;
+    for t in 0..trials {
+        let mut replicas = Vec::with_capacity(n);
+        for r in 0..n as u64 {
+            let mut dbc = Dbc::pim_enabled(&config).with_faults(fault, seed + t * 31 + r * 7_919);
+            let mut m = CostMeter::new();
+            replicas.push(
+                exec.execute(&mut dbc, BulkOp::Xor, &operands, &mut m)
+                    .unwrap(),
+            );
+        }
+        let mut vote_dbc = Dbc::pim_enabled(&config);
+        let mut m = CostMeter::new();
+        let voted = voter.vote_rows(&mut vote_dbc, &replicas, &mut m).unwrap();
+        if voted != golden {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The hardware NMR voter's empirical word-error rate under
+    /// accelerated TR faults agrees with the analytic
+    /// `reliability::nmr::p_word_fails` within Monte-Carlo tolerance,
+    /// for every supported redundancy degree.
+    #[test]
+    fn nmr_word_error_matches_analytic(seed in 1_000u64..1_000_000) {
+        // Per-degree rates chosen so the analytic word-error probability
+        // is large enough to estimate with a few hundred trials.
+        for (n, q) in [(3usize, 0.05f64), (5, 0.08)] {
+            let analytic = p_word_fails(n as u64, q, 64);
+            prop_assume!(analytic > 0.05);
+            let empirical = empirical_nmr_word_error(n, q, 250, seed);
+            let rel = (empirical - analytic).abs() / analytic;
+            prop_assert!(
+                rel < 0.45,
+                "n={} q={}: empirical {:.3} vs analytic {:.3} (rel {:.2})",
+                n, q, empirical, analytic, rel
+            );
+        }
+    }
+}

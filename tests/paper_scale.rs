@@ -119,3 +119,92 @@ fn trace_replay_at_paper_scale() {
     assert!(report.finish_cycles > 0);
     assert!(report.cycles_per_request() < 40.0);
 }
+
+/// Nightly campaign (run with `--ignored`): fault-tolerant serving at
+/// the paper's full Table II geometry — 32 banks, 512-nanowire DBCs,
+/// 2048 PIM units — under an accelerated seeded fault plan. The per-op
+/// fault probability (512 TR draws × 2e-4) is two orders of magnitude
+/// above the acceptance floor of 1e-3; re-execution must still serve
+/// every output exactly.
+#[test]
+#[ignore = "nightly: paper-scale fault campaign (slow)"]
+fn nightly_paper_scale_fault_tolerant_serving() {
+    use coruscant::core::isa::{BlockSize, CpimInstr, CpimOpcode};
+    use coruscant::core::program::{PimProgram, Step};
+    use coruscant::mem::{DbcLocation, FaultPlan, RowAddress};
+    use coruscant::racetrack::FaultConfig;
+    use coruscant::runtime::{HealthPolicy, Placement, ProtectionPolicy, Runtime, RuntimeOptions};
+
+    let config = MemoryConfig::paper();
+    let lanes = 512 / 8;
+    let add_job = |a: u64, b: u64| {
+        let loc = DbcLocation::new(0, 0, 0, 0);
+        PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(loc, 4),
+                    values: vec![a; lanes],
+                    lane: 8,
+                },
+                Step::Load {
+                    addr: RowAddress::new(loc, 5),
+                    values: vec![b; lanes],
+                    lane: 8,
+                },
+                Step::Exec(
+                    CpimInstr::new(
+                        CpimOpcode::Add,
+                        RowAddress::new(loc, 4),
+                        2,
+                        BlockSize::new(8).unwrap(),
+                        Some(RowAddress::new(loc, 20)),
+                    )
+                    .unwrap(),
+                ),
+                Step::Readout {
+                    label: "sum".into(),
+                    addr: RowAddress::new(loc, 20),
+                    lane: 8,
+                },
+            ],
+        }
+    };
+
+    let plan = FaultPlan::uniform(FaultConfig::NONE.with_tr_fault_rate(2e-4), 0x9A9E_55CA).unwrap();
+    // Uniform faults hit every bank: health must not quarantine.
+    let health = HealthPolicy {
+        suspect_after: 10_000,
+        quarantine_after: 100_000,
+        scrub_on_suspect: false,
+        ..HealthPolicy::default()
+    };
+    let options = RuntimeOptions::default()
+        .with_faults(plan)
+        .with_health(health)
+        .with_protection(ProtectionPolicy::Reexecute { max_retries: 6 });
+
+    let jobs = 128u64;
+    let runtime = Runtime::new(config, options).unwrap();
+    for i in 0..jobs {
+        runtime
+            .submit(add_job(3 + i % 100, 7 + i % 55), Placement::Auto)
+            .unwrap();
+    }
+    let report = runtime.finish().unwrap();
+
+    assert_eq!(report.outcomes.len() as u64, jobs);
+    for o in &report.outcomes {
+        let (a, b) = (3 + o.job_id % 100, 7 + o.job_id % 55);
+        assert_eq!(
+            o.outputs[0].1,
+            vec![(a + b) & 0xFF; lanes],
+            "job {}",
+            o.job_id
+        );
+        assert!(o.verified);
+    }
+    let f = &report.stats.faults;
+    assert!(f.faults_detected > 0, "acceleration must trip detection");
+    assert_eq!(f.unverified_jobs, 0);
+    assert_eq!(f.quarantined_banks, 0);
+}
