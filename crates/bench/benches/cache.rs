@@ -1,0 +1,79 @@
+//! Criterion benches of the cross-job optimizations: cold vs warm
+//! enqueue through the compiled-program cache, and batched vs unbatched
+//! same-bank throughput.
+
+use coruscant_mem::MemoryConfig;
+use coruscant_runtime::{BatchOptions, CacheOptions, Placement, Runtime, RuntimeOptions};
+use coruscant_workloads::bitmap::BitmapDataset;
+use coruscant_workloads::serve::{compile_bitmap_query_with, QueryPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let config = eight_bank_config();
+    let ds = BitmapDataset::generate(64, 4, 7);
+    let program = compile_bitmap_query_with(&ds, 4, &config, QueryPlan::PairwiseChain)
+        .unwrap()
+        .remove(0);
+    let jobs = 256u64;
+
+    // Cold vs warm enqueue: the same program submitted `jobs` times;
+    // cold pays the pass pipeline every time, warm hits the cache.
+    let mut g = c.benchmark_group("cache_enqueue");
+    g.throughput(Throughput::Elements(jobs));
+    for (name, cache) in [("cold", false), ("warm", true)] {
+        g.bench_with_input(BenchmarkId::new(name, jobs), &cache, |b, &cache| {
+            b.iter(|| {
+                let options = RuntimeOptions::default().with_cache(CacheOptions {
+                    enabled: cache,
+                    ..CacheOptions::default()
+                });
+                let rt = Runtime::new(config.clone(), options).unwrap();
+                for _ in 0..jobs {
+                    rt.submit(program.clone(), Placement::Auto).unwrap();
+                }
+                black_box(rt.finish().unwrap())
+            });
+        });
+    }
+    g.finish();
+
+    // Batched vs unbatched same-bank throughput: everything queued onto
+    // one PIM unit, dispatched one job at a time vs spliced 8 at a time.
+    let mut g = c.benchmark_group("same_bank_batch");
+    g.throughput(Throughput::Elements(jobs));
+    for (name, batch) in [
+        ("unbatched", BatchOptions::default()),
+        ("batched", BatchOptions::enabled()),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, jobs), &batch, |b, &batch| {
+            b.iter(|| {
+                let options = RuntimeOptions::default().with_batch(batch);
+                let rt = Runtime::new(config.clone(), options).unwrap();
+                for _ in 0..jobs {
+                    rt.submit(program.clone(), Placement::Unit(0)).unwrap();
+                }
+                black_box(rt.finish().unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

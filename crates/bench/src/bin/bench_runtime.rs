@@ -1,0 +1,67 @@
+//! Emits `BENCH_runtime.json`: the cross-job-optimization perf
+//! trajectory — host throughput over a shards × cache × batch grid plus
+//! the 10k-job repeated-query compile-time campaign.
+//!
+//! Usage: `cargo run --release -p coruscant-bench --bin bench_runtime
+//! [output-path]` (default `BENCH_runtime.json` in the working
+//! directory).
+
+use coruscant_bench::{header, runtime_perf, times};
+use coruscant_mem::MemoryConfig;
+
+/// Eight banks × 2 subarrays × 2 tiles with one PIM DBC each = 32 PIM
+/// units (the geometry the runtime benches use throughout).
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_runtime.json".into());
+    let config = eight_bank_config();
+    let bench = runtime_perf::run_full(&config, 16_000, &[1, 2, 4, 8], 10_000);
+
+    header("Runtime cross-job optimization grid (jobs/sec, host wall)");
+    println!(
+        "{:<8} {:<6} {:<6} {:>10} {:>12} {:>12} {:>8}",
+        "shards", "cache", "batch", "jobs/s", "device_cyc", "makespan", "batches"
+    );
+    for cell in &bench.grid {
+        println!(
+            "{:<8} {:<6} {:<6} {:>10.0} {:>12} {:>12} {:>8}",
+            cell.shards,
+            cell.cache,
+            cell.batch,
+            cell.jobs_per_sec,
+            cell.device_cycles,
+            cell.makespan_cycles,
+            cell.batches
+        );
+    }
+    let rq = &bench.repeated_query;
+    header("Repeated-query compile-time campaign");
+    println!(
+        "{} jobs: cold submit {:.1} ms, warm submit {:.1} ms -> {} ({} hits)",
+        rq.jobs,
+        rq.cold_submit_ms,
+        rq.warm_submit_ms,
+        times(rq.speedup),
+        rq.warm_hits
+    );
+
+    let json = serde::json::to_string(&bench);
+    std::fs::write(&path, json + "\n").expect("write bench output");
+    println!("\nwrote {path}");
+}

@@ -5,6 +5,8 @@
 //! prints them next to the paper's reported numbers so deviations are
 //! visible at a glance (EXPERIMENTS.md records the analysis).
 
+pub mod runtime_perf;
+
 /// Prints a table header with a title and a rule.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

@@ -1,0 +1,241 @@
+//! Perf-trajectory harness for the runtime's cross-job optimizations:
+//! a shards × cache × batch grid over a bank-blocked bitmap-query
+//! stream, plus a repeated-query campaign isolating the compile-time
+//! saving of the compiled-program cache.
+//!
+//! The `bench_runtime` binary serializes the result to
+//! `BENCH_runtime.json` so successive PRs leave a comparable perf
+//! trajectory in the repository history.
+
+use coruscant_mem::{MemoryConfig, MemoryController};
+use coruscant_runtime::{
+    BatchOptions, CacheOptions, Placement, Runtime, RuntimeOptions, RuntimeReport,
+};
+use coruscant_workloads::bitmap::BitmapDataset;
+use coruscant_workloads::compile::PimProgram;
+use coruscant_workloads::serve::{compile_bitmap_query_with, QueryPlan};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One cell of the shards × cache × batch grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridPoint {
+    /// Worker shards the session ran with.
+    pub shards: usize,
+    /// Whether the compiled-program cache was enabled.
+    pub cache: bool,
+    /// Whether same-bank batch fusion was enabled.
+    pub batch: bool,
+    /// Jobs served.
+    pub jobs: u64,
+    /// Host wall time, milliseconds, submit through finish.
+    pub wall_ms: f64,
+    /// Host throughput.
+    pub jobs_per_sec: f64,
+    /// Total modeled device cycles across all jobs.
+    pub device_cycles: u64,
+    /// Modeled end-to-end makespan (memory cycles, all banks drained).
+    pub makespan_cycles: u64,
+    /// Cache hits the session recorded.
+    pub cache_hits: u64,
+    /// Batched dispatches (≥2 jobs spliced) the session recorded.
+    pub batches: u64,
+}
+
+/// The repeated-query campaign: the same compiled query submitted many
+/// times, cold (cache off) vs warm (cache on).
+#[derive(Debug, Clone, Serialize)]
+pub struct RepeatedQueryCampaign {
+    /// Submissions per arm.
+    pub jobs: u64,
+    /// Submit-side wall time with the cache disabled (every submission
+    /// runs the full pass pipeline), milliseconds.
+    pub cold_submit_ms: f64,
+    /// Submit-side wall time with the cache enabled (one miss, then
+    /// hash-lookup hits), milliseconds.
+    pub warm_submit_ms: f64,
+    /// `cold_submit_ms / warm_submit_ms` — the compile-time saving.
+    pub speedup: f64,
+    /// Cache hits the warm arm recorded (must be `jobs - 1`).
+    pub warm_hits: u64,
+}
+
+/// The full `BENCH_runtime.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeBench {
+    /// Banks in the benched geometry.
+    pub banks: usize,
+    /// PIM units in the benched geometry.
+    pub pim_units: usize,
+    /// The shards × cache × batch grid.
+    pub grid: Vec<GridPoint>,
+    /// The compile-time campaign.
+    pub repeated_query: RepeatedQueryCampaign,
+}
+
+/// The job stream the grid serves: bitmap-query chunks placed in blocks
+/// of `block` consecutive jobs per PIM unit, so same-unit runs exist for
+/// batch fusion while the blocks still spread over every bank.
+fn blocked_placements(n_jobs: usize, units: usize, block: usize) -> Vec<Placement> {
+    (0..n_jobs)
+        .map(|i| Placement::Unit((i / block) % units))
+        .collect()
+}
+
+fn run_session(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    placements: &[Placement],
+    options: RuntimeOptions,
+) -> (RuntimeReport, f64) {
+    let start = Instant::now();
+    let rt = Runtime::new(config.clone(), options).expect("runtime options are valid");
+    for (program, placement) in programs.iter().zip(placements) {
+        rt.submit(program.clone(), *placement)
+            .expect("submission succeeds");
+    }
+    let report = rt.finish().expect("session completes");
+    (report, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs one grid cell.
+#[must_use]
+pub fn grid_point(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    placements: &[Placement],
+    shards: usize,
+    cache: bool,
+    batch: bool,
+) -> GridPoint {
+    let options = RuntimeOptions::default()
+        .with_shards(shards)
+        .with_cache(CacheOptions {
+            enabled: cache,
+            ..CacheOptions::default()
+        })
+        .with_batch(if batch {
+            BatchOptions::enabled()
+        } else {
+            BatchOptions::default()
+        });
+    let (report, wall_ms) = run_session(config, programs, placements, options);
+    GridPoint {
+        shards,
+        cache,
+        batch,
+        jobs: report.stats.jobs,
+        wall_ms,
+        jobs_per_sec: report.stats.jobs as f64 / (wall_ms / 1e3),
+        device_cycles: report.stats.device_cycles,
+        makespan_cycles: report.stats.makespan_cycles,
+        cache_hits: report.stats.cache.hits,
+        batches: report.stats.batch.batches,
+    }
+}
+
+/// Runs the full shards × cache × batch grid over a `rows`-row
+/// bitmap-query stream.
+#[must_use]
+pub fn run_grid(config: &MemoryConfig, rows: usize, shards: &[usize]) -> Vec<GridPoint> {
+    let ds = BitmapDataset::generate(rows, 3, 11);
+    let programs = compile_bitmap_query_with(&ds, 3, config, QueryPlan::PairwiseChain)
+        .expect("query compiles");
+    let units = MemoryController::new(config.clone()).pim_unit_count();
+    let placements = blocked_placements(programs.len(), units, 8);
+    let mut grid = Vec::new();
+    for &s in shards {
+        for cache in [false, true] {
+            for batch in [false, true] {
+                grid.push(grid_point(config, &programs, &placements, s, cache, batch));
+            }
+        }
+    }
+    grid
+}
+
+/// Submits the same query program `jobs` times and measures the
+/// submit-side (compile) wall time, cache off vs cache on.
+#[must_use]
+pub fn repeated_query_campaign(config: &MemoryConfig, jobs: u64) -> RepeatedQueryCampaign {
+    let ds = BitmapDataset::generate(64, 4, 7);
+    let program = compile_bitmap_query_with(&ds, 4, config, QueryPlan::PairwiseChain)
+        .expect("query compiles")
+        .remove(0);
+
+    let arm = |cache: bool| -> (f64, u64) {
+        let options = RuntimeOptions::default().with_cache(CacheOptions {
+            enabled: cache,
+            ..CacheOptions::default()
+        });
+        let rt = Runtime::new(config.clone(), options).expect("runtime options are valid");
+        let start = Instant::now();
+        for _ in 0..jobs {
+            rt.submit(program.clone(), Placement::Auto)
+                .expect("submission succeeds");
+        }
+        let submit_ms = start.elapsed().as_secs_f64() * 1e3;
+        let report = rt.finish().expect("session completes");
+        (submit_ms, report.stats.cache.hits)
+    };
+
+    let (cold_submit_ms, _) = arm(false);
+    let (warm_submit_ms, warm_hits) = arm(true);
+    RepeatedQueryCampaign {
+        jobs,
+        cold_submit_ms,
+        warm_submit_ms,
+        speedup: cold_submit_ms / warm_submit_ms,
+        warm_hits,
+    }
+}
+
+/// Runs the whole harness: the grid plus the repeated-query campaign.
+#[must_use]
+pub fn run_full(config: &MemoryConfig, rows: usize, shards: &[usize], jobs: u64) -> RuntimeBench {
+    RuntimeBench {
+        banks: config.banks,
+        pim_units: MemoryController::new(config.clone()).pim_unit_count(),
+        grid: run_grid(config, rows, shards),
+        repeated_query: repeated_query_campaign(config, jobs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny-geometry smoke: the whole harness runs, every grid cell
+    /// serves the same job count with identical modeled device cycles at
+    /// batch off, the warm arm hits `jobs - 1` times, and batching
+    /// engages where enabled.
+    #[test]
+    fn harness_smoke_on_tiny_geometry() {
+        let config = MemoryConfig::tiny();
+        let bench = run_full(&config, 2_000, &[1, 2], 200);
+        assert_eq!(bench.grid.len(), 8);
+        let jobs = bench.grid[0].jobs;
+        assert!(jobs > 0);
+        for cell in &bench.grid {
+            assert_eq!(cell.jobs, jobs, "every cell serves the whole stream");
+            assert!(cell.wall_ms > 0.0);
+            if cell.batch {
+                assert!(cell.batches > 0, "batch cells must batch: {cell:?}");
+            } else {
+                assert_eq!(cell.batches, 0);
+            }
+            if !cell.cache {
+                assert_eq!(cell.cache_hits, 0);
+            }
+        }
+        // Cross-boundary optimization may only ever *reduce* modeled
+        // device work (grid order: batch-off cell then batch-on cell).
+        assert!(bench.grid[1].device_cycles <= bench.grid[0].device_cycles);
+        assert_eq!(bench.repeated_query.warm_hits, 200 - 1);
+        assert!(
+            bench.repeated_query.speedup > 1.0,
+            "warm submits must be cheaper: {:?}",
+            bench.repeated_query
+        );
+    }
+}

@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod constfold;
 pub mod dce;
 pub mod effects;
 pub mod fuse;
@@ -46,6 +48,10 @@ pub mod schedule;
 pub mod stats;
 pub mod verify;
 
+pub use batch::{
+    demux_outputs, splice_programs, verify_batch, BatchSlot, BatchVerifyOutcome, SplicedBatch,
+};
+pub use constfold::ConstFoldPass;
 pub use dce::DeadStepPass;
 pub use fuse::TrFusionPass;
 pub use pass::{Pass, PassContext, PassManager, PassReport, PipelineReport};
@@ -105,6 +111,9 @@ pub struct CompileOptions {
     pub enabled: bool,
     /// Run [`TrFusionPass`].
     pub fuse: bool,
+    /// Run [`ConstFoldPass`] (fold identity-constant loads into the
+    /// hardware's operand padding).
+    pub constfold: bool,
     /// Run [`ShiftSchedulePass`].
     pub schedule: bool,
     /// Run [`DeadStepPass`].
@@ -121,6 +130,7 @@ impl Default for CompileOptions {
         CompileOptions {
             enabled: true,
             fuse: true,
+            constfold: true,
             schedule: true,
             dce: true,
             verify: false,
@@ -134,6 +144,7 @@ impl CompileOptions {
         CompileOptions {
             enabled: false,
             fuse: false,
+            constfold: false,
             schedule: false,
             dce: false,
             verify: false,
@@ -165,6 +176,9 @@ impl Compiler {
         if options.enabled {
             if options.fuse {
                 manager = manager.with_pass(Box::new(TrFusionPass));
+            }
+            if options.constfold {
+                manager = manager.with_pass(Box::new(ConstFoldPass));
             }
             if options.dce {
                 manager = manager.with_pass(Box::new(DeadStepPass));
@@ -239,7 +253,7 @@ mod tests {
         let compiler = Compiler::new(config, &CompileOptions::default());
         assert_eq!(
             compiler.pass_names(),
-            vec!["tr-fusion", "dead-step", "shift-schedule"]
+            vec!["tr-fusion", "const-fold", "dead-step", "shift-schedule"]
         );
     }
 }

@@ -1,0 +1,393 @@
+//! The compiled-program cache: a sharded LRU keyed by a structural,
+//! placement-normalized program hash.
+//!
+//! Serving campaigns submit the same query program thousands of times;
+//! without a cache every submission pays the full pass pipeline (and the
+//! differential verifier, when enabled). The cache keys each submission
+//! by a structural hash of its steps. Programs confined to a *single*
+//! DBC — every workload chunk the front ends emit — are normalized to a
+//! canonical location before hashing, so the same logical program lands
+//! on one entry regardless of where the client compiled it; on a hit the
+//! cached optimized artifact is retargeted back to the submission's home
+//! DBC, so distinct placements can never observe each other's addresses.
+//! Programs spanning multiple DBCs are keyed with their concrete
+//! locations untouched (no normalization is sound there).
+//!
+//! A full structural equality check against the stored original guards
+//! every hit, so a 64-bit hash collision degrades to a miss, never to a
+//! wrong artifact. Within each shard, eviction is LRU by a per-shard
+//! access stamp.
+
+use coruscant_core::program::{PimProgram, Step};
+use coruscant_mem::{DbcLocation, RowAddress};
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Compiled-program cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOptions {
+    /// Master switch; `false` compiles every submission.
+    pub enabled: bool,
+    /// Total cached programs across all shards before LRU eviction.
+    pub capacity: usize,
+    /// Lock shards (submissions hash-partition across them).
+    pub shards: usize,
+}
+
+impl Default for CacheOptions {
+    fn default() -> CacheOptions {
+        CacheOptions {
+            enabled: true,
+            capacity: 256,
+            shards: 8,
+        }
+    }
+}
+
+/// Counters of a session's cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Submissions served from the cache (pass pipeline skipped).
+    pub hits: u64,
+    /// Submissions that compiled and populated the cache.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Estimated device cycles saved by cached optimizations (the stored
+    /// pipeline savings, re-credited on every hit).
+    pub est_cycles_saved: u64,
+}
+
+/// What a cache hit hands back to the submit path.
+pub(crate) struct CachedCompile {
+    /// The optimized program, retargeted to the submission's home DBC.
+    pub program: Arc<PimProgram>,
+    /// Instructions the cached pipeline run removed.
+    pub instructions_saved: u64,
+    /// Estimated device cycles the cached pipeline run removed.
+    pub cycles_saved: u64,
+}
+
+struct Entry {
+    /// The canonicalized original, compared in full on every hit so hash
+    /// collisions degrade to misses.
+    original: PimProgram,
+    optimized: Arc<PimProgram>,
+    instructions_saved: u64,
+    cycles_saved: u64,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    stamp: u64,
+}
+
+/// The sharded LRU cache. See the module docs for the keying rules.
+pub(crate) struct ProgramCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    est_cycles_saved: AtomicU64,
+}
+
+/// The canonical home every single-DBC program is normalized to.
+const CANON: DbcLocation = DbcLocation {
+    bank: 0,
+    subarray: 0,
+    tile: 0,
+    dbc: 0,
+};
+
+/// The single DBC a program is confined to, if any (`None` for empty or
+/// multi-DBC programs).
+fn single_location(program: &PimProgram) -> Option<DbcLocation> {
+    let mut steps = program.steps.iter();
+    let first = steps.next()?.target();
+    steps.all(|s| s.target() == first).then_some(first)
+}
+
+fn hash_addr(addr: &RowAddress, replace: Option<DbcLocation>, h: &mut DefaultHasher) {
+    replace.unwrap_or(addr.location).hash(h);
+    addr.row.hash(h);
+}
+
+/// Structural hash of a program, with every DBC location optionally
+/// replaced by a canonical one.
+fn structural_hash(program: &PimProgram, replace: Option<DbcLocation>) -> u64 {
+    let mut h = DefaultHasher::new();
+    for step in &program.steps {
+        match step {
+            Step::Load { addr, values, lane } => {
+                0u8.hash(&mut h);
+                hash_addr(addr, replace, &mut h);
+                values.hash(&mut h);
+                lane.hash(&mut h);
+            }
+            Step::Exec(i) => {
+                1u8.hash(&mut h);
+                i.opcode.hash(&mut h);
+                hash_addr(&i.src, replace, &mut h);
+                i.operands.hash(&mut h);
+                i.blocksize.hash(&mut h);
+                match &i.dst {
+                    Some(d) => {
+                        1u8.hash(&mut h);
+                        hash_addr(d, replace, &mut h);
+                    }
+                    None => 0u8.hash(&mut h),
+                }
+            }
+            Step::Readout { label, addr, lane } => {
+                2u8.hash(&mut h);
+                label.hash(&mut h);
+                hash_addr(addr, replace, &mut h);
+                lane.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+impl ProgramCache {
+    pub fn new(options: &CacheOptions) -> ProgramCache {
+        let shards = options.shards.max(1);
+        ProgramCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: options.capacity.div_ceil(shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            est_cycles_saved: AtomicU64::new(0),
+        }
+    }
+
+    /// The home DBC (for single-DBC programs) and canonical key of a
+    /// submission.
+    fn key_of(&self, program: &PimProgram) -> (Option<DbcLocation>, u64) {
+        let home = single_location(program);
+        let key = structural_hash(program, home.map(|_| CANON));
+        (home, key)
+    }
+
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    /// Looks a submission up; on a hit, returns the cached optimized
+    /// program retargeted to the submission's home DBC. Counts neither
+    /// hits nor misses for the caller — it does so itself.
+    pub fn get(&self, program: &PimProgram) -> Option<CachedCompile> {
+        let (home, key) = self.key_of(program);
+        let mut shard = self.shard_of(key).lock().unwrap();
+        shard.stamp += 1;
+        let stamp = shard.stamp;
+        let hit = match shard.map.get_mut(&key) {
+            Some(entry) => {
+                // Structural equality against the canonicalized original:
+                // a colliding key serves nothing.
+                let canonical_matches = match home {
+                    Some(loc) if loc != CANON => entry.original == program.retarget(CANON),
+                    _ => entry.original == *program,
+                };
+                if !canonical_matches {
+                    None
+                } else {
+                    entry.stamp = stamp;
+                    let out = match home {
+                        Some(loc) if loc != CANON => Arc::new(entry.optimized.retarget(loc)),
+                        _ => Arc::clone(&entry.optimized),
+                    };
+                    Some(CachedCompile {
+                        program: out,
+                        instructions_saved: entry.instructions_saved,
+                        cycles_saved: entry.cycles_saved,
+                    })
+                }
+            }
+            None => None,
+        };
+        drop(shard);
+        match &hit {
+            Some(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.est_cycles_saved
+                    .fetch_add(cached.cycles_saved, Ordering::Relaxed);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        hit
+    }
+
+    /// Stores a freshly compiled artifact (canonicalized), evicting the
+    /// least-recently-used entry of the shard when over capacity.
+    pub fn insert(
+        &self,
+        program: &PimProgram,
+        optimized: &Arc<PimProgram>,
+        instructions_saved: u64,
+        cycles_saved: u64,
+    ) {
+        let (home, key) = self.key_of(program);
+        let (original, optimized) = match home {
+            Some(loc) if loc != CANON => {
+                (program.retarget(CANON), Arc::new(optimized.retarget(CANON)))
+            }
+            _ => (program.clone(), Arc::clone(optimized)),
+        };
+        let mut shard = self.shard_of(key).lock().unwrap();
+        shard.stamp += 1;
+        let stamp = shard.stamp;
+        shard.map.insert(
+            key,
+            Entry {
+                original,
+                optimized,
+                instructions_saved,
+                cycles_saved,
+                stamp,
+            },
+        );
+        if shard.map.len() > self.per_shard_capacity {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot of the session counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            est_cycles_saved: self.est_cycles_saved.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+
+    fn program_at(loc: DbcLocation, value: u64) -> PimProgram {
+        PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(loc, 4),
+                    values: vec![value],
+                    lane: 64,
+                },
+                Step::Readout {
+                    label: "x".into(),
+                    addr: RowAddress::new(loc, 4),
+                    lane: 64,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn single_dbc_programs_share_one_entry_across_locations() {
+        let cache = ProgramCache::new(&CacheOptions::default());
+        let a = program_at(DbcLocation::new(0, 0, 0, 0), 7);
+        let b = program_at(DbcLocation::new(1, 0, 0, 0), 7);
+        assert!(cache.get(&a).is_none());
+        cache.insert(&a, &Arc::new(a.clone()), 0, 5);
+        // The same logical program at another DBC hits, retargeted home.
+        let hit = cache.get(&b).expect("normalized hit");
+        assert_eq!(*hit.program, b);
+        assert_eq!(hit.cycles_saved, 5);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.est_cycles_saved, 5);
+    }
+
+    #[test]
+    fn different_values_are_different_entries() {
+        let cache = ProgramCache::new(&CacheOptions::default());
+        let a = program_at(CANON, 7);
+        cache.insert(&a, &Arc::new(a.clone()), 0, 0);
+        assert!(cache.get(&program_at(CANON, 8)).is_none());
+    }
+
+    #[test]
+    fn multi_dbc_programs_key_on_concrete_locations() {
+        let l0 = DbcLocation::new(0, 0, 0, 0);
+        let l1 = DbcLocation::new(1, 0, 0, 0);
+        let split = |first: DbcLocation, second: DbcLocation| PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(first, 4),
+                    values: vec![1],
+                    lane: 64,
+                },
+                Step::Readout {
+                    label: "x".into(),
+                    addr: RowAddress::new(second, 4),
+                    lane: 64,
+                },
+            ],
+        };
+        let cache = ProgramCache::new(&CacheOptions::default());
+        let a = split(l0, l1);
+        cache.insert(&a, &Arc::new(a.clone()), 0, 0);
+        assert!(cache.get(&a).is_some());
+        // Swapped locations is a different program, not a hit.
+        assert!(cache.get(&split(l1, l0)).is_none());
+    }
+
+    #[test]
+    fn capacity_one_evicts_lru() {
+        let options = CacheOptions {
+            capacity: 1,
+            shards: 1,
+            ..CacheOptions::default()
+        };
+        let cache = ProgramCache::new(&options);
+        let a = program_at(CANON, 1);
+        let b = program_at(CANON, 2);
+        cache.insert(&a, &Arc::new(a.clone()), 0, 0);
+        cache.insert(&b, &Arc::new(b.clone()), 0, 0);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&a).is_none(), "a was evicted");
+        assert!(cache.get(&b).is_some(), "b survives");
+    }
+
+    #[test]
+    fn exec_structure_distinguishes_programs() {
+        let and = |k: u8| PimProgram {
+            steps: vec![Step::Exec(
+                CpimInstr::new(
+                    CpimOpcode::And,
+                    RowAddress::new(CANON, 4),
+                    k,
+                    BlockSize::new(64).unwrap(),
+                    Some(RowAddress::new(CANON, 20)),
+                )
+                .unwrap(),
+            )],
+        };
+        let cache = ProgramCache::new(&CacheOptions::default());
+        let two = and(2);
+        cache.insert(&two, &Arc::new(two.clone()), 0, 0);
+        assert!(cache.get(&and(3)).is_none());
+        assert!(cache.get(&and(2)).is_some());
+    }
+}

@@ -19,6 +19,22 @@ pub enum Event {
         /// Job id.
         job: u64,
     },
+    /// A submission was served from the compiled-program cache (the pass
+    /// pipeline was skipped).
+    CacheHit {
+        /// Job id.
+        job: u64,
+    },
+    /// The scheduler spliced two or more same-unit jobs into one batched
+    /// program and issued it under a single sequence number.
+    Batch {
+        /// Issue sequence number shared by the whole batch.
+        seq: u64,
+        /// Resolved bank.
+        bank: usize,
+        /// Member job ids, in splice order.
+        jobs: Vec<u64>,
+    },
     /// The scheduler issued a job to a worker.
     Issue {
         /// Job id.

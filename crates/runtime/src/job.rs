@@ -3,6 +3,7 @@
 use coruscant_core::program::PimProgram;
 use coruscant_mem::DbcLocation;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Where a job's program should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,8 +26,10 @@ pub struct PimJob {
     /// Runtime-assigned id, returned by `submit`.
     pub id: u64,
     /// The program (addresses are relative to its compiled placement; the
-    /// scheduler retargets them onto the chosen unit).
-    pub program: PimProgram,
+    /// scheduler retargets them onto the chosen unit). Shared behind an
+    /// [`Arc`] so retries, NMR replicas, and in-flight records reference
+    /// one allocation instead of cloning the step stream.
+    pub program: Arc<PimProgram>,
     /// Requested placement.
     pub placement: Placement,
 }
@@ -70,4 +73,8 @@ pub struct JobOutcome {
     /// (compare pairs agreed, or an NMR vote completed). Always `false`
     /// when protection is off.
     pub verified: bool,
+    /// How many jobs shared the batched execution this outcome came from
+    /// (1 = the job ran alone; ≥2 = same-bank batch fusion spliced it
+    /// with co-located jobs).
+    pub batch: u32,
 }

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod events;
 pub mod health;
 pub mod job;
@@ -52,14 +53,16 @@ pub mod queue;
 pub mod sched;
 pub mod stats;
 
+pub use cache::{CacheOptions, CacheStats};
 pub use coruscant_compiler::CompileOptions;
 pub use health::{BankState, HealthPolicy, HealthTracker, ProtectionPolicy};
 pub use job::{JobOutcome, PimJob, Placement};
 pub use queue::{JobQueue, Pop, PushError};
-pub use sched::{BankScheduler, DispatchMode};
-pub use stats::{BankOccupancy, FaultStats, Histogram, RuntimeStats};
+pub use sched::{BankScheduler, DispatchMode, IssuedBatch};
+pub use stats::{BankOccupancy, BatchStats, FaultStats, Histogram, RuntimeStats};
 
-use coruscant_compiler::{CompileError, Compiler};
+use cache::ProgramCache;
+use coruscant_compiler::{splice_programs, CompileError, Compiler};
 use coruscant_core::dispatch::PimMachine;
 use coruscant_core::nmr::NmrVoter;
 use coruscant_core::program::{PimProgram, Step};
@@ -71,7 +74,6 @@ use coruscant_mem::{
 use coruscant_racetrack::{Cost, CostMeter};
 use events::{Event, EventTrace};
 use health::Transition;
-use sched::IssuedJob;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -135,6 +137,46 @@ impl From<coruscant_mem::MemError> for RuntimeError {
     }
 }
 
+/// Same-bank batch-fusion configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Master switch. Off by default: batch grouping depends on queue
+    /// drain timing, so enabling it trades the plain path's cross-shard
+    /// issue-order determinism for higher same-bank throughput (outputs
+    /// stay exact under any grouping).
+    pub enabled: bool,
+    /// Most jobs one batched dispatch splices together.
+    pub max_jobs: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            enabled: false,
+            max_jobs: 8,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options with batching on at the default batch size.
+    pub fn enabled() -> BatchOptions {
+        BatchOptions {
+            enabled: true,
+            ..BatchOptions::default()
+        }
+    }
+
+    /// The effective per-dispatch job cap (1 when disabled).
+    fn cap(&self) -> usize {
+        if self.enabled {
+            self.max_jobs.max(1)
+        } else {
+            1
+        }
+    }
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct RuntimeOptions {
@@ -160,6 +202,12 @@ pub struct RuntimeOptions {
     /// When set, every worker machine materializes its DBCs with the
     /// plan's seeded per-bank fault injectors.
     pub faults: Option<FaultPlan>,
+    /// Compiled-program cache: repeated submissions skip the pass
+    /// pipeline (keyed by placement-normalized structural hash).
+    pub cache: CacheOptions,
+    /// Same-bank batch fusion: splice co-located queued jobs into one
+    /// program and optimize across the boundary before dispatch.
+    pub batch: BatchOptions,
 }
 
 impl Default for RuntimeOptions {
@@ -173,6 +221,8 @@ impl Default for RuntimeOptions {
             protection: ProtectionPolicy::None,
             health: HealthPolicy::default(),
             faults: None,
+            cache: CacheOptions::default(),
+            batch: BatchOptions::default(),
         }
     }
 }
@@ -220,33 +270,56 @@ impl RuntimeOptions {
         self
     }
 
+    /// Options with given cache settings, defaults elsewhere.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheOptions) -> RuntimeOptions {
+        self.cache = cache;
+        self
+    }
+
+    /// Options with given batch-fusion settings, defaults elsewhere.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchOptions) -> RuntimeOptions {
+        self.batch = batch;
+        self
+    }
+
     /// Whether these options activate the fault-aware scheduler.
     pub fn fault_aware(&self) -> bool {
         self.faults.is_some() || self.protection.is_active()
     }
 }
 
+/// One member job's share of a dispatched (possibly batched) program:
+/// identity, how many readouts it owns in the program's output stream,
+/// and which dispatch attempt this is for it.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    job_id: u64,
+    readouts: usize,
+    attempt: u32,
+}
+
 /// What the scheduler sends each worker.
 enum WorkMsg {
-    /// Execute one job attempt.
+    /// Execute one dispatch: a single job's program, or a batched splice
+    /// of several same-unit jobs. `slots` demuxes the outputs per job.
     Job {
         seq: u64,
-        job_id: u64,
         unit: DbcLocation,
-        program: PimProgram,
-        attempt: u32,
+        program: Arc<PimProgram>,
+        slots: Vec<SlotMeta>,
     },
     /// Run a position-code scrub pass over one bank's materialized DBCs.
     Scrub { bank: usize },
 }
 
-/// What a worker reports back to [`Runtime::finish`], once per job
+/// What a worker reports back to [`Runtime::finish`], once per dispatch
 /// attempt.
 struct DoneMsg {
     seq: u64,
-    job_id: u64,
     unit: DbcLocation,
-    attempt: u32,
+    slots: Vec<SlotMeta>,
     outputs: Vec<(String, Vec<u64>)>,
     instr_costs: Vec<Cost>,
     error: Option<PimError>,
@@ -262,9 +335,7 @@ struct DoneMsg {
 enum AckMsg {
     Job {
         seq: u64,
-        job_id: u64,
         bank: usize,
-        attempt: u32,
         faults: u64,
         verified: bool,
     },
@@ -278,6 +349,8 @@ enum AckMsg {
 struct SchedulerOutput {
     depth_hist: Histogram,
     issued: u64,
+    batches: u64,
+    batched_jobs: u64,
     redispatches: u64,
     scrubs: u64,
     scrub_total: ScrubOutcome,
@@ -287,10 +360,17 @@ struct SchedulerOutput {
 }
 
 impl SchedulerOutput {
-    fn plain(depth_hist: Histogram, issued: u64) -> SchedulerOutput {
+    fn plain(
+        depth_hist: Histogram,
+        issued: u64,
+        batches: u64,
+        batched_jobs: u64,
+    ) -> SchedulerOutput {
         SchedulerOutput {
             depth_hist,
             issued,
+            batches,
+            batched_jobs,
             redispatches: 0,
             scrubs: 0,
             scrub_total: ScrubOutcome::default(),
@@ -324,6 +404,7 @@ pub struct Runtime {
     shards: usize,
     protection: ProtectionPolicy,
     compiler: Compiler,
+    cache: Option<ProgramCache>,
     optimized_jobs: AtomicU64,
     instructions_eliminated: AtomicU64,
     est_device_cycles_saved: AtomicU64,
@@ -386,18 +467,25 @@ impl Runtime {
             let dispatch = options.dispatch;
             let protection = options.protection;
             let policy = options.health;
+            let batch = options.batch;
+            let compile = options.compile;
             std::thread::spawn(move || {
                 if fault_aware {
                     fault_scheduler_loop(
                         &cfg, &queue, &work_txs, &ack_rx, dispatch, protection, policy, trace,
+                        batch, compile,
                     )
                 } else {
-                    scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace)
+                    scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace, batch, compile)
                 }
             })
         };
 
         let compiler = Compiler::new(config.clone(), &options.compile);
+        let cache = options
+            .cache
+            .enabled
+            .then(|| ProgramCache::new(&options.cache));
         Ok(Runtime {
             config,
             queue,
@@ -409,24 +497,44 @@ impl Runtime {
             shards,
             protection: options.protection,
             compiler,
+            cache,
             optimized_jobs: AtomicU64::new(0),
             instructions_eliminated: AtomicU64::new(0),
             est_device_cycles_saved: AtomicU64::new(0),
         })
     }
 
-    /// Runs a program through the on-enqueue compiler, accumulating the
-    /// optimization counters.
-    fn compile(&self, program: PimProgram) -> Result<PimProgram, CompileError> {
-        let (optimized, report) = self.compiler.optimize(&program)?;
-        if report.instructions_saved() > 0 || report.cycles_saved() > 0 {
+    /// Runs a program through the on-enqueue compiler, consulting the
+    /// compiled-program cache first; a hit skips the whole pass pipeline.
+    /// Returns the shared optimized program and whether it was a hit.
+    /// The optimization counters accumulate either way, so the reported
+    /// savings are identical with and without the cache.
+    fn compile(&self, program: &PimProgram) -> Result<(Arc<PimProgram>, bool), CompileError> {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(program) {
+                self.credit_optimization(hit.instructions_saved, hit.cycles_saved);
+                return Ok((hit.program, true));
+            }
+        }
+        let (optimized, report) = self.compiler.optimize(program)?;
+        let instructions_saved = report.instructions_saved();
+        let cycles_saved = report.cycles_saved();
+        self.credit_optimization(instructions_saved, cycles_saved);
+        let optimized = Arc::new(optimized);
+        if let Some(cache) = &self.cache {
+            cache.insert(program, &optimized, instructions_saved, cycles_saved);
+        }
+        Ok((optimized, false))
+    }
+
+    fn credit_optimization(&self, instructions_saved: u64, cycles_saved: u64) {
+        if instructions_saved > 0 || cycles_saved > 0 {
             self.optimized_jobs.fetch_add(1, Ordering::Relaxed);
             self.instructions_eliminated
-                .fetch_add(report.instructions_saved(), Ordering::Relaxed);
+                .fetch_add(instructions_saved, Ordering::Relaxed);
             self.est_device_cycles_saved
-                .fetch_add(report.cycles_saved(), Ordering::Relaxed);
+                .fetch_add(cycles_saved, Ordering::Relaxed);
         }
-        Ok(optimized)
     }
 
     /// The memory configuration the runtime serves.
@@ -441,10 +549,13 @@ impl Runtime {
     ///
     /// Returns [`RuntimeError::QueueClosed`] after [`Runtime::finish`].
     pub fn submit(&self, program: PimProgram, placement: Placement) -> Result<u64, RuntimeError> {
-        let program = self.compile(program).map_err(RuntimeError::Compile)?;
+        let (program, cache_hit) = self.compile(&program).map_err(RuntimeError::Compile)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Some(trace) = &self.trace {
             trace.record(&Event::Submit { job: id });
+            if cache_hit {
+                trace.record(&Event::CacheHit { job: id });
+            }
         }
         self.queue
             .push(PimJob {
@@ -466,9 +577,11 @@ impl Runtime {
     /// [`PushError::Full`] when the queue is at capacity (shed load or
     /// retry), [`PushError::Closed`] after [`Runtime::finish`].
     pub fn try_submit(&self, program: PimProgram, placement: Placement) -> Result<u64, PushError> {
-        let program = match self.compile(program.clone()) {
-            Ok(optimized) => optimized,
-            Err(_) => program,
+        // On compile failure the original program is submitted verbatim;
+        // no defensive clone is needed because the compiler borrows it.
+        let (program, cache_hit) = match self.compile(&program) {
+            Ok(compiled) => compiled,
+            Err(_) => (Arc::new(program), false),
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.queue.try_push(PimJob {
@@ -478,6 +591,9 @@ impl Runtime {
         })?;
         if let Some(trace) = &self.trace {
             trace.record(&Event::Submit { job: id });
+            if cache_hit {
+                trace.record(&Event::CacheHit { job: id });
+            }
         }
         Ok(id)
     }
@@ -541,7 +657,7 @@ impl Runtime {
             let bank = c.unit.bank;
             let wait = timing.bank_free_at(bank).saturating_sub(timing.now());
             let mut done = 0;
-            let mut job_device = 0;
+            let mut batch_device = 0;
             for cost in &c.instr_costs {
                 let t = timing.submit(Request::Pim {
                     location: c.unit,
@@ -549,44 +665,62 @@ impl Runtime {
                     energy_pj: cost.energy_pj,
                 })?;
                 done = done.max(t);
-                job_device += cost.cycles;
+                batch_device += cost.cycles;
             }
             instructions += c.instr_costs.len() as u64;
-            device_cycles += job_device;
-            wait_hist.record(wait);
-            per_bank[bank].jobs += 1;
-            per_bank[bank].wait_cycles += wait;
+            device_cycles += batch_device;
             fstats.replicas_run += u64::from(c.replicas);
             fstats.faults_detected += c.faults_detected;
             fstats.retries += u64::from(c.retries);
             fstats.votes_overturned += c.votes_overturned;
-            if let Some(trace) = &self.trace {
-                trace.record(&Event::Complete {
-                    job: c.job_id,
+            // Demux the batched output stream back into per-job outputs
+            // (readout counts were recorded at dispatch; passes neither
+            // remove nor reorder readouts, so the slices stay exact) and
+            // apportion the batch's measured device cycles evenly, with
+            // the remainder on the first member.
+            let members = c.slots.len();
+            let share = batch_device / members.max(1) as u64;
+            let mut remainder = batch_device - share * members as u64;
+            let mut cursor = 0usize;
+            for slot in &c.slots {
+                let end = (cursor + slot.readouts).min(c.outputs.len());
+                let start = cursor.min(c.outputs.len());
+                cursor += slot.readouts;
+                let outputs = c.outputs[start..end].to_vec();
+                let job_device = share + remainder;
+                remainder = 0;
+                wait_hist.record(wait);
+                per_bank[bank].jobs += 1;
+                per_bank[bank].wait_cycles += wait;
+                if let Some(trace) = &self.trace {
+                    trace.record(&Event::Complete {
+                        job: slot.job_id,
+                        bank,
+                        wait,
+                        done,
+                    });
+                }
+                let outcome = JobOutcome {
+                    job_id: slot.job_id,
+                    seq: c.seq,
+                    unit: c.unit,
                     bank,
-                    wait,
-                    done,
-                });
+                    outputs,
+                    device_cycles: job_device,
+                    wait_cycles: wait,
+                    completion: done,
+                    attempt: slot.attempt,
+                    replicas: c.replicas,
+                    faults_detected: c.faults_detected,
+                    retries: c.retries,
+                    votes_overturned: c.votes_overturned,
+                    verified: c.verified,
+                    batch: members as u32,
+                };
+                // Attempts arrive in seq order, so a later re-dispatch of
+                // the same job replaces the unverified earlier outcome.
+                winners.insert(slot.job_id, (outcome, c.error.clone()));
             }
-            let outcome = JobOutcome {
-                job_id: c.job_id,
-                seq: c.seq,
-                unit: c.unit,
-                bank,
-                outputs: c.outputs,
-                device_cycles: job_device,
-                wait_cycles: wait,
-                completion: done,
-                attempt: c.attempt,
-                replicas: c.replicas,
-                faults_detected: c.faults_detected,
-                retries: c.retries,
-                votes_overturned: c.votes_overturned,
-                verified: c.verified,
-            };
-            // Attempts arrive in seq order, so a later re-dispatch of the
-            // same job replaces the unverified earlier outcome.
-            winners.insert(c.job_id, (outcome, c.error));
         }
         let makespan = timing.drain();
         for (bank, busy) in timing.bank_stats().busy_cycles.iter().enumerate() {
@@ -635,6 +769,15 @@ impl Runtime {
             controller: *timing.stats(),
             bank_stats: timing.bank_stats().clone(),
             faults: fstats,
+            cache: self
+                .cache
+                .as_ref()
+                .map(ProgramCache::stats)
+                .unwrap_or_default(),
+            batch: BatchStats {
+                batches: sched_out.batches,
+                batched_jobs: sched_out.batched_jobs,
+            },
         };
         if let Some(trace) = &self.trace {
             trace.flush();
@@ -661,29 +804,61 @@ pub fn run_batch(
     runtime.finish()
 }
 
+/// Readouts a program contributes to its dispatch's output stream.
+fn count_readouts(program: &PimProgram) -> usize {
+    program
+        .steps
+        .iter()
+        .filter(|s| matches!(s, Step::Readout { .. }))
+        .count()
+}
+
+/// The program one dispatch executes: a single member's program shared
+/// as-is, or the cross-boundary-optimized splice of all members (falling
+/// back to the plain splice — still semantics-preserving — if the batch
+/// pipeline fails).
+fn batch_program(jobs: &[PimJob], compiler: &Compiler) -> Arc<PimProgram> {
+    if jobs.len() == 1 {
+        return Arc::clone(&jobs[0].program);
+    }
+    let spliced = splice_programs(jobs.iter().map(|j| (j.id, j.program.as_ref())));
+    match compiler.optimize(&spliced.program) {
+        Ok((optimized, _)) => Arc::new(optimized),
+        Err(_) => Arc::new(spliced.program),
+    }
+}
+
 fn scheduler_loop(
     config: &MemoryConfig,
     queue: &JobQueue<PimJob>,
     work_txs: &[mpsc::Sender<WorkMsg>],
     dispatch: DispatchMode,
     trace: Option<Arc<EventTrace>>,
+    batch_opts: BatchOptions,
+    compile: CompileOptions,
 ) -> SchedulerOutput {
     // A controller used only for PIM-unit geometry (bank-major indexing).
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
     let shards = work_txs.len();
+    // The scheduler's own compiler optimizes *across* spliced program
+    // boundaries; per-job optimization already happened at submit.
+    let compiler = Compiler::new(config.clone(), &compile);
+    let max_jobs = batch_opts.cap();
     let mut sched = BankScheduler::new(config.banks);
     let mut place_cursor = 0usize;
     let mut issued = 0u64;
-    let mut batch = Vec::new();
+    let mut batches = 0u64;
+    let mut batched_jobs = 0u64;
+    let mut drained = Vec::new();
 
     while let Some(first) = queue.pop() {
-        batch.clear();
-        batch.push(first);
-        queue.drain_ready(&mut batch);
+        drained.clear();
+        drained.push(first);
+        queue.drain_ready(&mut drained);
 
         // Resolve placement and enqueue into the per-bank FIFOs.
-        for job in batch.drain(..) {
+        for job in drained.drain(..) {
             let unit = match job.placement {
                 Placement::Auto => match dispatch {
                     DispatchMode::Circular => {
@@ -700,50 +875,78 @@ fn scheduler_loop(
             };
             let retargeted = PimJob {
                 id: job.id,
-                program: job.program.retarget(unit),
+                program: Arc::new(job.program.retarget(unit)),
                 placement: job.placement,
             };
             sched.enqueue(retargeted, unit.bank);
         }
 
-        // Issue everything in circular-bank order; route each job to the
-        // shard owning its bank so same-bank jobs stay ordered.
-        while let Some(issue) = sched.issue_next() {
+        // Issue everything in circular-bank order; route each dispatch to
+        // the shard owning its bank so same-bank work stays ordered. With
+        // batching on, consecutive same-unit jobs splice into one program.
+        while let Some(issue) = sched.issue_next_batch_where(max_jobs, |_| true) {
             let shard = issue.bank % shards;
-            let unit = issue
-                .job
-                .program
+            let program = batch_program(&issue.jobs, &compiler);
+            let unit = program
                 .steps
                 .first()
                 .map_or_else(|| units.pim_unit(issue.bank), Step::target);
+            if issue.jobs.len() >= 2 {
+                batches += 1;
+                batched_jobs += issue.jobs.len() as u64;
+                if let Some(trace) = &trace {
+                    trace.record(&Event::Batch {
+                        seq: issue.seq,
+                        bank: issue.bank,
+                        jobs: issue.jobs.iter().map(|j| j.id).collect(),
+                    });
+                }
+            }
+            let slots: Vec<SlotMeta> = issue
+                .jobs
+                .iter()
+                .map(|j| SlotMeta {
+                    job_id: j.id,
+                    readouts: count_readouts(&j.program),
+                    attempt: 0,
+                })
+                .collect();
             if let Some(trace) = &trace {
-                trace.record(&Event::Issue {
-                    job: issue.job.id,
-                    seq: issue.seq,
-                    bank: issue.bank,
-                    shard,
-                });
+                for job in &issue.jobs {
+                    trace.record(&Event::Issue {
+                        job: job.id,
+                        seq: issue.seq,
+                        bank: issue.bank,
+                        shard,
+                    });
+                }
             }
             issued += 1;
             // A send only fails if the worker panicked; the missing
             // completion is detected in finish().
             let _ = work_txs[shard].send(WorkMsg::Job {
                 seq: issue.seq,
-                job_id: issue.job.id,
                 unit,
-                program: issue.job.program,
-                attempt: 0,
+                program,
+                slots,
             });
         }
     }
 
-    SchedulerOutput::plain(sched.depth_histogram().clone(), issued)
+    SchedulerOutput::plain(
+        sched.depth_histogram().clone(),
+        issued,
+        batches,
+        batched_jobs,
+    )
 }
 
-/// A dispatched-but-unacknowledged job attempt the fault-aware scheduler
-/// keeps so it can re-route the job if verification fails.
+/// A dispatched-but-unacknowledged attempt the fault-aware scheduler
+/// keeps so it can re-route its member jobs if verification fails. Holds
+/// the members' *individual* programs (pre-splice), so an unverified
+/// batch re-dispatches each member separately.
 struct InflightRec {
-    job: PimJob,
+    jobs: Vec<PimJob>,
 }
 
 /// The fault-aware scheduler's mutable state, factored out so ack
@@ -756,6 +959,8 @@ struct FaultSched<'a> {
     dispatch: DispatchMode,
     policy: HealthPolicy,
     protection_active: bool,
+    batch: BatchOptions,
+    compiler: Compiler,
     trace: Option<Arc<EventTrace>>,
     work_txs: &'a [mpsc::Sender<WorkMsg>],
     sched: BankScheduler,
@@ -766,6 +971,8 @@ struct FaultSched<'a> {
     redispatched: HashMap<u64, u32>,
     place_cursor: usize,
     issued: u64,
+    batches: u64,
+    batched_jobs: u64,
     redispatches: u64,
     scrubs_outstanding: usize,
     scrubs: u64,
@@ -820,19 +1027,20 @@ impl FaultSched<'_> {
         };
         let retargeted = PimJob {
             id: job.id,
-            program: job.program.retarget(unit),
+            program: Arc::new(job.program.retarget(unit)),
             placement: job.placement,
         };
         self.sched.enqueue(retargeted, unit.bank);
     }
 
-    /// Issues every queued job whose bank is below the in-flight cap.
+    /// Issues every queued dispatch whose bank is below the in-flight cap.
     fn issue_ready(&mut self) {
         let cap = self.policy.max_inflight_per_bank;
+        let max_jobs = self.batch.cap();
         loop {
             let Some(issue) = self
                 .sched
-                .issue_next_where(|bank| self.inflight_per_bank[bank] < cap)
+                .issue_next_batch_where(max_jobs, |bank| self.inflight_per_bank[bank] < cap)
             else {
                 return;
             };
@@ -840,34 +1048,53 @@ impl FaultSched<'_> {
         }
     }
 
-    /// Sends one issued job to its shard and records it in flight.
-    fn dispatch_issue(&mut self, issue: IssuedJob) {
-        let IssuedJob { seq, job, bank } = issue;
+    /// Sends one issued dispatch to its shard and records it in flight.
+    fn dispatch_issue(&mut self, issue: IssuedBatch) {
+        let IssuedBatch { seq, jobs, bank } = issue;
         let shard = bank % self.shards;
-        let unit = job
-            .program
+        let program = batch_program(&jobs, &self.compiler);
+        let unit = program
             .steps
             .first()
             .map_or_else(|| self.units.pim_unit(bank), Step::target);
-        let attempt = self.redispatched.get(&job.id).copied().unwrap_or(0);
+        if jobs.len() >= 2 {
+            self.batches += 1;
+            self.batched_jobs += jobs.len() as u64;
+            if let Some(trace) = &self.trace {
+                trace.record(&Event::Batch {
+                    seq,
+                    bank,
+                    jobs: jobs.iter().map(|j| j.id).collect(),
+                });
+            }
+        }
+        let slots: Vec<SlotMeta> = jobs
+            .iter()
+            .map(|j| SlotMeta {
+                job_id: j.id,
+                readouts: count_readouts(&j.program),
+                attempt: self.redispatched.get(&j.id).copied().unwrap_or(0),
+            })
+            .collect();
         if let Some(trace) = &self.trace {
-            trace.record(&Event::Issue {
-                job: job.id,
-                seq,
-                bank,
-                shard,
-            });
+            for job in &jobs {
+                trace.record(&Event::Issue {
+                    job: job.id,
+                    seq,
+                    bank,
+                    shard,
+                });
+            }
         }
         self.issued += 1;
         self.inflight_per_bank[bank] += 1;
         let _ = self.work_txs[shard].send(WorkMsg::Job {
             seq,
-            job_id: job.id,
             unit,
-            program: job.program.clone(),
-            attempt,
+            program,
+            slots,
         });
-        self.inflight.insert(seq, InflightRec { job });
+        self.inflight.insert(seq, InflightRec { jobs });
     }
 
     /// Processes one worker acknowledgement: health accounting, state
@@ -889,9 +1116,7 @@ impl FaultSched<'_> {
             }
             AckMsg::Job {
                 seq,
-                job_id,
                 bank,
-                attempt,
                 faults,
                 verified,
             } => {
@@ -903,12 +1128,15 @@ impl FaultSched<'_> {
                 let faulty = faults > 0;
                 if faulty {
                     if let Some(trace) = &self.trace {
-                        trace.record(&Event::FaultDetected {
-                            job: job_id,
-                            bank,
-                            attempt,
-                            faults,
-                        });
+                        for job in &rec.jobs {
+                            let attempt = self.redispatched.get(&job.id).copied().unwrap_or(0);
+                            trace.record(&Event::FaultDetected {
+                                job: job.id,
+                                bank,
+                                attempt,
+                                faults,
+                            });
+                        }
                     }
                 }
                 match self.health.record(bank, faulty) {
@@ -938,28 +1166,33 @@ impl FaultSched<'_> {
                     Transition::None | Transition::Recovered => {}
                 }
                 if !verified && self.protection_active {
-                    let count = self.redispatched.entry(job_id).or_insert(0);
-                    if *count < self.policy.max_redispatch
-                        && !matches!(rec.job.placement, Placement::Fixed(_))
-                    {
-                        *count += 1;
-                        let next = *count;
-                        self.redispatches += 1;
-                        let unit = self.pick_unit(Some(bank));
-                        if let Some(trace) = &self.trace {
-                            trace.record(&Event::Redispatch {
-                                job: job_id,
-                                from_bank: bank,
-                                to_bank: unit.bank,
-                                attempt: next,
-                            });
+                    // Every member of an unverified dispatch re-routes
+                    // individually — re-executions never re-batch with
+                    // the same partners, which bounds correlated failure.
+                    for member in rec.jobs {
+                        let count = self.redispatched.entry(member.id).or_insert(0);
+                        if *count < self.policy.max_redispatch
+                            && !matches!(member.placement, Placement::Fixed(_))
+                        {
+                            *count += 1;
+                            let next = *count;
+                            self.redispatches += 1;
+                            let unit = self.pick_unit(Some(bank));
+                            if let Some(trace) = &self.trace {
+                                trace.record(&Event::Redispatch {
+                                    job: member.id,
+                                    from_bank: bank,
+                                    to_bank: unit.bank,
+                                    attempt: next,
+                                });
+                            }
+                            let job = PimJob {
+                                id: member.id,
+                                program: Arc::new(member.program.retarget(unit)),
+                                placement: member.placement,
+                            };
+                            self.sched.enqueue(job, unit.bank);
                         }
-                        let job = PimJob {
-                            id: job_id,
-                            program: rec.job.program.retarget(unit),
-                            placement: rec.job.placement,
-                        };
-                        self.sched.enqueue(job, unit.bank);
                     }
                 }
             }
@@ -985,6 +1218,8 @@ fn fault_scheduler_loop(
     protection: ProtectionPolicy,
     policy: HealthPolicy,
     trace: Option<Arc<EventTrace>>,
+    batch: BatchOptions,
+    compile: CompileOptions,
 ) -> SchedulerOutput {
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
@@ -994,6 +1229,8 @@ fn fault_scheduler_loop(
         dispatch,
         policy,
         protection_active: protection.is_active(),
+        batch,
+        compiler: Compiler::new(config.clone(), &compile),
         trace,
         work_txs,
         sched: BankScheduler::new(config.banks),
@@ -1003,13 +1240,15 @@ fn fault_scheduler_loop(
         redispatched: HashMap::new(),
         place_cursor: 0,
         issued: 0,
+        batches: 0,
+        batched_jobs: 0,
         redispatches: 0,
         scrubs_outstanding: 0,
         scrubs: 0,
         scrub_total: ScrubOutcome::default(),
         units,
     };
-    let mut batch: Vec<PimJob> = Vec::new();
+    let mut drained: Vec<PimJob> = Vec::new();
     let mut closed = false;
 
     loop {
@@ -1017,14 +1256,14 @@ fn fault_scheduler_loop(
         if !closed {
             match queue.pop_timeout(Duration::from_millis(1)) {
                 Pop::Item(first) => {
-                    batch.push(first);
-                    queue.drain_ready(&mut batch);
+                    drained.push(first);
+                    queue.drain_ready(&mut drained);
                 }
                 Pop::Timeout => {}
                 Pop::Closed => closed = true,
             }
         }
-        for job in batch.drain(..) {
+        for job in drained.drain(..) {
             state.place(job);
         }
 
@@ -1062,6 +1301,8 @@ fn fault_scheduler_loop(
     SchedulerOutput {
         depth_hist: state.sched.depth_histogram().clone(),
         issued: state.issued,
+        batches: state.batches,
+        batched_jobs: state.batched_jobs,
         redispatches: state.redispatches,
         scrubs: state.scrubs,
         scrub_total: state.scrub_total,
@@ -1117,27 +1358,23 @@ fn worker_loop(
             }
             WorkMsg::Job {
                 seq,
-                job_id,
                 unit,
                 program,
-                attempt,
+                slots,
             } => {
                 let out = execute_protected(&mut machine, protection, &program, voter.as_mut());
                 if let Some(ack) = ack {
                     let _ = ack.send(AckMsg::Job {
                         seq,
-                        job_id,
                         bank: unit.bank,
-                        attempt,
                         faults: out.faults_detected + u64::from(out.error.is_some()),
                         verified: out.verified,
                     });
                 }
                 let _ = done.send(DoneMsg {
                     seq,
-                    job_id,
                     unit,
-                    attempt,
+                    slots,
                     outputs: out.outputs,
                     instr_costs: out.instr_costs,
                     error: out.error,
@@ -1417,7 +1654,7 @@ mod tests {
         assert_eq!(
             queue.push(PimJob {
                 id: 0,
-                program: PimProgram::default(),
+                program: Arc::new(PimProgram::default()),
                 placement: Placement::Auto,
             }),
             Err(PushError::Closed)

@@ -11,6 +11,8 @@
 
 use crate::job::PimJob;
 use crate::stats::Histogram;
+use coruscant_core::program::Step;
+use coruscant_mem::DbcLocation;
 use std::collections::VecDeque;
 
 /// How the runtime places `Placement::Auto` jobs.
@@ -36,6 +38,26 @@ pub struct IssuedJob {
     pub job: PimJob,
     /// Resolved bank.
     pub bank: usize,
+}
+
+/// A group of jobs issued together under one sequence number: either a
+/// single job, or ≥2 consecutive same-unit jobs the batch fuser splices
+/// into one program.
+#[derive(Debug)]
+pub struct IssuedBatch {
+    /// Issue sequence number (global, dense from 0) shared by the group.
+    pub seq: u64,
+    /// Member jobs, in FIFO order; every member targets the same unit
+    /// when `jobs.len() >= 2`.
+    pub jobs: Vec<PimJob>,
+    /// Resolved bank.
+    pub bank: usize,
+}
+
+/// The PIM unit a placed job's program targets (`None` for an empty
+/// program).
+fn job_unit(job: &PimJob) -> Option<DbcLocation> {
+    job.program.steps.first().map(Step::target)
 }
 
 /// Per-bank FIFO queues plus the circular issue cursor.
@@ -114,6 +136,46 @@ impl BankScheduler {
         None
     }
 
+    /// Like [`BankScheduler::issue_next_where`], but greedily groups up
+    /// to `max_jobs` consecutive head-of-FIFO jobs that target the *same
+    /// PIM unit* into one [`IssuedBatch`] under a single sequence number.
+    /// With `max_jobs <= 1` every batch is a singleton, reproducing the
+    /// unbatched issue order exactly.
+    pub fn issue_next_batch_where<F: FnMut(usize) -> bool>(
+        &mut self,
+        max_jobs: usize,
+        mut eligible: F,
+    ) -> Option<IssuedBatch> {
+        let banks = self.fifos.len();
+        for off in 0..banks {
+            let bank = (self.cursor + off) % banks;
+            if !eligible(bank) {
+                continue;
+            }
+            let Some(first) = self.fifos[bank].pop_front() else {
+                continue;
+            };
+            self.cursor = (bank + 1) % banks;
+            self.pending -= 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let unit = job_unit(&first);
+            let mut jobs = vec![first];
+            if unit.is_some() {
+                while jobs.len() < max_jobs
+                    && self.fifos[bank]
+                        .front()
+                        .is_some_and(|j| job_unit(j) == unit)
+                {
+                    jobs.push(self.fifos[bank].pop_front().expect("front checked"));
+                    self.pending -= 1;
+                }
+            }
+            return Some(IssuedBatch { seq, jobs, bank });
+        }
+        None
+    }
+
     /// Removes and returns every queued job of `bank`, in FIFO order —
     /// used when a bank is quarantined and its backlog must be re-routed.
     pub fn drain_bank(&mut self, bank: usize) -> Vec<PimJob> {
@@ -137,12 +199,29 @@ mod tests {
     use super::*;
     use crate::job::Placement;
     use coruscant_core::program::PimProgram;
+    use coruscant_mem::RowAddress;
+    use std::sync::Arc;
 
     fn job(id: u64) -> PimJob {
         PimJob {
             id,
-            program: PimProgram::default(),
+            program: Arc::new(PimProgram::default()),
             placement: Placement::Auto,
+        }
+    }
+
+    /// A one-step program pinned to `unit`, so batch grouping sees it.
+    fn job_at(id: u64, unit: DbcLocation) -> PimJob {
+        PimJob {
+            id,
+            program: Arc::new(PimProgram {
+                steps: vec![Step::Readout {
+                    label: format!("j{id}"),
+                    addr: RowAddress::new(unit, 4),
+                    lane: 8,
+                }],
+            }),
+            placement: Placement::Fixed(unit),
         }
     }
 
@@ -211,6 +290,52 @@ mod tests {
         assert_eq!(s.pending(), 1);
         assert_eq!(s.issue_next().unwrap().job.id, 0);
         assert!(s.drain_bank(1).is_empty());
+    }
+
+    #[test]
+    fn batch_issue_groups_consecutive_same_unit_jobs() {
+        let u0 = DbcLocation::new(0, 0, 0, 0);
+        let u1 = DbcLocation::new(0, 1, 0, 0); // same bank, different unit
+        let mut s = BankScheduler::new(2);
+        s.enqueue(job_at(0, u0), 0);
+        s.enqueue(job_at(1, u0), 0);
+        s.enqueue(job_at(2, u1), 0);
+        s.enqueue(job_at(3, u0), 0);
+        // First batch: jobs 0 and 1 (same unit); job 2 breaks the run.
+        let b = s.issue_next_batch_where(8, |_| true).unwrap();
+        let ids: Vec<u64> = b.jobs.iter().map(|j| j.id).collect();
+        assert_eq!((b.seq, b.bank, ids), (0, 0, vec![0, 1]));
+        let b = s.issue_next_batch_where(8, |_| true).unwrap();
+        assert_eq!(b.jobs.len(), 1);
+        assert_eq!((b.seq, b.jobs[0].id), (1, 2));
+        let b = s.issue_next_batch_where(8, |_| true).unwrap();
+        assert_eq!((b.seq, b.jobs[0].id), (2, 3));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn batch_issue_respects_max_jobs_and_singleton_mode() {
+        let u0 = DbcLocation::new(0, 0, 0, 0);
+        let mut s = BankScheduler::new(1);
+        for id in 0..5 {
+            s.enqueue(job_at(id, u0), 0);
+        }
+        let b = s.issue_next_batch_where(3, |_| true).unwrap();
+        assert_eq!(b.jobs.len(), 3, "cap respected");
+        // max_jobs = 1 degenerates to unbatched issue.
+        let b = s.issue_next_batch_where(1, |_| true).unwrap();
+        assert_eq!(b.jobs.len(), 1);
+        assert_eq!(b.jobs[0].id, 3);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn empty_programs_never_batch() {
+        let mut s = BankScheduler::new(1);
+        s.enqueue(job(0), 0);
+        s.enqueue(job(1), 0);
+        let b = s.issue_next_batch_where(8, |_| true).unwrap();
+        assert_eq!(b.jobs.len(), 1, "unit-less jobs issue alone");
     }
 
     #[test]

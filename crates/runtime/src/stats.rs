@@ -104,6 +104,16 @@ pub struct FaultStats {
     pub degraded_capacity: f64,
 }
 
+/// Same-bank batch-fusion counters of a runtime session (all zero when
+/// batching is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct BatchStats {
+    /// Batched dispatches (≥2 jobs spliced into one program).
+    pub batches: u64,
+    /// Jobs that executed as members of a batched dispatch.
+    pub batched_jobs: u64,
+}
+
 /// Aggregate, serializable statistics of a runtime session.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RuntimeStats {
@@ -140,6 +150,10 @@ pub struct RuntimeStats {
     pub bank_stats: BankStats,
     /// Fault detection, retry, and quarantine counters.
     pub faults: FaultStats,
+    /// Compiled-program cache counters.
+    pub cache: crate::cache::CacheStats,
+    /// Same-bank batch-fusion counters.
+    pub batch: BatchStats,
 }
 
 #[cfg(test)]

@@ -222,33 +222,40 @@ pub fn serve_matmul_batch(
     Ok((results, report))
 }
 
+/// Every program the workload front ends emit, for the given config:
+/// each bitmap query width under both emission plans, plus a small
+/// matmul. Used to differentially verify the compiler pipeline (and the
+/// runtime's same-bank batch fusion) over the full program corpus.
+///
+/// # Panics
+///
+/// Panics if the fixed corpus fails to compile under `config` — only
+/// possible with a geometry too small for the built-in shapes.
+#[must_use]
+pub fn all_workload_programs(config: &MemoryConfig) -> Vec<PimProgram> {
+    let ds = BitmapDataset::generate(300, 4, 11);
+    let mut programs = Vec::new();
+    for w in 1..=4 {
+        programs.extend(compile_bitmap_query_with(&ds, w, config, QueryPlan::Fused).unwrap());
+        programs
+            .extend(compile_bitmap_query_with(&ds, w, config, QueryPlan::PairwiseChain).unwrap());
+    }
+    let n = 3;
+    let a: Matrix = (0..n)
+        .map(|i| (0..n).map(|j| ((i * 5 + j * 3) % 100) as u64).collect())
+        .collect();
+    let b: Matrix = (0..n)
+        .map(|i| (0..n).map(|j| ((i * 7 + j * 11) % 100) as u64).collect())
+        .collect();
+    programs.push(compile_matmul(&a, &b, config).unwrap());
+    programs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use coruscant_compiler::{CompileOptions, Compiler, VerifyOutcome};
     use coruscant_runtime::DispatchMode;
-
-    /// Every program the workload front ends emit, for the given config
-    /// (used to differentially verify the whole compiler pipeline).
-    fn all_workload_programs(config: &MemoryConfig) -> Vec<PimProgram> {
-        let ds = BitmapDataset::generate(300, 4, 11);
-        let mut programs = Vec::new();
-        for w in 1..=4 {
-            programs.extend(compile_bitmap_query_with(&ds, w, config, QueryPlan::Fused).unwrap());
-            programs.extend(
-                compile_bitmap_query_with(&ds, w, config, QueryPlan::PairwiseChain).unwrap(),
-            );
-        }
-        let n = 3;
-        let a: Matrix = (0..n)
-            .map(|i| (0..n).map(|j| ((i * 5 + j * 3) % 100) as u64).collect())
-            .collect();
-        let b: Matrix = (0..n)
-            .map(|i| (0..n).map(|j| ((i * 7 + j * 11) % 100) as u64).collect())
-            .collect();
-        programs.push(compile_matmul(&a, &b, config).unwrap());
-        programs
-    }
 
     #[test]
     fn every_workload_program_passes_differential_verification() {

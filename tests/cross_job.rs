@@ -1,0 +1,200 @@
+//! Cross-job optimization acceptance (ISSUE 4): compiled-program cache
+//! correctness and same-bank batch-fusion exactness.
+//!
+//! The cache must be placement-sound (identical programs destined for
+//! different units never alias each other's results) and eviction-safe
+//! at any capacity. Batch fusion must be *exact*: splicing queued
+//! same-unit jobs into one program and optimizing across the boundary
+//! has to reproduce the sequential outputs bit for bit — for every
+//! program the workload front ends emit, and under fault injection with
+//! an active protection policy.
+
+use coruscant::core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant::core::program::{PimProgram, Step};
+use coruscant::mem::{DbcLocation, FaultPlan, MemoryConfig, RowAddress};
+use coruscant::racetrack::FaultConfig;
+use coruscant::runtime::{
+    BatchOptions, CacheOptions, HealthPolicy, Placement, ProtectionPolicy, Runtime, RuntimeOptions,
+    RuntimeReport,
+};
+use coruscant::workloads::serve::all_workload_programs;
+
+/// A self-contained add job with a known expected output.
+fn add_job(a: u64, b: u64) -> PimProgram {
+    let loc = DbcLocation::new(0, 0, 0, 0);
+    PimProgram {
+        steps: vec![
+            Step::Load {
+                addr: RowAddress::new(loc, 4),
+                values: vec![a; 8],
+                lane: 8,
+            },
+            Step::Load {
+                addr: RowAddress::new(loc, 5),
+                values: vec![b; 8],
+                lane: 8,
+            },
+            Step::Exec(
+                CpimInstr::new(
+                    CpimOpcode::Add,
+                    RowAddress::new(loc, 4),
+                    2,
+                    BlockSize::new(8).unwrap(),
+                    Some(RowAddress::new(loc, 20)),
+                )
+                .unwrap(),
+            ),
+            Step::Readout {
+                label: "sum".into(),
+                addr: RowAddress::new(loc, 20),
+                lane: 8,
+            },
+        ],
+    }
+}
+
+fn expected_sum(a: u64, b: u64) -> Vec<u64> {
+    vec![(a + b) & 0xFF; 8]
+}
+
+/// Warm-cache acceptance: N identical submissions compile once and hit
+/// the cache N-1 times, with every output still exact.
+#[test]
+fn warm_cache_hits_equal_submissions_minus_one() {
+    let config = MemoryConfig::tiny();
+    let rt = Runtime::new(config, RuntimeOptions::default()).unwrap();
+    let n = 10u64;
+    for _ in 0..n {
+        rt.submit(add_job(3, 4), Placement::Auto).unwrap();
+    }
+    let report = rt.finish().unwrap();
+    assert_eq!(report.outcomes.len() as u64, n);
+    for o in &report.outcomes {
+        assert_eq!(o.outputs[0].1, expected_sum(3, 4), "job {}", o.job_id);
+    }
+    assert_eq!(report.stats.cache.misses, 1);
+    assert_eq!(report.stats.cache.hits, n - 1);
+}
+
+/// Placement soundness: the same program pinned to two different units
+/// shares one cache entry but executes — and reports — at its own
+/// placement.
+#[test]
+fn identical_programs_at_different_placements_do_not_alias() {
+    let config = MemoryConfig::tiny();
+    let rt = Runtime::new(config, RuntimeOptions::default()).unwrap();
+    let here = DbcLocation::new(0, 0, 0, 0);
+    let there = DbcLocation::new(1, 1, 0, 0);
+    rt.submit(add_job(9, 30), Placement::Fixed(here)).unwrap();
+    rt.submit(add_job(9, 30), Placement::Fixed(there)).unwrap();
+    let report = rt.finish().unwrap();
+    assert_eq!(report.outcomes.len(), 2);
+    assert_eq!(report.outcomes[0].unit, here);
+    assert_eq!(report.outcomes[1].unit, there);
+    for o in &report.outcomes {
+        assert_eq!(o.outputs[0].1, expected_sum(9, 30), "job {}", o.job_id);
+    }
+    // The canonicalized entry serves both placements.
+    assert_eq!(report.stats.cache.hits, 1);
+    assert_eq!(report.stats.cache.misses, 1);
+}
+
+/// Eviction safety: a capacity-1 cache thrashing between two distinct
+/// programs keeps every output exact and reports the evictions.
+#[test]
+fn capacity_one_cache_stays_correct_under_eviction() {
+    let config = MemoryConfig::tiny();
+    let options = RuntimeOptions::default().with_cache(CacheOptions {
+        enabled: true,
+        capacity: 1,
+        shards: 1,
+    });
+    let rt = Runtime::new(config, options).unwrap();
+    let pairs = [(3u64, 4u64), (10, 20)];
+    let rounds = 6;
+    for _ in 0..rounds {
+        for (a, b) in pairs {
+            rt.submit(add_job(a, b), Placement::Auto).unwrap();
+        }
+    }
+    let report = rt.finish().unwrap();
+    assert_eq!(report.outcomes.len(), 2 * rounds);
+    for o in &report.outcomes {
+        let (a, b) = pairs[(o.job_id % 2) as usize];
+        assert_eq!(o.outputs[0].1, expected_sum(a, b), "job {}", o.job_id);
+    }
+    assert!(
+        report.stats.cache.evictions > 0,
+        "alternating distinct programs through capacity 1 must evict"
+    );
+}
+
+fn run_corpus(config: &MemoryConfig, batch: BatchOptions) -> RuntimeReport {
+    let rt = Runtime::new(config.clone(), RuntimeOptions::default().with_batch(batch)).unwrap();
+    let unit = DbcLocation::new(0, 0, 0, 0);
+    for program in all_workload_programs(config) {
+        rt.submit(program, Placement::Fixed(unit)).unwrap();
+    }
+    rt.finish().unwrap()
+}
+
+/// Batch-fusion exactness: every workload program, queued onto one bank
+/// and spliced into batched dispatches, reproduces the sequential
+/// outputs bit for bit.
+#[test]
+fn batched_same_bank_execution_is_bit_identical_to_sequential() {
+    let config = MemoryConfig::tiny();
+    let sequential = run_corpus(&config, BatchOptions::default());
+    let batched = run_corpus(&config, BatchOptions::enabled());
+    assert_eq!(sequential.stats.batch.batches, 0);
+    assert!(
+        batched.stats.batch.batches > 0,
+        "same-bank queueing must produce batched dispatches"
+    );
+    assert!(batched.stats.batch.batched_jobs >= 2 * batched.stats.batch.batches);
+    assert_eq!(sequential.outcomes.len(), batched.outcomes.len());
+    for (s, b) in sequential.outcomes.iter().zip(&batched.outcomes) {
+        assert_eq!(s.job_id, b.job_id);
+        assert_eq!(s.outputs, b.outputs, "job {}", s.job_id);
+    }
+    // Batching reduces dispatches, never jobs.
+    assert_eq!(sequential.stats.jobs, batched.stats.jobs);
+}
+
+/// Batch fusion composed with fault injection and re-execute-and-compare
+/// protection: outputs stay exact, faults are detected, and batched
+/// dispatches actually happen.
+#[test]
+fn batched_protected_campaign_serves_exact_outputs_under_faults() {
+    let config = MemoryConfig::tiny();
+    let plan = FaultPlan::uniform(FaultConfig::NONE.with_tr_fault_rate(2e-3), 0xC0FF_EE04).unwrap();
+    let options = RuntimeOptions::default()
+        .with_batch(BatchOptions::enabled())
+        .with_faults(plan)
+        .with_protection(ProtectionPolicy::Reexecute { max_retries: 6 })
+        .with_health(HealthPolicy {
+            suspect_after: 10_000,
+            quarantine_after: 100_000,
+            scrub_on_suspect: false,
+            max_inflight_per_bank: 16,
+            max_redispatch: 2,
+        });
+    let rt = Runtime::new(config, options).unwrap();
+    let jobs = 48u64;
+    for i in 0..jobs {
+        let (a, b) = ((0x35 + 7 * i) % 200, (0x5A + 13 * i) % 55);
+        rt.submit(add_job(a, b), Placement::Unit(0)).unwrap();
+    }
+    let report = rt.finish().unwrap();
+    assert_eq!(report.outcomes.len() as u64, jobs);
+    for o in &report.outcomes {
+        let (a, b) = ((0x35 + 7 * o.job_id) % 200, (0x5A + 13 * o.job_id) % 55);
+        assert_eq!(o.outputs[0].1, expected_sum(a, b), "job {}", o.job_id);
+        assert!(o.verified, "job {}", o.job_id);
+    }
+    assert!(report.stats.batch.batches > 0, "campaign must batch");
+    assert!(
+        report.stats.faults.faults_detected > 0,
+        "the accelerated rate must trip detection"
+    );
+}
