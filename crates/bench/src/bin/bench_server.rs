@@ -1,0 +1,64 @@
+//! Emits `BENCH_server.json`: the serving-frontend perf trajectory —
+//! closed-loop client-fleet scaling with end-to-end latency percentiles,
+//! plus an admission-on shedding arm.
+//!
+//! Usage: `cargo run --release -p coruscant-bench --bin bench_server
+//! [output-path]` (default `BENCH_server.json` in the working
+//! directory).
+
+use coruscant_bench::{header, server_perf};
+use coruscant_mem::MemoryConfig;
+
+/// The same eight-bank geometry `bench_runtime` uses, so the two
+/// trajectories are comparable.
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+fn print_point(point: &server_perf::LoadPoint) {
+    println!(
+        "{:<8} {:<10} {:>10.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>8} {:>8}",
+        point.clients,
+        point.admission,
+        point.jobs_per_sec,
+        point.latency.p50_us,
+        point.latency.p90_us,
+        point.latency.p99_us,
+        point.latency.max_us,
+        point.stats.completed,
+        point.stats.rejected(),
+    );
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".into());
+    let config = eight_bank_config();
+    let bench = server_perf::run_full(&config, 16_000, &[1, 2, 4, 8], 400);
+
+    header("Serving frontend: closed-loop fleet scaling (latency in µs)");
+    println!(
+        "{:<8} {:<10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "clients", "admission", "jobs/s", "p50", "p90", "p99", "max", "done", "shed"
+    );
+    for point in &bench.backpressure {
+        print_point(point);
+    }
+    print_point(&bench.shedding);
+
+    let json = serde::json::to_string(&bench);
+    std::fs::write(&path, json + "\n").expect("write bench output");
+    println!("\nwrote {path}");
+}

@@ -6,6 +6,7 @@
 //! visible at a glance (EXPERIMENTS.md records the analysis).
 
 pub mod runtime_perf;
+pub mod server_perf;
 
 /// Prints a table header with a title and a rule.
 pub fn header(title: &str) {

@@ -1,0 +1,245 @@
+//! Load generator for the async serving frontend: closed-loop client
+//! fleets driving a [`coruscant_server::Server`], measuring end-to-end
+//! submit→resolve latency percentiles and throughput, with and without
+//! admission control.
+//!
+//! The `bench_server` binary serializes the result to
+//! `BENCH_server.json` alongside `BENCH_runtime.json`, so the serving
+//! path leaves its own perf trajectory in the repository history.
+
+use coruscant_mem::{MemoryConfig, MemoryController};
+use coruscant_server::{
+    AdmissionOptions, Rejected, Server, ServerOptions, ServerStats, SubmitOptions,
+};
+use coruscant_workloads::bitmap::BitmapDataset;
+use coruscant_workloads::compile::PimProgram;
+use coruscant_workloads::serve::{compile_bitmap_query_with, QueryPlan};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency distribution of one load point, in microseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyStats {
+    /// Completed requests the distribution covers.
+    pub samples: u64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+/// The `p`-th percentile (0–100) of a **sorted** sample set.
+#[must_use]
+pub fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() * p).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Summarizes a latency sample set (sorts internally).
+#[must_use]
+pub fn latency_stats(mut samples: Vec<Duration>) -> LatencyStats {
+    samples.sort();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let mean = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().map(|&d| us(d)).sum::<f64>() / samples.len() as f64
+    };
+    LatencyStats {
+        samples: samples.len() as u64,
+        mean_us: mean,
+        p50_us: us(percentile(&samples, 50)),
+        p90_us: us(percentile(&samples, 90)),
+        p99_us: us(percentile(&samples, 99)),
+        max_us: samples.last().map_or(0.0, |&d| us(d)),
+    }
+}
+
+/// One load point: a closed-loop client fleet against one server
+/// configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadPoint {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client attempted.
+    pub per_client: usize,
+    /// Whether admission control was on (small queue, shedding) or off
+    /// (blocking backpressure, the deterministic path).
+    pub admission: bool,
+    /// Host wall time for the whole fleet, milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per second of host wall time.
+    pub jobs_per_sec: f64,
+    /// End-to-end submit→resolve latency over completed requests.
+    pub latency: LatencyStats,
+    /// The server's final balanced accounting.
+    pub stats: ServerStats,
+}
+
+/// Drives one closed-loop load point: `clients` threads, each submitting
+/// and waiting `per_client` times. Shed submissions (admission arm only)
+/// are counted in the stats and skipped, not retried.
+///
+/// # Panics
+///
+/// Panics if the server fails to start or a completion is lost — the
+/// bench doubles as a correctness smoke test.
+#[must_use]
+pub fn run_load_point(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    clients: usize,
+    per_client: usize,
+    admission: Option<AdmissionOptions>,
+) -> LoadPoint {
+    let is_admission = admission.is_some();
+    let mut runtime = coruscant_runtime::RuntimeOptions::default();
+    if is_admission {
+        // The shedding arm needs a queue small enough to overflow.
+        runtime.queue_capacity = 8;
+    }
+    let options = ServerOptions {
+        runtime,
+        admission: admission.unwrap_or_default(),
+    };
+    let server = Server::start(config.clone(), options).expect("server starts");
+    let programs: Arc<[PimProgram]> = programs.into();
+
+    let started = Instant::now();
+    let joins: Vec<_> = (0..clients)
+        .map(|t| {
+            let client = server.client();
+            let programs = Arc::clone(&programs);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let program = programs[(t * per_client + i) % programs.len()].clone();
+                    let begun = Instant::now();
+                    match client.submit_with(program, SubmitOptions::default()) {
+                        Ok(handle) => {
+                            handle.wait().expect("accepted request completes");
+                            latencies.push(begun.elapsed());
+                        }
+                        Err(Rejected::Overload | Rejected::QueueFull) => {}
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let latencies: Vec<Duration> = joins
+        .into_iter()
+        .flat_map(|j| j.join().expect("client thread"))
+        .collect();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let stats = server.shutdown().expect("server drains");
+    assert!(stats.balanced(), "bench accounting must balance: {stats:?}");
+    assert_eq!(stats.lost, 0, "no completion may be lost");
+    LoadPoint {
+        clients,
+        per_client,
+        admission: is_admission,
+        wall_ms,
+        jobs_per_sec: stats.completed as f64 / (wall_ms / 1e3),
+        latency: latency_stats(latencies),
+        stats,
+    }
+}
+
+/// The full `BENCH_server.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerBench {
+    /// Banks in the benched geometry.
+    pub banks: usize,
+    /// PIM units in the benched geometry.
+    pub pim_units: usize,
+    /// Closed-loop fleet scaling with admission off (deterministic
+    /// backpressure path).
+    pub backpressure: Vec<LoadPoint>,
+    /// The same fleet at the widest point with admission on.
+    pub shedding: LoadPoint,
+}
+
+/// Runs the whole harness: a client-fleet scaling sweep plus one
+/// admission-on arm at the widest fleet.
+#[must_use]
+pub fn run_full(
+    config: &MemoryConfig,
+    rows: usize,
+    fleets: &[usize],
+    per_client: usize,
+) -> ServerBench {
+    let ds = BitmapDataset::generate(rows, 3, 11);
+    let programs =
+        compile_bitmap_query_with(&ds, 3, config, QueryPlan::Fused).expect("query compiles");
+    let backpressure: Vec<LoadPoint> = fleets
+        .iter()
+        .map(|&c| run_load_point(config, &programs, c, per_client, None))
+        .collect();
+    let widest = fleets.iter().copied().max().unwrap_or(1);
+    let shedding = run_load_point(
+        config,
+        &programs,
+        widest,
+        per_client,
+        Some(AdmissionOptions::enabled()),
+    );
+    ServerBench {
+        banks: config.banks,
+        pim_units: MemoryController::new(config.clone()).pim_unit_count(),
+        backpressure,
+        shedding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let ms = |n| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50), ms(50));
+        assert_eq!(percentile(&sorted, 99), ms(99));
+        assert_eq!(percentile(&sorted, 100), ms(100));
+        assert_eq!(percentile(&[], 99), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 50), ms(7));
+    }
+
+    /// Tiny-geometry smoke: the harness runs, every point balances, the
+    /// backpressure arms complete everything, and the latency summary is
+    /// internally ordered.
+    #[test]
+    fn harness_smoke_on_tiny_geometry() {
+        let config = MemoryConfig::tiny();
+        let bench = run_full(&config, 512, &[1, 2], 12);
+        assert_eq!(bench.backpressure.len(), 2);
+        for point in &bench.backpressure {
+            let want = (point.clients * point.per_client) as u64;
+            assert_eq!(point.stats.completed, want, "backpressure sheds nothing");
+            assert_eq!(point.latency.samples, want);
+            assert!(point.latency.p50_us <= point.latency.p99_us);
+            assert!(point.latency.p99_us <= point.latency.max_us);
+            assert!(point.jobs_per_sec > 0.0);
+        }
+        let shed = &bench.shedding;
+        assert!(shed.stats.balanced(), "{shed:?}");
+        assert_eq!(
+            shed.stats.completed + shed.stats.rejected(),
+            (shed.clients * shed.per_client) as u64
+        );
+    }
+}

@@ -281,6 +281,153 @@ impl ProgramCache {
     }
 }
 
+/// The batched-splice cache: maps an *ordered sequence* of member
+/// programs to their spliced-and-optimized batch program.
+///
+/// Serving campaigns issue the same batch shapes over and over (the same
+/// query programs landing on the same-depth FIFOs), and without this
+/// cache every batched dispatch re-runs splice + the full cross-boundary
+/// pass pipeline. Keying follows the same rules as [`ProgramCache`]:
+/// members (always single-DBC after scheduler retargeting) are
+/// normalized to [`CANON`] before hashing, every hit is guarded by full
+/// structural equality against the stored canonical members, and the
+/// cached artifact is retargeted to the dispatch's home DBC on the way
+/// out. Unlike [`ProgramCache`] it is owned by the scheduler thread, so
+/// it needs no locking.
+pub(crate) struct BatchCache {
+    map: HashMap<u64, BatchEntry>,
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct BatchEntry {
+    /// Canonicalized member programs, in splice order; compared in full
+    /// on every hit so hash collisions degrade to misses.
+    members: Vec<PimProgram>,
+    /// The spliced + optimized batch, canonicalized.
+    optimized: Arc<PimProgram>,
+    stamp: u64,
+}
+
+/// The single DBC every member of the batch is confined to, if any.
+/// Scheduler-retargeted jobs always satisfy this; anything else is not
+/// safely normalizable and is simply not cached.
+fn batch_home(programs: &[&PimProgram]) -> Option<DbcLocation> {
+    let first = single_location(programs.first()?)?;
+    programs
+        .iter()
+        .skip(1)
+        .all(|p| single_location(p) == Some(first))
+        .then_some(first)
+}
+
+fn batch_key(programs: &[&PimProgram]) -> u64 {
+    let mut h = DefaultHasher::new();
+    programs.len().hash(&mut h);
+    for program in programs {
+        structural_hash(program, Some(CANON)).hash(&mut h);
+    }
+    h.finish()
+}
+
+impl BatchCache {
+    pub fn new(capacity: usize) -> BatchCache {
+        BatchCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks an ordered member sequence up; on a hit, returns the cached
+    /// optimized batch retargeted to the members' home DBC.
+    pub fn get(&mut self, members: &[&PimProgram]) -> Option<Arc<PimProgram>> {
+        let Some(home) = batch_home(members) else {
+            self.misses += 1;
+            return None;
+        };
+        let key = batch_key(members);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let hit = match self.map.get_mut(&key) {
+            Some(entry) if entry_matches(entry, members, home) => {
+                entry.stamp = stamp;
+                Some(match home {
+                    loc if loc != CANON => Arc::new(entry.optimized.retarget(loc)),
+                    _ => Arc::clone(&entry.optimized),
+                })
+            }
+            _ => None,
+        };
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Stores a freshly spliced+optimized batch under its member key,
+    /// unless the key is already occupied (the hit path, or a colliding
+    /// shape — either way the existing entry stays). Evicts LRU over
+    /// capacity.
+    pub fn insert_if_missed(&mut self, members: &[&PimProgram], optimized: &Arc<PimProgram>) {
+        let Some(home) = batch_home(members) else {
+            return;
+        };
+        let key = batch_key(members);
+        if self.map.contains_key(&key) {
+            return;
+        }
+        self.stamp += 1;
+        let canonical = |p: &PimProgram| {
+            if home == CANON {
+                p.clone()
+            } else {
+                p.retarget(CANON)
+            }
+        };
+        self.map.insert(
+            key,
+            BatchEntry {
+                members: members.iter().map(|p| canonical(p)).collect(),
+                optimized: Arc::new(canonical(optimized)),
+                stamp: self.stamp,
+            },
+        );
+        if self.map.len() > self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+fn entry_matches(entry: &BatchEntry, members: &[&PimProgram], home: DbcLocation) -> bool {
+    entry.members.len() == members.len()
+        && entry.members.iter().zip(members).all(|(stored, p)| {
+            if home == CANON {
+                stored == *p
+            } else {
+                *stored == p.retarget(CANON)
+            }
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,12 @@ pub enum Event {
         /// Modeled completion time (memory cycles).
         done: u64,
     },
+    /// A still-queued job was dropped by [`Runtime::cancel`](crate::Runtime::cancel);
+    /// it never reached a bank and reports no outcome.
+    Cancelled {
+        /// Job id.
+        job: u64,
+    },
     /// A protected job attempt detected at least one fault.
     FaultDetected {
         /// Job id.

@@ -49,6 +49,7 @@ pub mod cache;
 pub mod events;
 pub mod health;
 pub mod job;
+pub mod notify;
 pub mod queue;
 pub mod sched;
 pub mod stats;
@@ -57,11 +58,12 @@ pub use cache::{CacheOptions, CacheStats};
 pub use coruscant_compiler::CompileOptions;
 pub use health::{BankState, HealthPolicy, HealthTracker, ProtectionPolicy};
 pub use job::{JobOutcome, PimJob, Placement};
+pub use notify::JobNotice;
 pub use queue::{JobQueue, Pop, PushError};
-pub use sched::{BankScheduler, DispatchMode, IssuedBatch};
+pub use sched::{BankScheduler, BatchGrouping, DispatchMode, IssuedBatch};
 pub use stats::{BankOccupancy, BatchStats, FaultStats, Histogram, RuntimeStats};
 
-use cache::ProgramCache;
+use cache::{BatchCache, ProgramCache};
 use coruscant_compiler::{splice_programs, CompileError, Compiler};
 use coruscant_core::dispatch::PimMachine;
 use coruscant_core::nmr::NmrVoter;
@@ -74,11 +76,11 @@ use coruscant_mem::{
 use coruscant_racetrack::{Cost, CostMeter};
 use events::{Event, EventTrace};
 use health::Transition;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -147,6 +149,16 @@ pub struct BatchOptions {
     pub enabled: bool,
     /// Most jobs one batched dispatch splices together.
     pub max_jobs: usize,
+    /// How members are gathered from a bank FIFO:
+    /// [`BatchGrouping::Consecutive`] (default) only fuses the same-unit
+    /// run at the head, [`BatchGrouping::SameUnit`] also gathers
+    /// non-consecutive same-unit jobs past independent (other-DBC)
+    /// entries.
+    pub grouping: BatchGrouping,
+    /// Batched-splice cache capacity (entries). Repeated same-shape
+    /// batches skip the cross-boundary pass pipeline; keyed on the
+    /// ordered member structural hashes. `0` disables the cache.
+    pub splice_cache: usize,
 }
 
 impl Default for BatchOptions {
@@ -154,6 +166,8 @@ impl Default for BatchOptions {
         BatchOptions {
             enabled: false,
             max_jobs: 8,
+            grouping: BatchGrouping::Consecutive,
+            splice_cache: 128,
         }
     }
 }
@@ -167,6 +181,15 @@ impl BatchOptions {
         }
     }
 
+    /// Options with batching on and non-consecutive same-unit grouping.
+    pub fn enabled_grouped() -> BatchOptions {
+        BatchOptions {
+            enabled: true,
+            grouping: BatchGrouping::SameUnit,
+            ..BatchOptions::default()
+        }
+    }
+
     /// The effective per-dispatch job cap (1 when disabled).
     fn cap(&self) -> usize {
         if self.enabled {
@@ -174,6 +197,11 @@ impl BatchOptions {
         } else {
             1
         }
+    }
+
+    /// The splice cache this configuration asks for, if any.
+    fn splice_cache(&self) -> Option<BatchCache> {
+        (self.enabled && self.splice_cache > 0).then(|| BatchCache::new(self.splice_cache))
     }
 }
 
@@ -208,6 +236,17 @@ pub struct RuntimeOptions {
     /// Same-bank batch fusion: splice co-located queued jobs into one
     /// program and optimize across the boundary before dispatch.
     pub batch: BatchOptions,
+    /// When set, the runtime sends live [`JobNotice`]s here: one
+    /// [`JobNotice::Attempt`] per member job of every executed dispatch
+    /// (as banks retire them, before [`Runtime::finish`]), and one
+    /// [`JobNotice::Cancelled`] per job dropped by [`Runtime::cancel`].
+    pub notify: Option<mpsc::Sender<JobNotice>>,
+    /// Start with the scheduler gated: submitted jobs accumulate in the
+    /// bounded queue and nothing is placed or issued until
+    /// [`Runtime::resume`] (or [`Runtime::finish`], which opens the gate
+    /// before draining). Lets tests and staged deployments line up a
+    /// backlog — and cancel parts of it — deterministically.
+    pub start_paused: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -223,6 +262,8 @@ impl Default for RuntimeOptions {
             faults: None,
             cache: CacheOptions::default(),
             batch: BatchOptions::default(),
+            notify: None,
+            start_paused: false,
         }
     }
 }
@@ -281,6 +322,21 @@ impl RuntimeOptions {
     #[must_use]
     pub fn with_batch(mut self, batch: BatchOptions) -> RuntimeOptions {
         self.batch = batch;
+        self
+    }
+
+    /// Options with a live-completion notice channel, defaults elsewhere.
+    #[must_use]
+    pub fn with_notify(mut self, notify: mpsc::Sender<JobNotice>) -> RuntimeOptions {
+        self.notify = Some(notify);
+        self
+    }
+
+    /// Options that start the scheduler gated (see
+    /// [`RuntimeOptions::start_paused`]), defaults elsewhere.
+    #[must_use]
+    pub fn paused(mut self) -> RuntimeOptions {
+        self.start_paused = true;
         self
     }
 
@@ -351,6 +407,9 @@ struct SchedulerOutput {
     issued: u64,
     batches: u64,
     batched_jobs: u64,
+    splice_hits: u64,
+    splice_misses: u64,
+    cancelled: u64,
     redispatches: u64,
     scrubs: u64,
     scrub_total: ScrubOutcome,
@@ -365,18 +424,120 @@ impl SchedulerOutput {
         issued: u64,
         batches: u64,
         batched_jobs: u64,
+        splice: (u64, u64),
+        cancelled: u64,
     ) -> SchedulerOutput {
         SchedulerOutput {
             depth_hist,
             issued,
             batches,
             batched_jobs,
+            splice_hits: splice.0,
+            splice_misses: splice.1,
+            cancelled,
             redispatches: 0,
             scrubs: 0,
             scrub_total: ScrubOutcome::default(),
             suspect_banks: 0,
             quarantined_banks: 0,
             degraded_capacity: 0.0,
+        }
+    }
+}
+
+/// The pause gate the scheduler waits on before it starts draining the
+/// queue (see [`RuntimeOptions::start_paused`]).
+#[derive(Debug)]
+struct Gate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(paused: bool) -> Gate {
+        Gate {
+            paused: Mutex::new(paused),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the gate is open.
+    fn wait_open(&self) {
+        let mut paused = self.paused.lock().unwrap();
+        while *paused {
+            paused = self.cv.wait(paused).unwrap();
+        }
+    }
+
+    /// Opens the gate (idempotent).
+    fn open(&self) {
+        *self.paused.lock().unwrap() = false;
+        self.cv.notify_all();
+    }
+}
+
+/// The set of job ids whose cancellation was requested. Cancellation is
+/// best-effort: the scheduler consults the set at placement and at issue
+/// time and drops matches (sending [`JobNotice::Cancelled`] and counting
+/// them); a job already dispatched to a worker always runs to
+/// completion.
+type CancelSet = Arc<Mutex<HashSet<u64>>>;
+
+/// Shared bookkeeping for cancellation checks in the scheduler loops.
+struct Canceller {
+    set: CancelSet,
+    notify: Option<mpsc::Sender<JobNotice>>,
+    trace: Option<Arc<EventTrace>>,
+    cancelled: u64,
+}
+
+impl Canceller {
+    fn new(
+        set: CancelSet,
+        notify: Option<mpsc::Sender<JobNotice>>,
+        trace: Option<Arc<EventTrace>>,
+    ) -> Canceller {
+        Canceller {
+            set,
+            notify,
+            cancelled: 0,
+            trace,
+        }
+    }
+
+    /// Whether any cancellation has ever been requested — a cheap guard
+    /// that keeps the per-job check off the hot path in the common
+    /// (no-cancellation) case.
+    fn armed(&self) -> bool {
+        !self.set.lock().unwrap().is_empty()
+    }
+
+    /// If `job_id` was cancelled, record the drop (notice + trace +
+    /// counter) and return `true`.
+    fn drop_if_cancelled(&mut self, job_id: u64) -> bool {
+        if !self.set.lock().unwrap().contains(&job_id) {
+            return false;
+        }
+        self.cancelled += 1;
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Cancelled { job: job_id });
+        }
+        if let Some(tx) = &self.notify {
+            let _ = tx.send(JobNotice::Cancelled { job_id });
+        }
+        true
+    }
+
+    /// Drops cancelled members from an issued batch, keeping order.
+    fn filter_issue(&mut self, jobs: &mut Vec<PimJob>) {
+        if self.armed() {
+            // Vec::retain would borrow `self` inside the closure; collect
+            // the survivors instead (cancellation is rare).
+            let kept: Vec<PimJob> = jobs
+                .drain(..)
+                .filter_map(|j| (!self.drop_if_cancelled(j.id)).then_some(j))
+                .collect();
+            *jobs = kept;
         }
     }
 }
@@ -399,12 +560,16 @@ pub struct Runtime {
     next_id: AtomicU64,
     scheduler: Option<JoinHandle<SchedulerOutput>>,
     workers: Vec<JoinHandle<()>>,
-    done_rx: mpsc::Receiver<DoneMsg>,
+    // Behind a mutex only so `Runtime` stays `Sync` (an `mpsc::Receiver`
+    // is not); `finish` takes it by value.
+    done_rx: Mutex<mpsc::Receiver<DoneMsg>>,
     trace: Option<Arc<EventTrace>>,
     shards: usize,
     protection: ProtectionPolicy,
     compiler: Compiler,
     cache: Option<ProgramCache>,
+    cancels: CancelSet,
+    gate: Arc<Gate>,
     optimized_jobs: AtomicU64,
     instructions_eliminated: AtomicU64,
     est_device_cycles_saved: AtomicU64,
@@ -441,6 +606,9 @@ impl Runtime {
             None => None,
         };
 
+        let cancels: CancelSet = Arc::new(Mutex::new(HashSet::new()));
+        let gate = Arc::new(Gate::new(options.start_paused));
+
         let (done_tx, done_rx) = mpsc::channel::<DoneMsg>();
         let (ack_tx, ack_rx) = mpsc::channel::<AckMsg>();
         let mut work_txs = Vec::with_capacity(shards);
@@ -453,8 +621,19 @@ impl Runtime {
             let cfg = config.clone();
             let faults = options.faults.clone();
             let protection = options.protection;
+            let notify = options.notify.clone();
+            let max_redispatch = options.health.max_redispatch;
             workers.push(std::thread::spawn(move || {
-                worker_loop(&cfg, faults, protection, &rx, &done, ack.as_ref());
+                worker_loop(
+                    &cfg,
+                    faults,
+                    protection,
+                    &rx,
+                    &done,
+                    ack.as_ref(),
+                    notify.as_ref(),
+                    max_redispatch,
+                );
             }));
         }
         drop(done_tx);
@@ -469,14 +648,20 @@ impl Runtime {
             let policy = options.health;
             let batch = options.batch;
             let compile = options.compile;
+            let canceller =
+                Canceller::new(Arc::clone(&cancels), options.notify.clone(), trace.clone());
+            let gate = Arc::clone(&gate);
             std::thread::spawn(move || {
+                gate.wait_open();
                 if fault_aware {
                     fault_scheduler_loop(
                         &cfg, &queue, &work_txs, &ack_rx, dispatch, protection, policy, trace,
-                        batch, compile,
+                        batch, compile, canceller,
                     )
                 } else {
-                    scheduler_loop(&cfg, &queue, &work_txs, dispatch, trace, batch, compile)
+                    scheduler_loop(
+                        &cfg, &queue, &work_txs, dispatch, trace, batch, compile, canceller,
+                    )
                 }
             })
         };
@@ -492,12 +677,14 @@ impl Runtime {
             next_id: AtomicU64::new(0),
             scheduler: Some(scheduler),
             workers,
-            done_rx,
+            done_rx: Mutex::new(done_rx),
             trace,
             shards,
             protection: options.protection,
             compiler,
             cache,
+            cancels,
+            gate,
             optimized_jobs: AtomicU64::new(0),
             instructions_eliminated: AtomicU64::new(0),
             est_device_cycles_saved: AtomicU64::new(0),
@@ -540,6 +727,37 @@ impl Runtime {
     /// The memory configuration the runtime serves.
     pub fn config(&self) -> &MemoryConfig {
         &self.config
+    }
+
+    /// Current depth of the bounded submission queue — the live
+    /// admission signal a serving frontend sheds load on (the queue
+    /// depth *histograms* in [`RuntimeStats`] cover the same pressure
+    /// retrospectively).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Opens the scheduler gate of a runtime created with
+    /// [`RuntimeOptions::start_paused`]. Idempotent; a no-op for
+    /// runtimes that started running.
+    pub fn resume(&self) {
+        self.gate.open();
+    }
+
+    /// Requests cancellation of a still-queued job. Best-effort: the
+    /// scheduler drops the job (and sends [`JobNotice::Cancelled`], if a
+    /// notice channel is configured) if it is still in the submission
+    /// queue or a bank FIFO when the request is observed; a job already
+    /// issued to a worker runs to completion and reports an outcome as
+    /// usual. Cancelled jobs produce no [`JobOutcome`] and count in
+    /// [`RuntimeStats::cancelled`].
+    pub fn cancel(&self, job_id: u64) {
+        self.cancels.lock().unwrap().insert(job_id);
     }
 
     /// Submits a job, blocking while the queue is full (backpressure).
@@ -607,6 +825,9 @@ impl Runtime {
     /// [`RuntimeError::WorkerLost`] if a worker panicked.
     pub fn finish(mut self) -> Result<RuntimeReport, RuntimeError> {
         self.queue.close();
+        // A paused runtime drains on finish: open the gate so the
+        // scheduler can run the backlog down.
+        self.gate.open();
         let sched_out = self
             .scheduler
             .take()
@@ -616,7 +837,9 @@ impl Runtime {
 
         // Workers exit once the scheduler drops their channels; the
         // completion stream ends when the last worker hangs up.
-        let mut completions: Vec<DoneMsg> = self.done_rx.iter().collect();
+        let done_rx = self.done_rx.lock().map_err(|_| RuntimeError::WorkerLost)?;
+        let mut completions: Vec<DoneMsg> = done_rx.iter().collect();
+        drop(done_rx);
         for w in self.workers.drain(..) {
             w.join().map_err(|_| RuntimeError::WorkerLost)?;
         }
@@ -751,6 +974,7 @@ impl Runtime {
         let modeled_us = makespan as f64 * self.config.memory_cycle_ns / 1000.0;
         let stats = RuntimeStats {
             jobs,
+            cancelled: sched_out.cancelled,
             instructions,
             shards: self.shards,
             optimized_jobs: self.optimized_jobs.load(Ordering::Relaxed),
@@ -777,6 +1001,8 @@ impl Runtime {
             batch: BatchStats {
                 batches: sched_out.batches,
                 batched_jobs: sched_out.batched_jobs,
+                splice_hits: sched_out.splice_hits,
+                splice_misses: sched_out.splice_misses,
             },
         };
         if let Some(trace) = &self.trace {
@@ -828,6 +1054,28 @@ fn batch_program(jobs: &[PimJob], compiler: &Compiler) -> Arc<PimProgram> {
     }
 }
 
+/// [`batch_program`] with the batched-splice cache in front: repeated
+/// same-shape batches skip splice + cross-boundary optimization.
+fn batch_program_cached(
+    jobs: &[PimJob],
+    compiler: &Compiler,
+    cache: &mut Option<BatchCache>,
+) -> Arc<PimProgram> {
+    if jobs.len() >= 2 {
+        if let Some(cache) = cache.as_mut() {
+            let members: Vec<&PimProgram> = jobs.iter().map(|j| j.program.as_ref()).collect();
+            if let Some(hit) = cache.get(&members) {
+                return hit;
+            }
+            let program = batch_program(jobs, compiler);
+            cache.insert_if_missed(&members, &program);
+            return program;
+        }
+    }
+    batch_program(jobs, compiler)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn scheduler_loop(
     config: &MemoryConfig,
     queue: &JobQueue<PimJob>,
@@ -836,6 +1084,7 @@ fn scheduler_loop(
     trace: Option<Arc<EventTrace>>,
     batch_opts: BatchOptions,
     compile: CompileOptions,
+    mut canceller: Canceller,
 ) -> SchedulerOutput {
     // A controller used only for PIM-unit geometry (bank-major indexing).
     let units = MemoryController::new(config.clone());
@@ -845,6 +1094,8 @@ fn scheduler_loop(
     // boundaries; per-job optimization already happened at submit.
     let compiler = Compiler::new(config.clone(), &compile);
     let max_jobs = batch_opts.cap();
+    let grouping = batch_opts.grouping;
+    let mut splice_cache = batch_opts.splice_cache();
     let mut sched = BankScheduler::new(config.banks);
     let mut place_cursor = 0usize;
     let mut issued = 0u64;
@@ -857,8 +1108,13 @@ fn scheduler_loop(
         drained.push(first);
         queue.drain_ready(&mut drained);
 
-        // Resolve placement and enqueue into the per-bank FIFOs.
+        // Resolve placement and enqueue into the per-bank FIFOs,
+        // dropping jobs cancelled while they sat in the queue.
+        let check_cancel = canceller.armed();
         for job in drained.drain(..) {
+            if check_cancel && canceller.drop_if_cancelled(job.id) {
+                continue;
+            }
             let unit = match job.placement {
                 Placement::Auto => match dispatch {
                     DispatchMode::Circular => {
@@ -883,10 +1139,14 @@ fn scheduler_loop(
 
         // Issue everything in circular-bank order; route each dispatch to
         // the shard owning its bank so same-bank work stays ordered. With
-        // batching on, consecutive same-unit jobs splice into one program.
-        while let Some(issue) = sched.issue_next_batch_where(max_jobs, |_| true) {
+        // batching on, same-unit jobs splice into one program.
+        while let Some(mut issue) = sched.issue_next_batch_grouped(max_jobs, grouping, |_| true) {
+            canceller.filter_issue(&mut issue.jobs);
+            if issue.jobs.is_empty() {
+                continue;
+            }
             let shard = issue.bank % shards;
-            let program = batch_program(&issue.jobs, &compiler);
+            let program = batch_program_cached(&issue.jobs, &compiler, &mut splice_cache);
             let unit = program
                 .steps
                 .first()
@@ -938,6 +1198,8 @@ fn scheduler_loop(
         issued,
         batches,
         batched_jobs,
+        splice_cache.as_ref().map_or((0, 0), BatchCache::counts),
+        canceller.cancelled,
     )
 }
 
@@ -961,6 +1223,8 @@ struct FaultSched<'a> {
     protection_active: bool,
     batch: BatchOptions,
     compiler: Compiler,
+    splice_cache: Option<BatchCache>,
+    canceller: Canceller,
     trace: Option<Arc<EventTrace>>,
     work_txs: &'a [mpsc::Sender<WorkMsg>],
     sched: BankScheduler,
@@ -1037,13 +1301,22 @@ impl FaultSched<'_> {
     fn issue_ready(&mut self) {
         let cap = self.policy.max_inflight_per_bank;
         let max_jobs = self.batch.cap();
+        let grouping = self.batch.grouping;
         loop {
-            let Some(issue) = self
+            let Some(mut issue) = self
                 .sched
-                .issue_next_batch_where(max_jobs, |bank| self.inflight_per_bank[bank] < cap)
+                .issue_next_batch_grouped(max_jobs, grouping, |bank| {
+                    self.inflight_per_bank[bank] < cap
+                })
             else {
                 return;
             };
+            self.canceller.filter_issue(&mut issue.jobs);
+            if issue.jobs.is_empty() {
+                // Every member was cancelled: nothing dispatches, nothing
+                // counts toward `issued` or the bank's in-flight cap.
+                continue;
+            }
             self.dispatch_issue(issue);
         }
     }
@@ -1052,7 +1325,7 @@ impl FaultSched<'_> {
     fn dispatch_issue(&mut self, issue: IssuedBatch) {
         let IssuedBatch { seq, jobs, bank } = issue;
         let shard = bank % self.shards;
-        let program = batch_program(&jobs, &self.compiler);
+        let program = batch_program_cached(&jobs, &self.compiler, &mut self.splice_cache);
         let unit = program
             .steps
             .first()
@@ -1220,9 +1493,11 @@ fn fault_scheduler_loop(
     trace: Option<Arc<EventTrace>>,
     batch: BatchOptions,
     compile: CompileOptions,
+    canceller: Canceller,
 ) -> SchedulerOutput {
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
+    let splice_cache = batch.splice_cache();
     let mut state = FaultSched {
         unit_count,
         shards: work_txs.len(),
@@ -1231,6 +1506,8 @@ fn fault_scheduler_loop(
         protection_active: protection.is_active(),
         batch,
         compiler: Compiler::new(config.clone(), &compile),
+        splice_cache,
+        canceller,
         trace,
         work_txs,
         sched: BankScheduler::new(config.banks),
@@ -1264,6 +1541,9 @@ fn fault_scheduler_loop(
             }
         }
         for job in drained.drain(..) {
+            if state.canceller.armed() && state.canceller.drop_if_cancelled(job.id) {
+                continue;
+            }
             state.place(job);
         }
 
@@ -1303,6 +1583,15 @@ fn fault_scheduler_loop(
         issued: state.issued,
         batches: state.batches,
         batched_jobs: state.batched_jobs,
+        splice_hits: state
+            .splice_cache
+            .as_ref()
+            .map_or(0, |c| BatchCache::counts(c).0),
+        splice_misses: state
+            .splice_cache
+            .as_ref()
+            .map_or(0, |c| BatchCache::counts(c).1),
+        cancelled: state.canceller.cancelled,
         redispatches: state.redispatches,
         scrubs: state.scrubs,
         scrub_total: state.scrub_total,
@@ -1324,6 +1613,7 @@ struct ExecOutcome {
     verified: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     config: &MemoryConfig,
     faults: Option<FaultPlan>,
@@ -1331,6 +1621,8 @@ fn worker_loop(
     rx: &mpsc::Receiver<WorkMsg>,
     done: &mpsc::Sender<DoneMsg>,
     ack: Option<&mpsc::Sender<AckMsg>>,
+    notify: Option<&mpsc::Sender<JobNotice>>,
+    max_redispatch: u32,
 ) {
     // Each shard owns a full machine; storage is sparse, so it only pays
     // for the DBCs of the banks routed to it.
@@ -1363,6 +1655,29 @@ fn worker_loop(
                 slots,
             } => {
                 let out = execute_protected(&mut machine, protection, &program, voter.as_mut());
+                if let Some(notify) = notify {
+                    // Demux the batched output stream per member exactly
+                    // as `finish` does, so a live consumer sees the same
+                    // bytes the final report will record.
+                    let members = slots.len() as u32;
+                    let mut cursor = 0usize;
+                    for slot in &slots {
+                        let end = (cursor + slot.readouts).min(out.outputs.len());
+                        let start = cursor.min(out.outputs.len());
+                        cursor += slot.readouts;
+                        let _ = notify.send(JobNotice::Attempt {
+                            job_id: slot.job_id,
+                            attempt: slot.attempt,
+                            bank: unit.bank,
+                            batch: members,
+                            outputs: out.outputs[start..end].to_vec(),
+                            error: out.error.clone(),
+                            verified: out.verified,
+                            protection_active: protection.is_active(),
+                            max_redispatch,
+                        });
+                    }
+                }
                 if let Some(ack) = ack {
                     let _ = ack.send(AckMsg::Job {
                         seq,

@@ -1,0 +1,86 @@
+//! Live per-job completion notices.
+//!
+//! The runtime's [`RuntimeReport`](crate::RuntimeReport) is batch-shaped:
+//! every outcome materializes at [`Runtime::finish`](crate::Runtime).
+//! A serving frontend needs to learn about completions *while the
+//! session is live* — as banks retire jobs — so it can resolve client
+//! futures and stream results. Configuring
+//! [`RuntimeOptions::notify`](crate::RuntimeOptions) gives it that feed:
+//! workers send one [`JobNotice::Attempt`] per member job of every
+//! dispatch they execute (outputs demuxed exactly as `finish` demuxes
+//! them), and the scheduler sends one [`JobNotice::Cancelled`] for every
+//! job it drops from its queues after a
+//! [`Runtime::cancel`](crate::Runtime::cancel).
+//!
+//! Attempt notices are *per dispatch attempt*: under an active
+//! protection policy an unverified attempt may be superseded by a
+//! re-dispatch with a higher `attempt` number, and only the latest
+//! attempt matches what the final report records. A consumer that wants
+//! final results should treat a notice as settled when `verified` is
+//! true, when the policy is inactive, or when no further re-dispatch can
+//! follow (see [`JobNotice::is_final`]).
+
+use coruscant_core::PimError;
+
+/// A live notice about one job, sent on the
+/// [`RuntimeOptions::notify`](crate::RuntimeOptions) channel.
+#[derive(Debug, Clone)]
+pub enum JobNotice {
+    /// One dispatch attempt of the job finished executing on a worker.
+    Attempt {
+        /// The job's id (as returned by `submit`).
+        job_id: u64,
+        /// Dispatch attempt (0 = first placement).
+        attempt: u32,
+        /// Bank the attempt ran on.
+        bank: usize,
+        /// Jobs sharing the batched dispatch this attempt came from.
+        batch: u32,
+        /// The job's labeled readouts, in program order (demuxed from
+        /// the batched output stream exactly as the final report is).
+        outputs: Vec<(String, Vec<u64>)>,
+        /// The dispatch's execution error, if it hit one.
+        error: Option<PimError>,
+        /// Whether the attempt's outputs were verified by the protection
+        /// policy (always `false` when protection is off).
+        verified: bool,
+        /// Whether the runtime's protection policy is active — together
+        /// with `verified` and `attempt` this decides finality.
+        protection_active: bool,
+        /// The policy's re-dispatch bound (attempts beyond it are final
+        /// even when unverified).
+        max_redispatch: u32,
+    },
+    /// The job was cancelled while still queued: it was dropped before
+    /// issue and will produce no outcome.
+    Cancelled {
+        /// The job's id.
+        job_id: u64,
+    },
+}
+
+impl JobNotice {
+    /// The job this notice concerns.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            JobNotice::Attempt { job_id, .. } | JobNotice::Cancelled { job_id } => *job_id,
+        }
+    }
+
+    /// Whether no later attempt of the same job can follow this notice:
+    /// cancellations are always final; an attempt is final when it
+    /// verified, when no protection policy (and therefore no re-dispatch)
+    /// is active, or when the re-dispatch budget is exhausted.
+    pub fn is_final(&self) -> bool {
+        match self {
+            JobNotice::Cancelled { .. } => true,
+            JobNotice::Attempt {
+                verified,
+                protection_active,
+                attempt,
+                max_redispatch,
+                ..
+            } => *verified || !protection_active || attempt >= max_redispatch,
+        }
+    }
+}

@@ -60,6 +60,35 @@ fn job_unit(job: &PimJob) -> Option<DbcLocation> {
     job.program.steps.first().map(Step::target)
 }
 
+/// The single PIM unit *every* step of the job targets, or `None` for an
+/// empty or multi-unit program. Gathering non-consecutive jobs reorders
+/// them past interveners, so it needs this stronger confinement check —
+/// a first-step match is not enough.
+fn confined_unit(job: &PimJob) -> Option<DbcLocation> {
+    let mut steps = job.program.steps.iter();
+    let first = steps.next().map(Step::target)?;
+    steps.all(|s| s.target() == first).then_some(first)
+}
+
+/// How [`BankScheduler::issue_next_batch_grouped`] collects the members
+/// of a batched dispatch from a bank's FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchGrouping {
+    /// Group only *consecutive* same-unit jobs at the head of the FIFO.
+    /// Never reorders anything, so it is always semantics-preserving and
+    /// keeps the exact issue order of the unbatched scheduler.
+    #[default]
+    Consecutive,
+    /// Additionally gather non-consecutive same-unit jobs from deeper in
+    /// the FIFO, hopping over intervening jobs that are provably
+    /// hazard-free (confined to a *different* unit, so the reorder
+    /// cannot change what either job observes). Any job not confined to
+    /// a single unit is a barrier that stops the scan. Deterministic for
+    /// a given enqueue order, but the issue order differs from
+    /// [`BatchGrouping::Consecutive`] — hence opt-in.
+    SameUnit,
+}
+
 /// Per-bank FIFO queues plus the circular issue cursor.
 #[derive(Debug)]
 pub struct BankScheduler {
@@ -144,6 +173,17 @@ impl BankScheduler {
     pub fn issue_next_batch_where<F: FnMut(usize) -> bool>(
         &mut self,
         max_jobs: usize,
+        eligible: F,
+    ) -> Option<IssuedBatch> {
+        self.issue_next_batch_grouped(max_jobs, BatchGrouping::Consecutive, eligible)
+    }
+
+    /// Like [`BankScheduler::issue_next_batch_where`], with the member
+    /// collection strategy chosen by `grouping` (see [`BatchGrouping`]).
+    pub fn issue_next_batch_grouped<F: FnMut(usize) -> bool>(
+        &mut self,
+        max_jobs: usize,
+        grouping: BatchGrouping,
         mut eligible: F,
     ) -> Option<IssuedBatch> {
         let banks = self.fifos.len();
@@ -162,6 +202,7 @@ impl BankScheduler {
             let unit = job_unit(&first);
             let mut jobs = vec![first];
             if unit.is_some() {
+                // Head run: consecutive same-unit jobs never reorder.
                 while jobs.len() < max_jobs
                     && self.fifos[bank]
                         .front()
@@ -169,6 +210,25 @@ impl BankScheduler {
                 {
                     jobs.push(self.fifos[bank].pop_front().expect("front checked"));
                     self.pending -= 1;
+                }
+                if grouping == BatchGrouping::SameUnit {
+                    // Gather past hazard-free interveners: a candidate
+                    // must be *confined* to the batch unit, every hopped
+                    // job confined to a different unit (disjoint state),
+                    // and any non-confined job is a barrier.
+                    let mut idx = 0;
+                    while jobs.len() < max_jobs && idx < self.fifos[bank].len() {
+                        match confined_unit(&self.fifos[bank][idx]) {
+                            Some(u) if Some(u) == unit => {
+                                jobs.push(
+                                    self.fifos[bank].remove(idx).expect("index bounds checked"),
+                                );
+                                self.pending -= 1;
+                            }
+                            Some(_) => idx += 1,
+                            None => break,
+                        }
+                    }
                 }
             }
             return Some(IssuedBatch { seq, jobs, bank });
@@ -327,6 +387,84 @@ mod tests {
         assert_eq!(b.jobs.len(), 1);
         assert_eq!(b.jobs[0].id, 3);
         assert_eq!(s.pending(), 1);
+    }
+
+    /// A program with steps on two units — a grouping hazard barrier.
+    fn job_spanning(id: u64, a: DbcLocation, b: DbcLocation) -> PimJob {
+        PimJob {
+            id,
+            program: Arc::new(PimProgram {
+                steps: vec![
+                    Step::Readout {
+                        label: format!("j{id}a"),
+                        addr: RowAddress::new(a, 4),
+                        lane: 8,
+                    },
+                    Step::Readout {
+                        label: format!("j{id}b"),
+                        addr: RowAddress::new(b, 4),
+                        lane: 8,
+                    },
+                ],
+            }),
+            placement: Placement::Fixed(a),
+        }
+    }
+
+    #[test]
+    fn same_unit_grouping_gathers_past_confined_interveners() {
+        let u0 = DbcLocation::new(0, 0, 0, 0);
+        let u1 = DbcLocation::new(0, 1, 0, 0);
+        let mut s = BankScheduler::new(1);
+        s.enqueue(job_at(0, u0), 0);
+        s.enqueue(job_at(1, u1), 0); // intervener confined to another unit
+        s.enqueue(job_at(2, u0), 0);
+        s.enqueue(job_at(3, u0), 0);
+        let b = s
+            .issue_next_batch_grouped(8, BatchGrouping::SameUnit, |_| true)
+            .unwrap();
+        let ids: Vec<u64> = b.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 2, 3], "u0 jobs gathered past the u1 job");
+        // The hopped intervener issues next, still FIFO.
+        let b = s
+            .issue_next_batch_grouped(8, BatchGrouping::SameUnit, |_| true)
+            .unwrap();
+        assert_eq!(b.jobs.len(), 1);
+        assert_eq!(b.jobs[0].id, 1);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn same_unit_grouping_stops_at_multi_unit_barrier() {
+        let u0 = DbcLocation::new(0, 0, 0, 0);
+        let u1 = DbcLocation::new(0, 1, 0, 0);
+        let mut s = BankScheduler::new(1);
+        s.enqueue(job_at(0, u0), 0);
+        s.enqueue(job_spanning(1, u1, u0), 0); // touches u0: hazard
+        s.enqueue(job_at(2, u0), 0);
+        let b = s
+            .issue_next_batch_grouped(8, BatchGrouping::SameUnit, |_| true)
+            .unwrap();
+        assert_eq!(
+            b.jobs.len(),
+            1,
+            "job 2 must not be pulled ahead of the spanning job"
+        );
+        assert_eq!(b.jobs[0].id, 0);
+    }
+
+    #[test]
+    fn consecutive_grouping_ignores_non_adjacent_same_unit_jobs() {
+        let u0 = DbcLocation::new(0, 0, 0, 0);
+        let u1 = DbcLocation::new(0, 1, 0, 0);
+        let mut s = BankScheduler::new(1);
+        s.enqueue(job_at(0, u0), 0);
+        s.enqueue(job_at(1, u1), 0);
+        s.enqueue(job_at(2, u0), 0);
+        let b = s
+            .issue_next_batch_grouped(8, BatchGrouping::Consecutive, |_| true)
+            .unwrap();
+        assert_eq!(b.jobs.len(), 1, "default grouping never reorders");
     }
 
     #[test]

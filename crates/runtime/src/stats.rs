@@ -112,6 +112,11 @@ pub struct BatchStats {
     pub batches: u64,
     /// Jobs that executed as members of a batched dispatch.
     pub batched_jobs: u64,
+    /// Batched dispatches whose spliced+optimized program was served from
+    /// the batched-splice cache (same ordered member shapes seen before).
+    pub splice_hits: u64,
+    /// Batched dispatches that had to run the splice+optimize pipeline.
+    pub splice_misses: u64,
 }
 
 /// Aggregate, serializable statistics of a runtime session.
@@ -119,6 +124,9 @@ pub struct BatchStats {
 pub struct RuntimeStats {
     /// Jobs completed.
     pub jobs: u64,
+    /// Jobs dropped by cancellation before reaching a bank (they report
+    /// no outcome and are not in `jobs`).
+    pub cancelled: u64,
     /// `cpim` instructions executed.
     pub instructions: u64,
     /// Worker shards the run used.

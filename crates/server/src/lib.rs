@@ -1,0 +1,598 @@
+//! The CORUSCANT serving frontend: an async request API over the
+//! batch-shaped execution runtime.
+//!
+//! The runtime (`coruscant-runtime`) is session-shaped: submissions go
+//! into a bounded queue and every result materializes at
+//! [`Runtime::finish`]. That fits batch campaigns, not serving. This
+//! crate wraps a runtime in a [`Server`] that keeps the session live and
+//! gives clients a per-job completion surface:
+//!
+//! * **Submission** — [`Client::submit`] returns a [`JobHandle`] that
+//!   resolves when the job's bank retires it (the runtime's live
+//!   [`JobNotice`] feed), not at session end. Handles are
+//!   [`std::future::Future`]s *and* blocking-waitable — no executor
+//!   required. [`Client::submit_stream`] submits a whole workload and
+//!   yields per-job results in submission order as they arrive.
+//! * **Admission control** — optional per-[`Priority`] token buckets and
+//!   queue-depth load shedding driven by the runtime's live queue-depth
+//!   signal, with typed [`Rejected`] errors. Disabled (the default) the
+//!   server blocks on the bounded queue instead — backpressure — and the
+//!   whole pipeline stays bit-deterministic versus direct runtime use.
+//! * **Deadlines** — a per-job *queueing* deadline: if it expires before
+//!   the scheduler issues the job, the job is cancelled (never touches a
+//!   bank) and the handle resolves [`ServeError::Expired`]; a job whose
+//!   execution already began completes normally.
+//! * **Drain** — [`Server::shutdown`] stops accepting, flushes all
+//!   in-flight work through [`Runtime::finish`], resolves every
+//!   outstanding handle (from the final report if its live notice was
+//!   not final), and returns [`ServerStats`] whose accounting always
+//!   balances: `submitted == accepted + rejected` and every accepted job
+//!   resolves exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod handle;
+pub mod stats;
+
+pub use admission::{AdmissionOptions, BucketConfig, Priority, Rejected};
+pub use handle::{Completion, JobDone, JobHandle, ResultStream, ServeError};
+pub use stats::ServerStats;
+
+use coruscant_core::program::PimProgram;
+use coruscant_mem::MemoryConfig;
+use coruscant_runtime::{JobNotice, Placement, PushError, Runtime, RuntimeError, RuntimeOptions};
+
+use admission::AdmissionController;
+use handle::Resolver;
+use stats::Counters;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration: the wrapped runtime's options plus admission
+/// control.
+#[derive(Debug, Default)]
+pub struct ServerOptions {
+    /// Options for the wrapped [`Runtime`]. The server installs its own
+    /// completion-notice channel; a `notify` sender set here is replaced.
+    pub runtime: RuntimeOptions,
+    /// Admission-control configuration (disabled by default, which keeps
+    /// the pipeline deterministic).
+    pub admission: AdmissionOptions,
+}
+
+/// Errors surfaced by server lifecycle operations.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The server was already shut down.
+    Closed,
+    /// Starting or draining the wrapped runtime failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Closed => write!(f, "server already shut down"),
+            ServerError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Runtime(e) => Some(e),
+            ServerError::Closed => None,
+        }
+    }
+}
+
+/// Per-submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Scheduling class for admission control.
+    pub priority: Priority,
+    /// Relative queueing deadline: if the job is still queued when it
+    /// elapses, the job is cancelled and its handle resolves
+    /// [`ServeError::Expired`]. `None` (default) never expires. A zero
+    /// deadline is rejected at submission with [`Rejected::Deadline`].
+    pub deadline: Option<Duration>,
+    /// Placement passed through to the runtime.
+    pub placement: Placement,
+}
+
+impl SubmitOptions {
+    /// Options with a priority and defaults otherwise.
+    pub fn priority(priority: Priority) -> SubmitOptions {
+        SubmitOptions {
+            priority,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Sets the queueing deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Pending-handle bookkeeping shared between submitters, the router
+/// thread, and the deadline sweeper.
+#[derive(Default)]
+struct Registry {
+    /// Unresolved handles by job id.
+    pending: HashMap<u64, Resolver>,
+    /// Final completions that arrived before the submitter could
+    /// register its handle (the job id is assigned *inside* the
+    /// runtime's submit, so the worker can race the registration).
+    early: HashMap<u64, Completion>,
+    /// Jobs the deadline sweeper cancelled: the scheduler's `Cancelled`
+    /// notice for these resolves [`ServeError::Expired`] instead of
+    /// [`ServeError::Cancelled`].
+    expire_intent: HashSet<u64>,
+}
+
+/// The deadline sweeper's work queue.
+#[derive(Default)]
+struct SweeperState {
+    heap: Mutex<BinaryHeap<Reverse<(Instant, u64)>>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+struct Shared {
+    /// `None` once [`Server::shutdown`] has taken the runtime. Behind an
+    /// `RwLock` so submitters share read access while drain is exclusive.
+    runtime: RwLock<Option<Runtime>>,
+    registry: Mutex<Registry>,
+    admission: Mutex<AdmissionController>,
+    counters: Counters,
+    accepting: AtomicBool,
+    sweeper: SweeperState,
+}
+
+impl Shared {
+    /// Routes one final completion: resolves the pending handle, or
+    /// stashes it for a registration that has not happened yet. Counts
+    /// the resolution exactly once.
+    fn route(&self, job_id: u64, completion: Completion) {
+        self.count(&completion);
+        let mut reg = self.registry.lock().unwrap();
+        reg.expire_intent.remove(&job_id);
+        match reg.pending.remove(&job_id) {
+            Some(resolver) => {
+                drop(reg);
+                resolver.resolve(completion);
+            }
+            None => {
+                reg.early.insert(job_id, completion);
+            }
+        }
+    }
+
+    fn count(&self, completion: &Completion) {
+        let c = &self.counters;
+        match completion {
+            Ok(_) => c.completed.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Exec(_)) => c.failed.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Expired) => c.expired.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Cancelled) => c.cancelled.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Lost) => c.lost.fetch_add(1, Ordering::Relaxed),
+            // Rejections are counted at the submission site.
+            Err(ServeError::Rejected(_)) => 0,
+        };
+    }
+
+    /// Registers a handle for a freshly accepted job, claiming any
+    /// completion that raced ahead of the registration.
+    fn register(&self, job_id: u64) -> JobHandle {
+        let mut reg = self.registry.lock().unwrap();
+        if let Some(completion) = reg.early.remove(&job_id) {
+            return handle::resolved(job_id, completion);
+        }
+        let (h, resolver) = handle::oneshot(job_id);
+        reg.pending.insert(job_id, resolver);
+        h
+    }
+
+    /// Fires one queueing deadline: if the job is still unresolved, mark
+    /// the expiry intent and ask the runtime to cancel it.
+    fn expire(&self, job_id: u64) {
+        {
+            let mut reg = self.registry.lock().unwrap();
+            if !reg.pending.contains_key(&job_id) {
+                return; // already resolved — the deadline is moot
+            }
+            reg.expire_intent.insert(job_id);
+        }
+        if let Some(rt) = self.runtime.read().unwrap().as_ref() {
+            rt.cancel(job_id);
+        }
+    }
+
+    fn sweeper_push(&self, at: Instant, job_id: u64) {
+        self.sweeper
+            .heap
+            .lock()
+            .unwrap()
+            .push(Reverse((at, job_id)));
+        self.sweeper.cv.notify_all();
+    }
+}
+
+/// The router: turns the runtime's live notice feed into handle
+/// resolutions. Exits when every notice sender (workers + scheduler)
+/// hangs up, which [`Runtime::finish`] guarantees at drain.
+fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>) {
+    for notice in rx.iter() {
+        if !notice.is_final() {
+            // A superseded attempt under an active protection policy;
+            // the re-dispatched attempt (or the drain fallback) resolves
+            // the handle.
+            continue;
+        }
+        match notice {
+            JobNotice::Attempt {
+                job_id,
+                attempt,
+                bank,
+                batch,
+                outputs,
+                error,
+                verified,
+                ..
+            } => {
+                let completion = match error {
+                    Some(e) => Err(ServeError::Exec(e)),
+                    None => Ok(JobDone {
+                        job_id,
+                        outputs,
+                        bank,
+                        attempt,
+                        batch,
+                        verified,
+                    }),
+                };
+                shared.route(job_id, completion);
+            }
+            JobNotice::Cancelled { job_id } => {
+                let expired = shared
+                    .registry
+                    .lock()
+                    .unwrap()
+                    .expire_intent
+                    .remove(&job_id);
+                let completion = if expired {
+                    Err(ServeError::Expired)
+                } else {
+                    Err(ServeError::Cancelled)
+                };
+                shared.route(job_id, completion);
+            }
+        }
+    }
+}
+
+/// The deadline sweeper: sleeps until the earliest pending deadline and
+/// fires expiries in order.
+fn sweeper_loop(shared: &Shared) {
+    let mut heap = shared.sweeper.heap.lock().unwrap();
+    loop {
+        if shared.sweeper.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let next = heap.peek().map(|Reverse((at, id))| (*at, *id));
+        match next {
+            None => {
+                heap = shared.sweeper.cv.wait(heap).unwrap();
+            }
+            Some((at, id)) => {
+                let now = Instant::now();
+                if at <= now {
+                    heap.pop();
+                    drop(heap);
+                    shared.expire(id);
+                    heap = shared.sweeper.heap.lock().unwrap();
+                } else {
+                    let (guard, _) = shared.sweeper.cv.wait_timeout(heap, at - now).unwrap();
+                    heap = guard;
+                }
+            }
+        }
+    }
+}
+
+/// A serving frontend over one [`Runtime`] session. Create with
+/// [`Server::start`], submit through [`Server::client`] handles, and
+/// call [`Server::shutdown`] to drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    router: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server: spawns the wrapped runtime plus the router and
+    /// deadline-sweeper threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Runtime::new`] failures.
+    pub fn start(config: MemoryConfig, options: ServerOptions) -> Result<Server, ServerError> {
+        let (notify_tx, notify_rx) = mpsc::channel::<JobNotice>();
+        let runtime_options = options.runtime.with_notify(notify_tx);
+        // The channel's original sender was moved into the runtime (and
+        // cloned to its workers/scheduler); once `finish` joins them the
+        // receiver disconnects and the router exits.
+        let runtime = Runtime::new(config, runtime_options).map_err(ServerError::Runtime)?;
+        let shared = Arc::new(Shared {
+            runtime: RwLock::new(Some(runtime)),
+            registry: Mutex::new(Registry::default()),
+            admission: Mutex::new(AdmissionController::new(options.admission, Instant::now())),
+            counters: Counters::default(),
+            accepting: AtomicBool::new(true),
+            sweeper: SweeperState::default(),
+        });
+        let router = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || router_loop(&shared, &notify_rx))
+        };
+        let sweeper = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || sweeper_loop(&shared))
+        };
+        Ok(Server {
+            shared,
+            router: Some(router),
+            sweeper: Some(sweeper),
+        })
+    }
+
+    /// A cloneable submission client for this server.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Live depth of the runtime's submission queue (the admission
+    /// signal).
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .runtime
+            .read()
+            .unwrap()
+            .as_ref()
+            .map_or(0, Runtime::queue_len)
+    }
+
+    /// Opens the scheduler gate of a server whose runtime was created
+    /// with [`RuntimeOptions::paused`] — used by tests that need to
+    /// stage submissions/cancellations deterministically before any
+    /// scheduling happens.
+    pub fn resume(&self) {
+        if let Some(rt) = self.shared.runtime.read().unwrap().as_ref() {
+            rt.resume();
+        }
+    }
+
+    /// Graceful drain: stops accepting, flushes every queued and
+    /// in-flight job through the runtime, resolves all outstanding
+    /// handles, and returns the final balanced [`ServerStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Runtime`] if the drain failed (a worker died or a
+    /// job error surfaced at session level); outstanding handles resolve
+    /// [`ServeError::Lost`] in that case.
+    pub fn shutdown(mut self) -> Result<ServerStats, ServerError> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<ServerStats, ServerError> {
+        self.shared.accepting.store(false, Ordering::Release);
+        let runtime = self
+            .shared
+            .runtime
+            .write()
+            .unwrap()
+            .take()
+            .ok_or(ServerError::Closed)?;
+        let result = runtime.finish();
+        // The notice senders all dropped when `finish` joined the
+        // runtime threads; the router drains what is buffered and exits.
+        self.shared.sweeper.stop.store(true, Ordering::Release);
+        self.shared.sweeper.cv.notify_all();
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+        match result {
+            Ok(report) => {
+                let mut reg = self.shared.registry.lock().unwrap();
+                // Jobs that completed without a *final* live notice (for
+                // example a Fixed-placement job whose last attempt stayed
+                // unverified) resolve from the final report — the
+                // report's winner is exactly the winning attempt.
+                for outcome in &report.outcomes {
+                    if let Some(resolver) = reg.pending.remove(&outcome.job_id) {
+                        let completion = Ok(JobDone {
+                            job_id: outcome.job_id,
+                            outputs: outcome.outputs.clone(),
+                            bank: outcome.bank,
+                            attempt: outcome.attempt,
+                            batch: outcome.batch,
+                            verified: outcome.verified,
+                        });
+                        self.shared.count(&completion);
+                        resolver.resolve(completion);
+                    }
+                }
+                for (_, resolver) in reg.pending.drain() {
+                    let completion = Err(ServeError::Lost);
+                    self.shared.count(&completion);
+                    resolver.resolve(completion);
+                }
+                drop(reg);
+                Ok(self.shared.counters.snapshot(report.stats))
+            }
+            Err(e) => {
+                let mut reg = self.shared.registry.lock().unwrap();
+                for (_, resolver) in reg.pending.drain() {
+                    let completion = Err(ServeError::Lost);
+                    self.shared.count(&completion);
+                    resolver.resolve(completion);
+                }
+                drop(reg);
+                Err(ServerError::Runtime(e))
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server still drains — otherwise the runtime's
+        // scheduler would block on its never-closed queue forever.
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// A cheap, cloneable submission handle to a [`Server`]; safe to share
+/// across threads.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submits a job with default options ([`Priority::Normal`], no
+    /// deadline, automatic placement).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] when the submission is refused.
+    pub fn submit(&self, program: PimProgram) -> Result<JobHandle, Rejected> {
+        self.submit_with(program, SubmitOptions::default())
+    }
+
+    /// Submits a job.
+    ///
+    /// With admission control enabled the call never blocks: it either
+    /// accepts (returning a [`JobHandle`]) or sheds with a typed
+    /// [`Rejected`]. With admission disabled it blocks while the
+    /// runtime's bounded queue is full (backpressure), preserving the
+    /// runtime's deterministic pipeline.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] when the submission is refused.
+    pub fn submit_with(
+        &self,
+        program: PimProgram,
+        options: SubmitOptions,
+    ) -> Result<JobHandle, Rejected> {
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Closed);
+        }
+        let guard = self.shared.runtime.read().unwrap();
+        let Some(rt) = guard.as_ref() else {
+            c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Closed);
+        };
+        if options.deadline.is_some_and(|d| d.is_zero()) {
+            c.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Deadline);
+        }
+        let now = Instant::now();
+        let admission_on = {
+            let mut adm = self.shared.admission.lock().unwrap();
+            if let Err(r) = adm.admit(options.priority, rt.queue_len(), rt.queue_capacity(), now) {
+                c.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(r);
+            }
+            adm.enabled()
+        };
+        let id = if admission_on {
+            match rt.try_submit(program, options.placement) {
+                Ok(id) => id,
+                Err(PushError::Full) => {
+                    c.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected::QueueFull);
+                }
+                Err(PushError::Closed) => {
+                    c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected::Closed);
+                }
+            }
+        } else {
+            match rt.submit(program, options.placement) {
+                Ok(id) => id,
+                Err(_) => {
+                    // Blocking submit fails only on a closed queue or a
+                    // compiler rejection (differential-verify
+                    // divergence); either way the job was not accepted.
+                    c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected::Closed);
+                }
+            }
+        };
+        c.accepted.fetch_add(1, Ordering::Relaxed);
+        let handle = self.shared.register(id);
+        if let Some(d) = options.deadline {
+            self.shared.sweeper_push(now + d, id);
+        }
+        Ok(handle)
+    }
+
+    /// Submits a whole workload and returns its ordered [`ResultStream`].
+    /// Rejected members become pre-resolved
+    /// [`ServeError::Rejected`] entries, so the stream always yields one
+    /// completion per input, in input order.
+    pub fn submit_stream<I>(&self, programs: I, options: SubmitOptions) -> ResultStream
+    where
+        I: IntoIterator<Item = PimProgram>,
+    {
+        let handles = programs
+            .into_iter()
+            .map(|p| match self.submit_with(p, options) {
+                Ok(h) => h,
+                Err(r) => handle::resolved(u64::MAX, Err(ServeError::Rejected(r))),
+            })
+            .collect();
+        ResultStream::new(handles)
+    }
+
+    /// Requests cancellation of a still-queued job. Best-effort, like
+    /// [`Runtime::cancel`]: if the scheduler drops the job before issue
+    /// its handle resolves [`ServeError::Cancelled`]; a job that already
+    /// reached a bank completes normally.
+    pub fn cancel(&self, job_id: u64) {
+        if let Some(rt) = self.shared.runtime.read().unwrap().as_ref() {
+            rt.cancel(job_id);
+        }
+    }
+
+    /// Live depth of the runtime's submission queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .runtime
+            .read()
+            .unwrap()
+            .as_ref()
+            .map_or(0, Runtime::queue_len)
+    }
+}

@@ -1,0 +1,123 @@
+//! Server-level accounting: submission/rejection/completion counters
+//! plus the wrapped runtime's final [`RuntimeStats`].
+
+use coruscant_runtime::RuntimeStats;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Final statistics a drained server hands back from
+/// [`crate::Server::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServerStats {
+    /// All submission attempts (accepted + rejected).
+    pub submitted: u64,
+    /// Submissions that passed admission and entered the runtime queue.
+    pub accepted: u64,
+    /// Accepted jobs that executed and produced outputs.
+    pub completed: u64,
+    /// Accepted jobs that executed and hit a PIM error.
+    pub failed: u64,
+    /// Submissions shed by admission control (depth or rate).
+    pub rejected_overload: u64,
+    /// Submissions refused because the runtime queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Submissions refused because their deadline had already expired.
+    pub rejected_deadline: u64,
+    /// Submissions refused because the server was draining.
+    pub rejected_closed: u64,
+    /// Accepted jobs cancelled by deadline expiry while still queued.
+    pub expired: u64,
+    /// Accepted jobs cancelled by an explicit client cancel while queued.
+    pub cancelled: u64,
+    /// Accepted jobs whose fate the server never learned (worker lost or
+    /// session failure).
+    pub lost: u64,
+    /// The wrapped runtime session's aggregate statistics.
+    pub runtime: RuntimeStats,
+}
+
+impl ServerStats {
+    /// All rejections, across reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_overload
+            + self.rejected_queue_full
+            + self.rejected_deadline
+            + self.rejected_closed
+    }
+
+    /// The accounting invariant every drained server satisfies: every
+    /// submission is either accepted or rejected, and every accepted job
+    /// resolves exactly one way.
+    pub fn balanced(&self) -> bool {
+        self.submitted == self.accepted + self.rejected()
+            && self.accepted
+                == self.completed + self.failed + self.expired + self.cancelled + self.lost
+    }
+}
+
+/// Live atomic counters behind the final [`ServerStats`].
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub accepted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected_overload: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+    pub rejected_closed: AtomicU64,
+    pub expired: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub lost: AtomicU64,
+}
+
+impl Counters {
+    pub fn snapshot(&self, runtime: RuntimeStats) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
+            runtime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_checks_both_levels() {
+        let stats = ServerStats {
+            submitted: 10,
+            accepted: 7,
+            completed: 5,
+            failed: 1,
+            expired: 1,
+            rejected_overload: 2,
+            rejected_queue_full: 1,
+            ..ServerStats::default()
+        };
+        assert!(stats.balanced());
+        let unbalanced = ServerStats {
+            completed: 6,
+            ..stats
+        };
+        assert!(!unbalanced.balanced());
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let json = serde::json::to_string(&ServerStats::default());
+        assert!(json.contains("\"rejected_overload\""));
+        assert!(json.contains("\"runtime\""));
+    }
+}

@@ -15,6 +15,9 @@ use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
 use coruscant_core::Result;
 use coruscant_mem::{DbcLocation, MemoryConfig, RowAddress};
 use coruscant_runtime::{run_batch, RuntimeError, RuntimeOptions, RuntimeReport};
+use coruscant_server::{
+    JobDone, ServeError, Server, ServerError, ServerOptions, ServerStats, SubmitOptions,
+};
 
 /// First operand row of a query-chunk program (clear of controller
 /// scratch conventions; retargeting preserves row offsets).
@@ -222,6 +225,145 @@ pub fn serve_matmul_batch(
     Ok((results, report))
 }
 
+/// A streamed serving run that could not deliver every member's result.
+#[derive(Debug)]
+pub enum ServeStreamError {
+    /// Starting or draining the serving frontend failed.
+    Server(ServerError),
+    /// One stream member resolved without outputs (shed, expired,
+    /// cancelled, or failed in execution). Only possible when the caller
+    /// enabled admission control or deadlines; the default deterministic
+    /// configuration completes every member.
+    Member {
+        /// The member's position in the submitted workload.
+        index: usize,
+        /// Why it produced no result.
+        error: ServeError,
+    },
+}
+
+impl std::fmt::Display for ServeStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeStreamError::Server(e) => write!(f, "serving frontend: {e}"),
+            ServeStreamError::Member { index, error } => {
+                write!(f, "stream member {index}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeStreamError::Server(e) => Some(e),
+            ServeStreamError::Member { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<ServerError> for ServeStreamError {
+    fn from(e: ServerError) -> ServeStreamError {
+        ServeStreamError::Server(e)
+    }
+}
+
+/// Serves a workload through the async frontend: starts a [`Server`],
+/// submits every program as one ordered stream, collects the per-job
+/// results as the banks retire them, and drains. Returns the results in
+/// submission order with the final balanced [`ServerStats`].
+///
+/// With admission control disabled (the [`ServerOptions`] default) this
+/// is the deterministic serving path: its outputs are bit-identical to a
+/// direct [`run_batch`] over the same programs. Note the submission is
+/// blocking in that mode — a paused runtime whose queue is smaller than
+/// the workload will deadlock, so pair `start_paused` only with
+/// admission control.
+///
+/// # Errors
+///
+/// [`ServeStreamError::Server`] on start/drain failure,
+/// [`ServeStreamError::Member`] on the first member without a result.
+pub fn serve_programs_streamed(
+    config: &MemoryConfig,
+    programs: Vec<PimProgram>,
+    options: ServerOptions,
+) -> std::result::Result<(Vec<JobDone>, ServerStats), ServeStreamError> {
+    let server = Server::start(config.clone(), options)?;
+    let client = server.client();
+    let stream = client.submit_stream(programs, SubmitOptions::default());
+    let mut results = Vec::with_capacity(stream.remaining());
+    for (index, completion) in stream.enumerate() {
+        match completion {
+            Ok(done) => results.push(done),
+            // The dropped server drains the runtime before the error
+            // propagates, so no threads are left behind.
+            Err(error) => return Err(ServeStreamError::Member { index, error }),
+        }
+    }
+    let stats = server.shutdown()?;
+    Ok((results, stats))
+}
+
+/// [`serve_bitmap_query`] routed through the async serving frontend:
+/// chunk results stream back as banks retire them and the count
+/// accumulates in submission order.
+///
+/// # Errors
+///
+/// Propagates compilation failures and [`serve_programs_streamed`]
+/// errors.
+pub fn serve_bitmap_query_streamed(
+    dataset: &BitmapDataset,
+    w: usize,
+    config: &MemoryConfig,
+    options: ServerOptions,
+    plan: QueryPlan,
+) -> std::result::Result<(u64, ServerStats), ServeStreamError> {
+    let programs = compile_bitmap_query_with(dataset, w, config, plan)
+        .map_err(|e| ServeStreamError::Server(ServerError::Runtime(RuntimeError::Pim(e))))?;
+    let (results, stats) = serve_programs_streamed(config, programs, options)?;
+    let count = results
+        .iter()
+        .flat_map(|d| &d.outputs)
+        .flat_map(|(_, words)| words)
+        .map(|w| w.count_ones() as u64)
+        .sum();
+    Ok((count, stats))
+}
+
+/// [`serve_matmul_batch`] routed through the async serving frontend.
+///
+/// # Errors
+///
+/// Propagates compilation failures and [`serve_programs_streamed`]
+/// errors.
+pub fn serve_matmul_batch_streamed(
+    pairs: &[MatrixPair],
+    config: &MemoryConfig,
+    options: ServerOptions,
+) -> std::result::Result<(Vec<Matrix>, ServerStats), ServeStreamError> {
+    let programs = pairs
+        .iter()
+        .map(|(a, b)| compile_matmul(a, b, config))
+        .collect::<Result<Vec<_>>>()
+        .map_err(|e| ServeStreamError::Server(ServerError::Runtime(RuntimeError::Pim(e))))?;
+    let (results, stats) = serve_programs_streamed(config, programs, options)?;
+    let matrices = results
+        .iter()
+        .zip(pairs)
+        .map(|(done, (a, _))| {
+            let outcome = ProgramOutcome {
+                outputs: done.outputs.clone(),
+                device_cycles: 0,
+                completion: 0,
+            };
+            fold_products(&outcome, a.len())
+        })
+        .collect();
+    Ok((matrices, stats))
+}
+
 /// Every program the workload front ends emit, for the given config:
 /// each bitmap query width under both emission plans, plus a small
 /// matmul. Used to differentially verify the compiler pipeline (and the
@@ -387,6 +529,49 @@ mod tests {
                 for j in 0..n {
                     let want: u64 = (0..n).map(|k| a[i][k] * b[k][j]).sum();
                     assert_eq!(results[t][i][j], want, "pair {t} C[{i}][{j}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_bitmap_query_matches_reference_and_balances() {
+        let config = MemoryConfig::tiny();
+        let ds = BitmapDataset::generate(1000, 4, 42);
+        let (count, stats) = serve_bitmap_query_streamed(
+            &ds,
+            3,
+            &config,
+            ServerOptions::default(),
+            QueryPlan::Fused,
+        )
+        .unwrap();
+        assert_eq!(count, ds.reference_count(3));
+        let chunks = 1000u64.div_ceil(64);
+        assert_eq!(stats.submitted, chunks);
+        assert_eq!(stats.completed, chunks);
+        assert!(stats.balanced(), "{stats:?}");
+    }
+
+    #[test]
+    fn streamed_matmul_matches_reference() {
+        let config = MemoryConfig::tiny();
+        let n = 3;
+        let a: Matrix = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 5 + j * 3) % 100) as u64).collect())
+            .collect();
+        let b: Matrix = (0..n)
+            .map(|i| (0..n).map(|j| ((i * 7 + j * 11) % 100) as u64).collect())
+            .collect();
+        let pairs = vec![(a.clone(), b.clone()); 3];
+        let (results, stats) =
+            serve_matmul_batch_streamed(&pairs, &config, ServerOptions::default()).unwrap();
+        assert_eq!(stats.completed, 3);
+        for (t, result) in results.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    let want: u64 = (0..n).map(|k| a[i][k] * b[k][j]).sum();
+                    assert_eq!(result[i][j], want, "pair {t} C[{i}][{j}]");
                 }
             }
         }

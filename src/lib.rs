@@ -19,6 +19,8 @@
 //! * [`workloads`] — polybench kernel models and bitmap-index queries.
 //! * [`runtime`] — the request-serving execution runtime: job queue,
 //!   bank-parallel circular dispatch (§V-C), sharded executor, stats.
+//! * [`server`] — the async serving frontend over the runtime: per-job
+//!   completion handles, admission control, deadlines, streaming.
 //! * [`reliability`] — analytic fault rates, NMR math, Monte-Carlo.
 //!
 //! # Quickstart
@@ -54,4 +56,5 @@ pub use coruscant_nn as nn;
 pub use coruscant_racetrack as racetrack;
 pub use coruscant_reliability as reliability;
 pub use coruscant_runtime as runtime;
+pub use coruscant_server as server;
 pub use coruscant_workloads as workloads;

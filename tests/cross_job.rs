@@ -161,6 +161,115 @@ fn batched_same_bank_execution_is_bit_identical_to_sequential() {
     assert_eq!(sequential.stats.jobs, batched.stats.jobs);
 }
 
+/// Batched-splice caching: a backlog of identical same-unit jobs drains
+/// as structurally identical batches, so every batch after the first is
+/// a splice-cache hit — and outputs match the cache-off run bit for bit.
+#[test]
+fn repeated_batches_hit_the_splice_cache() {
+    let config = MemoryConfig::tiny();
+    let unit = DbcLocation::new(0, 0, 0, 0);
+    let run = |splice_cache: usize| -> RuntimeReport {
+        let batch = BatchOptions {
+            splice_cache,
+            ..BatchOptions::enabled()
+        };
+        // Gate the scheduler so the whole backlog queues first and the
+        // batch grouping (4 × 8 identical members) is deterministic.
+        let rt = Runtime::new(
+            config.clone(),
+            RuntimeOptions::default().paused().with_batch(batch),
+        )
+        .unwrap();
+        for _ in 0..32 {
+            rt.submit(add_job(13, 29), Placement::Fixed(unit)).unwrap();
+        }
+        rt.finish().unwrap()
+    };
+
+    let cached = run(128);
+    let uncached = run(0);
+    assert!(cached.stats.batch.batches >= 2, "{:?}", cached.stats.batch);
+    assert_eq!(
+        cached.stats.batch.splice_hits,
+        cached.stats.batch.batches - cached.stats.batch.splice_misses,
+        "every batch is a lookup: {:?}",
+        cached.stats.batch
+    );
+    assert!(
+        cached.stats.batch.splice_hits > 0,
+        "identical member sets must hit: {:?}",
+        cached.stats.batch
+    );
+    assert_eq!(uncached.stats.batch.splice_hits, 0);
+    assert_eq!(uncached.stats.batch.splice_misses, 0);
+    assert_eq!(cached.outcomes.len(), uncached.outcomes.len());
+    for (c, u) in cached.outcomes.iter().zip(&uncached.outcomes) {
+        assert_eq!(c.outputs, u.outputs, "job {}", c.job_id);
+        assert_eq!(c.outputs[0].1, expected_sum(13, 29), "job {}", c.job_id);
+    }
+}
+
+/// Same-unit grouping past interveners: an alternating two-unit backlog
+/// on one bank never batches under consecutive-only grouping, but
+/// `BatchGrouping::SameUnit` gathers the interleaved jobs — with outputs
+/// still bit-identical.
+#[test]
+fn same_unit_grouping_batches_interleaved_backlogs() {
+    use coruscant::runtime::BatchGrouping;
+
+    let config = MemoryConfig::tiny();
+    // Two distinct PIM units in the same bank (bank 0, subarrays 0/1):
+    // one bank FIFO, alternating target units.
+    let unit_a = DbcLocation::new(0, 0, 0, 0);
+    let unit_b = DbcLocation::new(0, 1, 0, 0);
+    let run = |grouping: BatchGrouping| -> RuntimeReport {
+        let batch = BatchOptions {
+            grouping,
+            ..BatchOptions::enabled()
+        };
+        let rt = Runtime::new(
+            config.clone(),
+            RuntimeOptions::default().paused().with_batch(batch),
+        )
+        .unwrap();
+        for i in 0..24u64 {
+            let place = if i % 2 == 0 { unit_a } else { unit_b };
+            rt.submit(add_job(3 + i, 100 + i), Placement::Fixed(place))
+                .unwrap();
+        }
+        rt.finish().unwrap()
+    };
+
+    let consecutive = run(BatchGrouping::Consecutive);
+    let gathered = run(BatchGrouping::SameUnit);
+    assert_eq!(
+        consecutive.stats.batch.batches, 0,
+        "alternating units leave no consecutive runs: {:?}",
+        consecutive.stats.batch
+    );
+    assert!(
+        gathered.stats.batch.batches > 0,
+        "SameUnit must gather past the interveners: {:?}",
+        gathered.stats.batch
+    );
+    assert_eq!(consecutive.outcomes.len(), gathered.outcomes.len());
+    let by_id = |r: &RuntimeReport| {
+        let mut o = r.outcomes.clone();
+        o.sort_by_key(|x| x.job_id);
+        o
+    };
+    for (c, g) in by_id(&consecutive).iter().zip(&by_id(&gathered)) {
+        assert_eq!(c.job_id, g.job_id);
+        assert_eq!(c.outputs, g.outputs, "job {}", c.job_id);
+        assert_eq!(
+            c.outputs[0].1,
+            expected_sum(3 + c.job_id, 100 + c.job_id),
+            "job {}",
+            c.job_id
+        );
+    }
+}
+
 /// Batch fusion composed with fault injection and re-execute-and-compare
 /// protection: outputs stay exact, faults are detected, and batched
 /// dispatches actually happen.

@@ -1,0 +1,259 @@
+//! End-to-end tests of the async serving frontend (`coruscant-server`)
+//! over the full workload corpus: determinism versus the direct runtime
+//! path, overload shedding, deadline expiry, and explicit cancellation.
+
+use coruscant::mem::{FaultPlan, MemoryConfig};
+use coruscant::racetrack::FaultConfig;
+use coruscant::runtime::{run_batch, HealthPolicy, ProtectionPolicy, RuntimeOptions};
+use coruscant::server::{
+    AdmissionOptions, Priority, Rejected, ServeError, Server, ServerOptions, SubmitOptions,
+};
+use coruscant::workloads::serve::{all_workload_programs, serve_programs_streamed};
+use std::time::Duration;
+
+/// Runs the corpus both ways — direct [`run_batch`] and through a
+/// [`coruscant::server::Client`] stream — and asserts bit-identical
+/// labeled outputs, member by member in submission order.
+fn assert_server_matches_direct(options: RuntimeOptions) {
+    let config = MemoryConfig::tiny();
+    let programs = all_workload_programs(&config);
+    let n = programs.len();
+
+    let direct = run_batch(&config, programs.clone(), options.clone()).unwrap();
+    let server_options = ServerOptions {
+        runtime: options,
+        admission: AdmissionOptions::default(),
+    };
+    let (served, stats) = serve_programs_streamed(&config, programs, server_options).unwrap();
+
+    assert_eq!(direct.outcomes.len(), n);
+    assert_eq!(served.len(), n);
+    assert_eq!(stats.completed, n as u64);
+    assert!(stats.balanced(), "{stats:?}");
+    for (i, (direct_out, served_out)) in direct.outcomes.iter().zip(&served).enumerate() {
+        assert_eq!(
+            direct_out.outputs, served_out.outputs,
+            "member {i}: served outputs must be bit-identical to the direct runtime"
+        );
+    }
+    // The wrapped runtime saw exactly the same work.
+    assert_eq!(stats.runtime.jobs, direct.stats.jobs);
+}
+
+#[test]
+fn server_outputs_bit_identical_to_direct_runtime() {
+    assert_server_matches_direct(RuntimeOptions::default());
+}
+
+#[test]
+fn server_outputs_bit_identical_under_faults_and_reexecute() {
+    let plan = FaultPlan::uniform(FaultConfig::NONE.with_tr_fault_rate(2e-3), 0xFA117).unwrap();
+    let health = HealthPolicy {
+        suspect_after: 10_000,
+        quarantine_after: 100_000,
+        scrub_on_suspect: false,
+        ..HealthPolicy::default()
+    };
+    let options = RuntimeOptions::default()
+        .with_faults(plan)
+        .with_health(health)
+        .with_protection(ProtectionPolicy::Reexecute { max_retries: 6 });
+    assert_server_matches_direct(options);
+}
+
+#[test]
+fn overload_shedding_is_typed_and_balanced() {
+    let config = MemoryConfig::tiny();
+    let programs = all_workload_programs(&config);
+    // Gate the scheduler so the queue fills deterministically; queue of 4
+    // puts Normal's high-water mark at ceil(0.75 * 4) = 3.
+    let mut runtime = RuntimeOptions::default().paused();
+    runtime.queue_capacity = 4;
+    let server = Server::start(
+        config,
+        ServerOptions {
+            runtime,
+            admission: AdmissionOptions::enabled(),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    let mut handles = Vec::new();
+    let mut overloads = 0u64;
+    for program in programs.into_iter().take(10) {
+        match client.submit(program) {
+            Ok(h) => handles.push(h),
+            Err(Rejected::Overload) => overloads += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert_eq!(handles.len(), 3, "admitted up to the high-water mark");
+    assert_eq!(overloads, 7, "everything past the mark shed as Overload");
+
+    // Every admitted job still completes and the books balance.
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.submitted, 10);
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.rejected_overload, 7);
+    assert!(stats.balanced(), "{stats:?}");
+    for h in handles {
+        assert!(h.wait().is_ok(), "accepted jobs resolve Ok");
+    }
+}
+
+#[test]
+fn low_priority_sheds_before_high() {
+    let config = MemoryConfig::tiny();
+    let mut programs = all_workload_programs(&config).into_iter();
+    let mut runtime = RuntimeOptions::default().paused();
+    runtime.queue_capacity = 4;
+    let server = Server::start(
+        config,
+        ServerOptions {
+            runtime,
+            admission: AdmissionOptions::enabled(),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    // Fill to depth 2: Low's high-water mark, ceil(0.5 * 4).
+    for _ in 0..2 {
+        client
+            .submit_with(programs.next().unwrap(), SubmitOptions::default())
+            .unwrap();
+    }
+    let low = client.submit_with(
+        programs.next().unwrap(),
+        SubmitOptions::priority(Priority::Low),
+    );
+    assert_eq!(low.err(), Some(Rejected::Overload), "Low sheds at depth 2");
+    let high = client.submit_with(
+        programs.next().unwrap(),
+        SubmitOptions::priority(Priority::High),
+    );
+    assert!(high.is_ok(), "High still admits at depth 2");
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+}
+
+#[test]
+fn queued_deadline_expires_and_counts() {
+    let config = MemoryConfig::tiny();
+    let mut programs = all_workload_programs(&config).into_iter();
+    let server = Server::start(
+        config,
+        ServerOptions {
+            runtime: RuntimeOptions::default().paused(),
+            admission: AdmissionOptions::default(),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    let doomed = client
+        .submit_with(
+            programs.next().unwrap(),
+            SubmitOptions::default().with_deadline(Duration::from_millis(30)),
+        )
+        .unwrap();
+    let healthy = client.submit(programs.next().unwrap()).unwrap();
+    // Let the deadline lapse while the scheduler is still gated, then
+    // release the backlog: the expired job must never reach a bank.
+    std::thread::sleep(Duration::from_millis(150));
+    server.resume();
+
+    assert_eq!(doomed.wait(), Err(ServeError::Expired));
+    assert!(healthy.wait().is_ok(), "undoomed neighbor completes");
+
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(
+        stats.runtime.cancelled, 1,
+        "the runtime dropped it unissued"
+    );
+}
+
+#[test]
+fn zero_deadline_rejected_at_submission() {
+    let config = MemoryConfig::tiny();
+    let mut programs = all_workload_programs(&config).into_iter();
+    let server = Server::start(config, ServerOptions::default()).unwrap();
+    let client = server.client();
+    let r = client.submit_with(
+        programs.next().unwrap(),
+        SubmitOptions::default().with_deadline(Duration::ZERO),
+    );
+    assert_eq!(r.err(), Some(Rejected::Deadline));
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert!(stats.balanced(), "{stats:?}");
+}
+
+#[test]
+fn explicit_cancel_resolves_cancelled() {
+    let config = MemoryConfig::tiny();
+    let mut programs = all_workload_programs(&config).into_iter();
+    let server = Server::start(
+        config,
+        ServerOptions {
+            runtime: RuntimeOptions::default().paused(),
+            admission: AdmissionOptions::default(),
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let handle = client.submit(programs.next().unwrap()).unwrap();
+    client.cancel(handle.id());
+    server.resume();
+    assert_eq!(handle.wait(), Err(ServeError::Cancelled));
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.cancelled, 1);
+    assert!(stats.balanced(), "{stats:?}");
+}
+
+#[test]
+fn submissions_after_shutdown_are_rejected_closed() {
+    let config = MemoryConfig::tiny();
+    let mut programs = all_workload_programs(&config).into_iter();
+    let server = Server::start(config, ServerOptions::default()).unwrap();
+    let client = server.client();
+    let ok = client.submit(programs.next().unwrap()).unwrap();
+    assert!(ok.wait().is_ok());
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+    // The client outlives the server; its submissions now fail typed.
+    assert_eq!(
+        client.submit(programs.next().unwrap()).err(),
+        Some(Rejected::Closed)
+    );
+}
+
+#[test]
+fn handles_are_pollable_futures() {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll, Waker};
+
+    let config = MemoryConfig::tiny();
+    let mut programs = all_workload_programs(&config).into_iter();
+    let server = Server::start(config, ServerOptions::default()).unwrap();
+    let mut handle = server.client().submit(programs.next().unwrap()).unwrap();
+
+    // Poll to completion with a plain no-op waker — no executor needed.
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    let done = loop {
+        match Pin::new(&mut handle).poll(&mut cx) {
+            Poll::Ready(c) => break c,
+            Poll::Pending => std::thread::yield_now(),
+        }
+    };
+    assert!(done.is_ok());
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.completed, 1);
+}
