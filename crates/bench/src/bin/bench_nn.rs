@@ -1,0 +1,58 @@
+//! Emits `BENCH_nn.json`: CNN serving FPS for the LeNet-5/AlexNet
+//! proxies at every precision, served through compiler → runtime →
+//! server by `coruscant_pipeline`, single-request and batched arms.
+//!
+//! Usage: `cargo run --release -p coruscant-bench --bin bench_nn
+//! [output-path]` (default `BENCH_nn.json` in the working directory).
+
+use coruscant_bench::{header, nn_perf};
+use coruscant_mem::MemoryConfig;
+
+/// Sixteen tiles (4 banks × 2 × 2): enough hosting units for the
+/// eleven-layer AlexNet proxy, three storage DBCs per tile for resident
+/// weights — the same geometry `tests/nn_serving.rs` proves exact.
+fn serving_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 4,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_nn.json".into());
+    let config = serving_config();
+    let bench = nn_perf::run_full(&config, 8);
+
+    header("CNN serving: frames/s through compiler → runtime → server");
+    println!(
+        "{:<16} {:<6} {:<8} {:>7} {:>10} {:>12} {:>12} {:>8}",
+        "model", "prec", "arm", "frames", "wall ms", "fps (wall)", "fps (model)", "jobs"
+    );
+    for p in &bench.points {
+        println!(
+            "{:<16} {:<6} {:<8} {:>7} {:>10.1} {:>12.1} {:>12.2} {:>8}",
+            p.model,
+            format!("{:?}", p.precision),
+            p.arm,
+            p.frames,
+            p.wall_ms,
+            p.fps_wall,
+            p.fps_modeled,
+            p.jobs_completed,
+        );
+    }
+
+    let json = serde::json::to_string(&bench);
+    std::fs::write(&path, json + "\n").expect("write bench output");
+    println!("\nwrote {path}");
+}

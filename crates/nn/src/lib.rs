@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod infer;
 pub mod layers;
 pub mod mapping;
 pub mod models;

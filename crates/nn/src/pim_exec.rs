@@ -303,6 +303,156 @@ impl PimCnn {
         t.map(|v| ((v as u64) >> shift).min(255) as i64)
     }
 
+    /// Full-precision (integer-weight) convolution + ReLU: weights carry
+    /// signed 8-bit-range magnitudes, activations are unsigned 8-bit.
+    /// Each window position multiplies the activation row by the
+    /// broadcast weight-magnitude row on the carry-save multiplier;
+    /// positive- and negative-weight products accumulate separately and
+    /// meet in the two's-complement subtractor, exactly like the ternary
+    /// path but with true products instead of sign-selected activations.
+    ///
+    /// Products and partial sums ride 16-bit lanes: callers keep
+    /// `Σ|w|·act` per output under 2¹⁵ (the evaluated reduced-geometry
+    /// networks do by construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PIM errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn conv2d_full(
+        &mut self,
+        input: &Tensor3,
+        weights: &[Tensor3],
+        kernel: usize,
+    ) -> Result<Tensor3> {
+        let (ic, ih, iw) = input.shape();
+        let oh = ih - kernel + 1;
+        let ow = iw - kernel + 1;
+        let oc = weights.len();
+        let mut out = Tensor3::zeros(oc, oh, ow);
+        let lanes = self.lanes();
+        let width = self.config.nanowires_per_dbc;
+        let mult = coruscant_core::mult::Multiplier::new(&self.config);
+
+        for (f, w) in weights.iter().enumerate() {
+            assert_eq!(w.shape(), (ic, kernel, kernel), "weight shape");
+            // Non-zero positions with their magnitudes, split by sign.
+            let mut plus = Vec::new();
+            let mut minus = Vec::new();
+            for c in 0..ic {
+                for dy in 0..kernel {
+                    for dx in 0..kernel {
+                        let v = w.get(c, dy, dx);
+                        match v.cmp(&0) {
+                            std::cmp::Ordering::Greater => plus.push((c, dy, dx, v as u64)),
+                            std::cmp::Ordering::Less => minus.push((c, dy, dx, (-v) as u64)),
+                            std::cmp::Ordering::Equal => {}
+                        }
+                    }
+                }
+            }
+
+            let coords: Vec<(usize, usize)> =
+                (0..oh).flat_map(|y| (0..ow).map(move |x| (y, x))).collect();
+            for group in coords.chunks(lanes) {
+                let mut dbc = self.fresh_dbc();
+                let mut products =
+                    |dbc: &mut Dbc, positions: &[(usize, usize, usize, u64)]| -> Result<Vec<Row>> {
+                        positions
+                            .iter()
+                            .map(|&(c, dy, dx, mag)| {
+                                let acts: Vec<u64> = group
+                                    .iter()
+                                    .map(|&(y, x)| input.get(c, y + dy, x + dx) as u64)
+                                    .collect();
+                                let a = Row::pack(width, LANE, &acts);
+                                let b = Row::pack(width, LANE, &vec![mag; group.len()]);
+                                mult.multiply_packed(dbc, &a, &b, LANE / 2, &mut self.meter)
+                            })
+                            .collect()
+                    };
+                let plus_rows = products(&mut dbc, &plus)?;
+                let minus_rows = products(&mut dbc, &minus)?;
+                let p = self.sum_or_zero(&mut dbc, &plus_rows)?;
+                let n = self.sum_or_zero(&mut dbc, &minus_rows)?;
+                let diff = self
+                    .arith
+                    .subtract(&mut dbc, &p, &n, LANE, &mut self.meter)?;
+                let relu_slot = self.config.rows_per_dbc - 1;
+                dbc.write_row(relu_slot, &diff, &mut self.meter)?;
+                let rect = relu_row(&mut dbc, relu_slot, LANE, &mut self.meter)?;
+                for (l, &(y, x)) in group.iter().enumerate() {
+                    out.set(f, y, x, rect.unpack(LANE)[l] as i64);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full-precision fully-connected layer with ReLU: per input, the
+    /// activation row multiplies the per-output weight-magnitude row,
+    /// accumulating positive- and negative-weight products separately
+    /// (the lane-overflow discipline of [`PimCnn::conv2d_full`] applies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PIM errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weight rows do not match the input length.
+    pub fn fc_full(&mut self, input: &[u64], weights: &[Vec<i8>]) -> Result<Vec<u64>> {
+        let lanes = self.lanes();
+        let width = self.config.nanowires_per_dbc;
+        let mult = coruscant_core::mult::Multiplier::new(&self.config);
+        let mut out = vec![0u64; weights.len()];
+        let indices: Vec<usize> = (0..weights.len()).collect();
+        for group in indices.chunks(lanes) {
+            let mut dbc = self.fresh_dbc();
+            let mut products = |dbc: &mut Dbc, sign: i8| -> Result<Vec<Row>> {
+                (0..input.len())
+                    .filter_map(|i| {
+                        let mags: Vec<u64> = group
+                            .iter()
+                            .map(|&o| {
+                                assert_eq!(weights[o].len(), input.len(), "weight row width");
+                                let w = weights[o][i];
+                                if (sign > 0 && w > 0) || (sign < 0 && w < 0) {
+                                    w.unsigned_abs() as u64
+                                } else {
+                                    0
+                                }
+                            })
+                            .collect();
+                        if mags.iter().all(|&v| v == 0) {
+                            return None;
+                        }
+                        let a = Row::pack(width, LANE, &vec![input[i]; group.len()]);
+                        let b = Row::pack(width, LANE, &mags);
+                        Some(mult.multiply_packed(dbc, &a, &b, LANE / 2, &mut self.meter))
+                    })
+                    .collect()
+            };
+            let plus_rows = products(&mut dbc, 1)?;
+            let minus_rows = products(&mut dbc, -1)?;
+            let p = self.sum_or_zero(&mut dbc, &plus_rows)?;
+            let n = self.sum_or_zero(&mut dbc, &minus_rows)?;
+            let diff = self
+                .arith
+                .subtract(&mut dbc, &p, &n, LANE, &mut self.meter)?;
+            let relu_slot = self.config.rows_per_dbc - 1;
+            dbc.write_row(relu_slot, &diff, &mut self.meter)?;
+            let rect = relu_row(&mut dbc, relu_slot, LANE, &mut self.meter)?;
+            for (l, &o) in group.iter().enumerate() {
+                out[o] = rect.unpack(LANE)[l];
+            }
+        }
+        Ok(out)
+    }
+
     /// Binary (XNOR-net, NID-style) convolution: both activations and
     /// weights are sign bits; the ±1 dot product of an `n`-position
     /// window is `2·popcount(XNOR(a, w)) − n` (paper §IV-A). The XNOR of
@@ -418,6 +568,18 @@ pub fn reference_conv_bwn(input_bits: &Tensor3, weights: &[Tensor3], kernel: usi
 pub fn reference_conv_ternary(input: &Tensor3, weights: &[Tensor3], kernel: usize) -> Tensor3 {
     let conv = crate::layers::conv2d(input, weights, weights.len(), kernel);
     conv.map(|v| v.max(0))
+}
+
+/// Reference full-precision convolution + ReLU (oracle).
+pub fn reference_conv_full(input: &Tensor3, weights: &[Tensor3], kernel: usize) -> Tensor3 {
+    let conv = crate::layers::conv2d(input, weights, weights.len(), kernel);
+    conv.map(|v| v.max(0))
+}
+
+/// Reference full-precision FC + ReLU (oracle). The signed dot product
+/// is the same shape as the ternary one, just with wider weights.
+pub fn reference_fc_full(input: &[u64], weights: &[Vec<i8>]) -> Vec<u64> {
+    reference_fc_ternary(input, weights)
 }
 
 /// Reference ternary FC + ReLU (oracle).
@@ -594,6 +756,39 @@ mod tests {
         let mut pim = PimCnn::new(&config);
         let got = pim.conv2d_bwn(&bits, &weights, 2).unwrap();
         assert_eq!(got, reference_conv_bwn(&bits, &weights, 2));
+    }
+
+    #[test]
+    fn full_precision_conv_matches_reference() {
+        let config = MemoryConfig::tiny();
+        let input = small_input(2, 5, 5, 7);
+        let weights: Vec<Tensor3> = (0..2)
+            .map(|f| {
+                let mut t = Tensor3::zeros(2, 3, 3);
+                t.fill_pattern(41 + f, 2); // values in {-2..=2}
+                t
+            })
+            .collect();
+        let mut pim = PimCnn::new(&config);
+        let got = pim.conv2d_full(&input, &weights, 3).unwrap();
+        assert_eq!(got, reference_conv_full(&input, &weights, 3));
+        assert!(pim.cost().cycles > 0);
+    }
+
+    #[test]
+    fn full_precision_fc_matches_reference() {
+        let config = MemoryConfig::tiny();
+        let input: Vec<u64> = (0..10).map(|i| (i * 11) % 32).collect();
+        let weights: Vec<Vec<i8>> = (0..6)
+            .map(|o| {
+                (0..10)
+                    .map(|i| (((o * 17 + i * 7) % 7) as i8) - 3) // {-3..=3}
+                    .collect()
+            })
+            .collect();
+        let mut pim = PimCnn::new(&config);
+        let got = pim.fc_full(&input, &weights).unwrap();
+        assert_eq!(got, reference_fc_full(&input, &weights));
     }
 
     #[test]

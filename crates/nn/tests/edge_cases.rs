@@ -1,0 +1,74 @@
+//! Degenerate-input coverage for the analytic mapping layer: zero-width
+//! reductions and empty networks must stay total (no panics, sane zeros).
+
+use coruscant_nn::layers::Layer;
+use coruscant_nn::mapping::reduction_steps;
+use coruscant_nn::models::Network;
+
+#[test]
+fn reduction_steps_zero_operands_is_zero() {
+    for trd in [3, 5, 7] {
+        assert_eq!(reduction_steps(0, trd), 0, "trd={trd}");
+    }
+}
+
+#[test]
+fn reduction_steps_single_operand_is_zero() {
+    for trd in [3, 5, 7] {
+        assert_eq!(reduction_steps(1, trd), 0, "trd={trd}");
+    }
+}
+
+#[test]
+fn reduction_steps_trd_boundaries() {
+    // At TRD >= 4 the final adder takes trd - 2 operands directly; one
+    // more forces exactly one carry-save step.
+    for trd in [5_usize, 7] {
+        let cap = trd as u64 - 2;
+        assert_eq!(reduction_steps(cap, trd), 0, "at-capacity trd={trd}");
+        assert_eq!(reduction_steps(cap + 1, trd), 1, "capacity+1 trd={trd}");
+        assert_eq!(reduction_steps(trd as u64, trd), 1, "full group trd={trd}");
+    }
+    // TRD = 3 caps at 2 operands and reduces groups of 3 to 2.
+    assert_eq!(reduction_steps(2, 3), 0);
+    assert_eq!(reduction_steps(3, 3), 1);
+}
+
+#[test]
+fn reduction_steps_monotone_never_diverges() {
+    for trd in [3, 5, 7] {
+        let mut prev = 0;
+        for n in 0..=2048_u64 {
+            let s = reduction_steps(n, trd);
+            assert!(s < 64, "n={n} trd={trd} took {s} steps");
+            // Steps never decrease by more than 0 as n grows.
+            assert!(s + 1 >= prev, "non-monotone at n={n} trd={trd}");
+            prev = s;
+        }
+    }
+}
+
+#[test]
+fn empty_network_reduction_width_is_zero() {
+    let net = Network {
+        name: "empty".into(),
+        layers: Vec::new(),
+    };
+    assert_eq!(net.max_reduction_width(), 0);
+    assert_eq!(net.total_macs(), 0);
+    assert_eq!(net.total_outputs(), 0);
+    assert_eq!(net.total_reduction_adds(), 0);
+}
+
+#[test]
+fn single_layer_network_reduction_width() {
+    let net = Network {
+        name: "one-fc".into(),
+        layers: vec![Layer::Fc {
+            name: "f".into(),
+            inputs: 9,
+            outputs: 2,
+        }],
+    };
+    assert_eq!(net.max_reduction_width(), 9);
+}

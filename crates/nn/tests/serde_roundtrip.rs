@@ -1,0 +1,58 @@
+//! Serde round-trips for the types BENCH_nn.json and pipeline traces
+//! name: `quant::Precision`, `mapping::Scheme`, `models::Network`.
+
+use coruscant_nn::mapping::Scheme;
+use coruscant_nn::models::{alexnet, lenet5, Network};
+use coruscant_nn::quant::Precision;
+use serde::json;
+
+#[test]
+fn precision_round_trips() {
+    for p in [Precision::Full, Precision::Bwn, Precision::Twn] {
+        let text = json::to_string(&p);
+        let back: Precision = json::from_str(&text).expect("precision deserializes");
+        assert_eq!(back, p, "{text}");
+    }
+}
+
+#[test]
+fn scheme_round_trips() {
+    for s in [
+        Scheme::Coruscant(3),
+        Scheme::Coruscant(5),
+        Scheme::Coruscant(7),
+        Scheme::Spim,
+        Scheme::DwNn,
+        Scheme::Ambit,
+        Scheme::Elp2im,
+        Scheme::Isaac,
+    ] {
+        let text = json::to_string(&s);
+        let back: Scheme = json::from_str(&text).expect("scheme deserializes");
+        assert_eq!(back, s, "{text}");
+    }
+}
+
+#[test]
+fn network_round_trips() {
+    for net in [
+        lenet5(),
+        alexnet(),
+        coruscant_nn::infer::proxy_lenet5(),
+        coruscant_nn::infer::proxy_alexnet(),
+    ] {
+        let text = json::to_string(&net);
+        let back: Network = json::from_str(&text).expect("network deserializes");
+        assert_eq!(back, net, "{}", net.name);
+    }
+}
+
+#[test]
+fn network_json_names_layers() {
+    // The serialized form must carry layer names so external tooling can
+    // reference stages without positional knowledge.
+    let text = json::to_string(&lenet5());
+    for label in ["c1", "s2", "c3", "f5"] {
+        assert!(text.contains(label), "missing {label} in {text}");
+    }
+}

@@ -99,6 +99,34 @@ pub enum Event {
         /// Leaky-bucket score at the transition.
         score: u32,
     },
+    /// A dependency-gated job's predecessors all retired; the job was
+    /// handed to placement.
+    Released {
+        /// Job id.
+        job: u64,
+    },
+    /// A resident weight pin materialized on a bank.
+    ResidentPinned {
+        /// Residency id.
+        res: u64,
+        /// The pin job that loads the weights.
+        job: u64,
+        /// Bank hosting the resident rows.
+        bank: usize,
+    },
+    /// Quarantine moved a residency: a re-materialization job re-loads
+    /// the pinned weights on a healthy bank before any dependent job
+    /// re-places there.
+    Rematerialized {
+        /// Residency id.
+        res: u64,
+        /// The re-materialization job's id.
+        job: u64,
+        /// The quarantined bank the weights left.
+        from_bank: usize,
+        /// The healthy bank now hosting them.
+        to_bank: usize,
+    },
     /// A position-code scrub pass over a bank completed.
     Scrub {
         /// Bank index.

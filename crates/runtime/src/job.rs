@@ -18,6 +18,14 @@ pub enum Placement {
     Unit(usize),
     /// Run on an explicit DBC.
     Fixed(DbcLocation),
+    /// Run on the PIM unit currently hosting the resident pin with this
+    /// id (see [`Runtime::pin_resident`](crate::Runtime::pin_resident)).
+    /// Unlike the other placements the job's program is *not* retargeted
+    /// onto a single DBC: its addresses are relocated tile-relative
+    /// (DBC index and row preserved) so it can copy pinned weights out
+    /// of the tile's storage DBCs. If quarantine moves the residency,
+    /// queued and re-dispatched jobs follow it to the new unit.
+    Resident(u64),
 }
 
 /// One unit of work: a program to run at some placement.

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod deps;
 pub mod events;
 pub mod health;
 pub mod job;
@@ -56,12 +57,13 @@ pub mod stats;
 
 pub use cache::{CacheOptions, CacheStats};
 pub use coruscant_compiler::CompileOptions;
+pub use deps::{Binder, DepOutputs};
 pub use health::{BankState, HealthPolicy, HealthTracker, ProtectionPolicy};
 pub use job::{JobOutcome, PimJob, Placement};
 pub use notify::JobNotice;
 pub use queue::{JobQueue, Pop, PushError};
 pub use sched::{BankScheduler, BatchGrouping, DispatchMode, IssuedBatch};
-pub use stats::{BankOccupancy, BatchStats, FaultStats, Histogram, RuntimeStats};
+pub use stats::{BankOccupancy, BatchStats, FaultStats, Histogram, PipelineStats, RuntimeStats};
 
 use cache::{BatchCache, ProgramCache};
 use coruscant_compiler::{splice_programs, CompileError, Compiler};
@@ -74,6 +76,7 @@ use coruscant_mem::{
     Dbc, DbcLocation, FaultPlan, MemoryConfig, MemoryController, Row, ScrubOutcome,
 };
 use coruscant_racetrack::{Cost, CostMeter};
+use deps::{DepTracker, GatedJob, GatedSource, Released};
 use events::{Event, EventTrace};
 use health::Transition;
 use std::collections::{HashMap, HashSet};
@@ -386,19 +389,126 @@ struct DoneMsg {
     verified: bool,
 }
 
-/// What a worker reports back to the fault-aware scheduler, so health
-/// accounting and re-dispatch can happen while the session is live.
+/// What a worker reports back to the scheduler after every dispatch:
+/// the fault-aware loop uses it for health accounting and re-dispatch;
+/// both loops use the per-member outputs to resolve dependency gates
+/// and feed deferred binders.
 enum AckMsg {
     Job {
         seq: u64,
         bank: usize,
         faults: u64,
         verified: bool,
+        /// Whether the dispatch hit an execution error.
+        errored: bool,
+        /// Per-member demuxed outputs, in slot order: `(job_id, outputs)`.
+        members: Vec<(u64, DepOutputs)>,
     },
     Scrub {
         bank: usize,
         outcome: ScrubOutcome,
     },
+}
+
+/// What flows through the submission queue: independent jobs, atomic
+/// dependency chains, and resident weight pins.
+enum Submission {
+    /// An independent job (the classic `submit` path).
+    Job(PimJob),
+    /// An atomically admitted group of dependency-gated jobs.
+    Chain(Vec<GatedJob>),
+    /// A resident weight pin: `job` loads the weights on the unit with
+    /// index `unit_idx` and registers residency `res` there.
+    Pin {
+        res: u64,
+        unit_idx: usize,
+        job: PimJob,
+    },
+}
+
+/// Where a chain member's program comes from (public mirror of the
+/// scheduler-side [`GatedSource`]).
+pub enum ProgramSource {
+    /// The program is known at submission and is submitted verbatim —
+    /// chain members bypass the on-enqueue compiler because their
+    /// programs may read rows produced by predecessors or resident
+    /// pins, which per-program analysis cannot see.
+    Ready(PimProgram),
+    /// The program is built by `build` once every job at the listed
+    /// chain indices has retired, from their labeled outputs (binder
+    /// argument order = `deps` order).
+    Deferred {
+        /// Chain-member indices this binder consumes (must be earlier
+        /// members of the same chain).
+        deps: Vec<usize>,
+        /// The program builder.
+        build: Binder,
+    },
+}
+
+/// One member of a dependency chain handed to
+/// [`Runtime::submit_chain`].
+pub struct ChainJob {
+    /// The member's program (ready or deferred).
+    pub source: ProgramSource,
+    /// Requested placement. [`Placement::Auto`] members consume the
+    /// circular placement cursor when placed; pipelines that need
+    /// determinism across shard counts pin members with
+    /// [`Placement::Unit`] or [`Placement::Resident`].
+    pub placement: Placement,
+    /// Chain-member indices that must retire before this member places
+    /// (ordering-only gates; data dependencies in a deferred source are
+    /// added automatically).
+    pub after: Vec<usize>,
+}
+
+/// The receipt of a [`Runtime::pin_resident`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentPin {
+    /// Residency id — used as [`Placement::Resident`] by jobs that read
+    /// the pinned rows.
+    pub res: u64,
+    /// The pin job's id (it reports a normal [`JobOutcome`] whose
+    /// readouts echo the pinned rows).
+    pub job: u64,
+}
+
+/// Relocates a program onto `unit`'s tile: every address keeps its DBC
+/// index and row but moves to the unit's bank/subarray/tile. This is
+/// the multi-DBC analogue of [`PimProgram::retarget`] used for resident
+/// jobs, whose programs address both the tile's PIM DBC and its storage
+/// DBCs.
+fn relocate_to_tile(program: &PimProgram, unit: DbcLocation) -> PimProgram {
+    use coruscant_mem::RowAddress;
+    let mv = |a: &RowAddress| {
+        RowAddress::new(
+            DbcLocation::new(unit.bank, unit.subarray, unit.tile, a.location.dbc),
+            a.row,
+        )
+    };
+    let steps = program
+        .steps
+        .iter()
+        .map(|s| match s {
+            Step::Load { addr, values, lane } => Step::Load {
+                addr: mv(addr),
+                values: values.clone(),
+                lane: *lane,
+            },
+            Step::Exec(i) => {
+                let mut i = *i;
+                i.src = mv(&i.src);
+                i.dst = i.dst.map(|d| mv(&d));
+                Step::Exec(i)
+            }
+            Step::Readout { label, addr, lane } => Step::Readout {
+                label: label.clone(),
+                addr: mv(addr),
+                lane: *lane,
+            },
+        })
+        .collect();
+    PimProgram { steps }
 }
 
 /// What the scheduler thread hands back on shutdown.
@@ -416,9 +526,15 @@ struct SchedulerOutput {
     suspect_banks: u64,
     quarantined_banks: u64,
     degraded_capacity: f64,
+    deferred: u64,
+    released: u64,
+    cascaded: u64,
+    pins: u64,
+    remats: u64,
 }
 
 impl SchedulerOutput {
+    #[allow(clippy::too_many_arguments)]
     fn plain(
         depth_hist: Histogram,
         issued: u64,
@@ -426,6 +542,7 @@ impl SchedulerOutput {
         batched_jobs: u64,
         splice: (u64, u64),
         cancelled: u64,
+        pipeline: (u64, u64, u64, u64),
     ) -> SchedulerOutput {
         SchedulerOutput {
             depth_hist,
@@ -441,6 +558,11 @@ impl SchedulerOutput {
             suspect_banks: 0,
             quarantined_banks: 0,
             degraded_capacity: 0.0,
+            deferred: pipeline.0,
+            released: pipeline.1,
+            cascaded: pipeline.2,
+            pins: pipeline.3,
+            remats: 0,
         }
     }
 }
@@ -528,16 +650,39 @@ impl Canceller {
         true
     }
 
-    /// Drops cancelled members from an issued batch, keeping order.
-    fn filter_issue(&mut self, jobs: &mut Vec<PimJob>) {
+    /// Drops cancelled members from an issued batch, keeping order, and
+    /// returns the ids of the members it dropped (so the dependency
+    /// tracker can cascade their dependents).
+    fn filter_issue(&mut self, jobs: &mut Vec<PimJob>) -> Vec<u64> {
+        let mut dropped = Vec::new();
         if self.armed() {
             // Vec::retain would borrow `self` inside the closure; collect
             // the survivors instead (cancellation is rare).
             let kept: Vec<PimJob> = jobs
                 .drain(..)
-                .filter_map(|j| (!self.drop_if_cancelled(j.id)).then_some(j))
+                .filter_map(|j| {
+                    if self.drop_if_cancelled(j.id) {
+                        dropped.push(j.id);
+                        None
+                    } else {
+                        Some(j)
+                    }
+                })
                 .collect();
             *jobs = kept;
+        }
+        dropped
+    }
+
+    /// Drops a dependency-gated job whose predecessor failed or was
+    /// cancelled: it reports as cancelled (trace + notice) but is counted
+    /// separately (in the pipeline stats, not `cancelled`).
+    fn drop_cascaded(&mut self, job_id: u64) {
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Cancelled { job: job_id });
+        }
+        if let Some(tx) = &self.notify {
+            let _ = tx.send(JobNotice::Cancelled { job_id });
         }
     }
 }
@@ -556,8 +701,9 @@ pub struct RuntimeReport {
 /// workers, and collect the report.
 pub struct Runtime {
     config: MemoryConfig,
-    queue: Arc<JobQueue<PimJob>>,
-    next_id: AtomicU64,
+    queue: Arc<JobQueue<Submission>>,
+    next_id: Arc<AtomicU64>,
+    next_res: AtomicU64,
     scheduler: Option<JoinHandle<SchedulerOutput>>,
     workers: Vec<JoinHandle<()>>,
     // Behind a mutex only so `Runtime` stays `Sync` (an `mpsc::Receiver`
@@ -617,7 +763,10 @@ impl Runtime {
             let (tx, rx) = mpsc::channel::<WorkMsg>();
             work_txs.push(tx);
             let done = done_tx.clone();
-            let ack = fault_aware.then(|| ack_tx.clone());
+            // Acks are always on: the fault-aware loop needs them for
+            // health accounting, and both loops need the per-member
+            // outputs to resolve dependency gates.
+            let ack = Some(ack_tx.clone());
             let cfg = config.clone();
             let faults = options.faults.clone();
             let protection = options.protection;
@@ -639,6 +788,7 @@ impl Runtime {
         drop(done_tx);
         drop(ack_tx);
 
+        let next_id = Arc::new(AtomicU64::new(0));
         let scheduler = {
             let queue = Arc::clone(&queue);
             let cfg = config.clone();
@@ -651,16 +801,18 @@ impl Runtime {
             let canceller =
                 Canceller::new(Arc::clone(&cancels), options.notify.clone(), trace.clone());
             let gate = Arc::clone(&gate);
+            let next_id = Arc::clone(&next_id);
             std::thread::spawn(move || {
                 gate.wait_open();
                 if fault_aware {
                     fault_scheduler_loop(
                         &cfg, &queue, &work_txs, &ack_rx, dispatch, protection, policy, trace,
-                        batch, compile, canceller,
+                        batch, compile, canceller, &next_id,
                     )
                 } else {
                     scheduler_loop(
-                        &cfg, &queue, &work_txs, dispatch, trace, batch, compile, canceller,
+                        &cfg, &queue, &work_txs, &ack_rx, dispatch, trace, batch, compile,
+                        canceller,
                     )
                 }
             })
@@ -674,7 +826,8 @@ impl Runtime {
         Ok(Runtime {
             config,
             queue,
-            next_id: AtomicU64::new(0),
+            next_id,
+            next_res: AtomicU64::new(0),
             scheduler: Some(scheduler),
             workers,
             done_rx: Mutex::new(done_rx),
@@ -776,11 +929,11 @@ impl Runtime {
             }
         }
         self.queue
-            .push(PimJob {
+            .push(Submission::Job(PimJob {
                 id,
                 program,
                 placement,
-            })
+            }))
             .map_err(|_| RuntimeError::QueueClosed)?;
         Ok(id)
     }
@@ -802,11 +955,11 @@ impl Runtime {
             Err(_) => (Arc::new(program), false),
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.queue.try_push(PimJob {
+        self.queue.try_push(Submission::Job(PimJob {
             id,
             program,
             placement,
-        })?;
+        }))?;
         if let Some(trace) = &self.trace {
             trace.record(&Event::Submit { job: id });
             if cache_hit {
@@ -814,6 +967,174 @@ impl Runtime {
             }
         }
         Ok(id)
+    }
+
+    /// Submits a dependency chain atomically: a group of jobs where each
+    /// member can gate on earlier members (by chain index). A gated
+    /// member is held out of the bank FIFOs until every predecessor's
+    /// *final* attempt retires — composing with protection re-dispatch
+    /// (the gate waits for the last attempt), cancellation (a cancelled
+    /// predecessor cascades: dependents are dropped and report as
+    /// cancelled), and batching (released jobs batch like any others).
+    /// [`ProgramSource::Deferred`] members additionally receive their
+    /// data dependencies' labeled outputs when they release.
+    ///
+    /// Chain members bypass the on-enqueue compiler: their programs may
+    /// read rows produced by predecessors or resident pins, which
+    /// per-program dead-code analysis cannot see. Pre-optimize with
+    /// [`Compiler`](coruscant_compiler::Compiler) where that is safe.
+    ///
+    /// Returns the member job ids, in chain order. Blocks while the
+    /// queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Config`] when a member references a chain index at
+    /// or after its own position (dependencies must point backwards), or
+    /// [`RuntimeError::QueueClosed`] after [`Runtime::finish`].
+    pub fn submit_chain(&self, chain: Vec<ChainJob>) -> Result<Vec<u64>, RuntimeError> {
+        for (i, member) in chain.iter().enumerate() {
+            let bad = |what: &str, idx: usize| {
+                RuntimeError::Config(format!(
+                    "chain member {i}: {what} index {idx} does not precede it"
+                ))
+            };
+            for &d in &member.after {
+                if d >= i {
+                    return Err(bad("after", d));
+                }
+            }
+            if let ProgramSource::Deferred { deps, .. } = &member.source {
+                for &d in deps {
+                    if d >= i {
+                        return Err(bad("dep", d));
+                    }
+                }
+            }
+        }
+        let base = self
+            .next_id
+            .fetch_add(chain.len() as u64, Ordering::Relaxed);
+        let ids: Vec<u64> = (0..chain.len() as u64).map(|i| base + i).collect();
+        let gated: Vec<GatedJob> = chain
+            .into_iter()
+            .enumerate()
+            .map(|(i, member)| {
+                let mut after: Vec<u64> = member.after.iter().map(|&d| base + d as u64).collect();
+                let source = match member.source {
+                    ProgramSource::Ready(program) => GatedSource::Ready(Arc::new(program)),
+                    ProgramSource::Deferred { deps, build } => {
+                        let dep_ids: Vec<u64> = deps.iter().map(|&d| base + d as u64).collect();
+                        after.extend(&dep_ids);
+                        GatedSource::Deferred { dep_ids, build }
+                    }
+                };
+                after.sort_unstable();
+                after.dedup();
+                GatedJob {
+                    id: base + i as u64,
+                    source,
+                    placement: member.placement,
+                    after,
+                }
+            })
+            .collect();
+        if let Some(trace) = &self.trace {
+            for &id in &ids {
+                trace.record(&Event::Submit { job: id });
+            }
+        }
+        self.queue
+            .push(Submission::Chain(gated))
+            .map_err(|_| RuntimeError::QueueClosed)?;
+        Ok(ids)
+    }
+
+    /// Submits one job gated on previously returned job ids: it is held
+    /// out of the bank FIFOs until every id in `after` has retired its
+    /// final attempt. Unlike chain members the program goes through the
+    /// on-enqueue compiler (it is standalone by construction — ordering
+    /// gates carry no data).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Config`] when `after` references an id not yet
+    /// returned by this runtime, [`RuntimeError::QueueClosed`] after
+    /// [`Runtime::finish`], or [`RuntimeError::Compile`].
+    pub fn submit_after(
+        &self,
+        program: PimProgram,
+        placement: Placement,
+        after: &[u64],
+    ) -> Result<u64, RuntimeError> {
+        let (program, cache_hit) = self.compile(&program).map_err(RuntimeError::Compile)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        for &d in after {
+            if d >= id {
+                return Err(RuntimeError::Config(format!(
+                    "submit_after: dependency {d} is not an existing job id"
+                )));
+            }
+        }
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Submit { job: id });
+            if cache_hit {
+                trace.record(&Event::CacheHit { job: id });
+            }
+        }
+        let mut after = after.to_vec();
+        after.sort_unstable();
+        after.dedup();
+        self.queue
+            .push(Submission::Chain(vec![GatedJob {
+                id,
+                source: GatedSource::Ready(program),
+                placement,
+                after,
+            }]))
+            .map_err(|_| RuntimeError::QueueClosed)?;
+        Ok(id)
+    }
+
+    /// Pins weights resident: runs `program` once on the PIM unit with
+    /// index `unit_idx` (modulo the unit count) and registers a residency
+    /// there. Jobs submitted with [`Placement::Resident`] and the
+    /// returned `res` id run on the hosting unit with their addresses
+    /// relocated tile-relative — DBC index and row preserved — so they
+    /// can copy the pinned rows out of the tile's storage DBCs. If the
+    /// hosting bank is quarantined, the scheduler re-runs the pin program
+    /// on a healthy unit *before* re-placing any dependent job there
+    /// (counted in [`PipelineStats::rematerializations`]).
+    ///
+    /// The pin program is submitted verbatim (no compiler pass): its
+    /// loads look dead to per-program analysis, so pin programs should
+    /// end with `Readout` steps echoing a sentinel row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::QueueClosed`] after [`Runtime::finish`].
+    pub fn pin_resident(
+        &self,
+        program: PimProgram,
+        unit_idx: usize,
+    ) -> Result<ResidentPin, RuntimeError> {
+        let res = self.next_res.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::Submit { job: id });
+        }
+        self.queue
+            .push(Submission::Pin {
+                res,
+                unit_idx,
+                job: PimJob {
+                    id,
+                    program: Arc::new(program),
+                    placement: Placement::Resident(res),
+                },
+            })
+            .map_err(|_| RuntimeError::QueueClosed)?;
+        Ok(ResidentPin { res, job: id })
     }
 
     /// Closes the queue, drains all pending work, joins the scheduler and
@@ -1004,6 +1325,13 @@ impl Runtime {
                 splice_hits: sched_out.splice_hits,
                 splice_misses: sched_out.splice_misses,
             },
+            pipeline: PipelineStats {
+                deferred_jobs: sched_out.deferred,
+                released_jobs: sched_out.released,
+                cascade_cancelled: sched_out.cascaded,
+                residents: sched_out.pins,
+                rematerializations: sched_out.remats,
+            },
         };
         if let Some(trace) = &self.trace {
             trace.flush();
@@ -1078,8 +1406,9 @@ fn batch_program_cached(
 #[allow(clippy::too_many_arguments)]
 fn scheduler_loop(
     config: &MemoryConfig,
-    queue: &JobQueue<PimJob>,
+    queue: &JobQueue<Submission>,
     work_txs: &[mpsc::Sender<WorkMsg>],
+    ack_rx: &mpsc::Receiver<AckMsg>,
     dispatch: DispatchMode,
     trace: Option<Arc<EventTrace>>,
     batch_opts: BatchOptions,
@@ -1101,95 +1430,252 @@ fn scheduler_loop(
     let mut issued = 0u64;
     let mut batches = 0u64;
     let mut batched_jobs = 0u64;
-    let mut drained = Vec::new();
+    let mut pins = 0u64;
+    // Jobs dropped for an unknown residency (counted with the cascades).
+    let mut dropped = 0u64;
+    let mut deps = DepTracker::new();
+    let mut residents: HashMap<u64, (DbcLocation, Arc<PimProgram>)> = HashMap::new();
+    // Dispatches sent whose ack has not been processed yet.
+    let mut inflight = 0u64;
+    let mut closed = false;
+    let mut drained: Vec<Submission> = Vec::new();
+    // Jobs cleared for placement (admitted or released by a retirement).
+    let mut ready: std::collections::VecDeque<PimJob> = std::collections::VecDeque::new();
 
-    while let Some(first) = queue.pop() {
-        drained.clear();
-        drained.push(first);
-        queue.drain_ready(&mut drained);
-
-        // Resolve placement and enqueue into the per-bank FIFOs,
-        // dropping jobs cancelled while they sat in the queue.
-        let check_cancel = canceller.armed();
-        for job in drained.drain(..) {
-            if check_cancel && canceller.drop_if_cancelled(job.id) {
-                continue;
-            }
-            let unit = match job.placement {
-                Placement::Auto => match dispatch {
-                    DispatchMode::Circular => {
-                        // Bank-major unit indexing: consecutive jobs land
-                        // on consecutive banks (§V-C).
-                        let u = units.pim_unit(place_cursor % unit_count);
-                        place_cursor += 1;
-                        u
+    loop {
+        // 1. Pull newly submitted work. With no dependency gates waiting
+        //    the classic blocking pop applies — identical issue order and
+        //    latency to the pre-pipeline scheduler — otherwise poll so
+        //    worker acks keep resolving gates.
+        if !closed {
+            if deps.is_empty() {
+                match queue.pop() {
+                    Some(first) => {
+                        drained.push(first);
+                        queue.drain_ready(&mut drained);
                     }
-                    DispatchMode::SingleBank => units.pim_unit(0),
-                },
-                Placement::Unit(idx) => units.pim_unit(idx % unit_count),
-                Placement::Fixed(loc) => loc,
-            };
-            let retargeted = PimJob {
-                id: job.id,
-                program: Arc::new(job.program.retarget(unit)),
-                placement: job.placement,
-            };
-            sched.enqueue(retargeted, unit.bank);
+                    None => closed = true,
+                }
+            } else {
+                match queue.pop_timeout(Duration::from_millis(1)) {
+                    Pop::Item(first) => {
+                        drained.push(first);
+                        queue.drain_ready(&mut drained);
+                    }
+                    Pop::Timeout => {}
+                    Pop::Closed => closed = true,
+                }
+            }
         }
 
-        // Issue everything in circular-bank order; route each dispatch to
-        // the shard owning its bank so same-bank work stays ordered. With
-        // batching on, same-unit jobs splice into one program.
-        while let Some(mut issue) = sched.issue_next_batch_grouped(max_jobs, grouping, |_| true) {
-            canceller.filter_issue(&mut issue.jobs);
-            if issue.jobs.is_empty() {
+        // 2. Admit submissions: independent jobs go straight to the
+        //    ready list, chains through the dependency tracker, pins
+        //    register their residency before their load job places.
+        for submission in drained.drain(..) {
+            match submission {
+                Submission::Job(job) => ready.push_back(job),
+                Submission::Chain(chain) => {
+                    let rel = deps.admit(chain);
+                    for id in rel.failed {
+                        canceller.drop_cascaded(id);
+                    }
+                    ready.extend(rel.ready);
+                }
+                Submission::Pin { res, unit_idx, job } => {
+                    let unit = units.pim_unit(unit_idx % unit_count);
+                    residents.insert(res, (unit, Arc::clone(&job.program)));
+                    pins += 1;
+                    if let Some(trace) = &trace {
+                        trace.record(&Event::ResidentPinned {
+                            res,
+                            job: job.id,
+                            bank: unit.bank,
+                        });
+                    }
+                    ready.push_back(job);
+                }
+            }
+        }
+
+        // 3. Drain worker acks. The plain loop never re-dispatches, so
+        //    every ack is a final attempt and resolves gates.
+        while let Ok(ack) = ack_rx.try_recv() {
+            if let AckMsg::Job {
+                errored, members, ..
+            } = ack
+            {
+                inflight -= 1;
+                for (id, outputs) in members {
+                    let rel = deps.on_final(id, errored, outputs);
+                    for fid in rel.failed {
+                        canceller.drop_cascaded(fid);
+                    }
+                    ready.extend(rel.ready);
+                }
+            }
+        }
+
+        // 4+5. Place and issue until nothing new is released (dropping a
+        //      cancelled job can cascade and release more work).
+        loop {
+            // Resolve placement and enqueue into the per-bank FIFOs,
+            // dropping jobs cancelled while they waited.
+            while let Some(job) = ready.pop_front() {
+                if canceller.armed() && canceller.drop_if_cancelled(job.id) {
+                    let rel = deps.on_final(job.id, true, Vec::new());
+                    for fid in rel.failed {
+                        canceller.drop_cascaded(fid);
+                    }
+                    ready.extend(rel.ready);
+                    continue;
+                }
+                let (unit, program) = match job.placement {
+                    Placement::Auto => {
+                        let unit = match dispatch {
+                            DispatchMode::Circular => {
+                                // Bank-major unit indexing: consecutive
+                                // jobs land on consecutive banks (§V-C).
+                                let u = units.pim_unit(place_cursor % unit_count);
+                                place_cursor += 1;
+                                u
+                            }
+                            DispatchMode::SingleBank => units.pim_unit(0),
+                        };
+                        (unit, Arc::new(job.program.retarget(unit)))
+                    }
+                    Placement::Unit(idx) => {
+                        let unit = units.pim_unit(idx % unit_count);
+                        (unit, Arc::new(job.program.retarget(unit)))
+                    }
+                    Placement::Fixed(loc) => (loc, Arc::new(job.program.retarget(loc))),
+                    Placement::Resident(res) => match residents.get(&res) {
+                        Some((unit, _)) => (*unit, Arc::new(relocate_to_tile(&job.program, *unit))),
+                        None => {
+                            // Unknown residency: the job can never run.
+                            dropped += 1;
+                            canceller.drop_cascaded(job.id);
+                            let rel = deps.on_final(job.id, true, Vec::new());
+                            for fid in rel.failed {
+                                canceller.drop_cascaded(fid);
+                            }
+                            ready.extend(rel.ready);
+                            continue;
+                        }
+                    },
+                };
+                sched.enqueue(
+                    PimJob {
+                        id: job.id,
+                        program,
+                        placement: job.placement,
+                    },
+                    unit.bank,
+                );
+            }
+
+            // Issue everything in circular-bank order; route each dispatch
+            // to the shard owning its bank so same-bank work stays
+            // ordered. With batching on, same-unit jobs splice into one
+            // program.
+            while let Some(mut issue) = sched.issue_next_batch_grouped(max_jobs, grouping, |_| true)
+            {
+                for id in canceller.filter_issue(&mut issue.jobs) {
+                    let rel = deps.on_final(id, true, Vec::new());
+                    for fid in rel.failed {
+                        canceller.drop_cascaded(fid);
+                    }
+                    ready.extend(rel.ready);
+                }
+                if issue.jobs.is_empty() {
+                    continue;
+                }
+                let shard = issue.bank % shards;
+                let program = batch_program_cached(&issue.jobs, &compiler, &mut splice_cache);
+                let unit = program
+                    .steps
+                    .first()
+                    .map_or_else(|| units.pim_unit(issue.bank), Step::target);
+                if issue.jobs.len() >= 2 {
+                    batches += 1;
+                    batched_jobs += issue.jobs.len() as u64;
+                    if let Some(trace) = &trace {
+                        trace.record(&Event::Batch {
+                            seq: issue.seq,
+                            bank: issue.bank,
+                            jobs: issue.jobs.iter().map(|j| j.id).collect(),
+                        });
+                    }
+                }
+                let slots: Vec<SlotMeta> = issue
+                    .jobs
+                    .iter()
+                    .map(|j| SlotMeta {
+                        job_id: j.id,
+                        readouts: count_readouts(&j.program),
+                        attempt: 0,
+                    })
+                    .collect();
+                if let Some(trace) = &trace {
+                    for job in &issue.jobs {
+                        trace.record(&Event::Issue {
+                            job: job.id,
+                            seq: issue.seq,
+                            bank: issue.bank,
+                            shard,
+                        });
+                    }
+                }
+                issued += 1;
+                inflight += 1;
+                // A send only fails if the worker panicked; the missing
+                // completion is detected in finish().
+                let _ = work_txs[shard].send(WorkMsg::Job {
+                    seq: issue.seq,
+                    unit,
+                    program,
+                    slots,
+                });
+            }
+
+            if ready.is_empty() {
+                break;
+            }
+        }
+
+        // 6. Termination: drain acks to the last gate, then fail any
+        //    unsatisfiable tail.
+        if closed && ready.is_empty() {
+            if inflight > 0 {
+                match ack_rx.recv() {
+                    Ok(ack) => {
+                        if let AckMsg::Job {
+                            errored, members, ..
+                        } = ack
+                        {
+                            inflight -= 1;
+                            for (id, outputs) in members {
+                                let rel = deps.on_final(id, errored, outputs);
+                                for fid in rel.failed {
+                                    canceller.drop_cascaded(fid);
+                                }
+                                ready.extend(rel.ready);
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
                 continue;
             }
-            let shard = issue.bank % shards;
-            let program = batch_program_cached(&issue.jobs, &compiler, &mut splice_cache);
-            let unit = program
-                .steps
-                .first()
-                .map_or_else(|| units.pim_unit(issue.bank), Step::target);
-            if issue.jobs.len() >= 2 {
-                batches += 1;
-                batched_jobs += issue.jobs.len() as u64;
-                if let Some(trace) = &trace {
-                    trace.record(&Event::Batch {
-                        seq: issue.seq,
-                        bank: issue.bank,
-                        jobs: issue.jobs.iter().map(|j| j.id).collect(),
-                    });
-                }
+            if deps.is_empty() {
+                break;
             }
-            let slots: Vec<SlotMeta> = issue
-                .jobs
-                .iter()
-                .map(|j| SlotMeta {
-                    job_id: j.id,
-                    readouts: count_readouts(&j.program),
-                    attempt: 0,
-                })
-                .collect();
-            if let Some(trace) = &trace {
-                for job in &issue.jobs {
-                    trace.record(&Event::Issue {
-                        job: job.id,
-                        seq: issue.seq,
-                        bank: issue.bank,
-                        shard,
-                    });
-                }
+            // Every dependency that could retire has; what still waits
+            // can never run (e.g. gated on a cancelled predecessor's id
+            // never submitted, or the queue closed mid-chain).
+            let rel = deps.fail_all();
+            for fid in rel.failed {
+                canceller.drop_cascaded(fid);
             }
-            issued += 1;
-            // A send only fails if the worker panicked; the missing
-            // completion is detected in finish().
-            let _ = work_txs[shard].send(WorkMsg::Job {
-                seq: issue.seq,
-                unit,
-                program,
-                slots,
-            });
         }
     }
 
@@ -1200,6 +1686,12 @@ fn scheduler_loop(
         batched_jobs,
         splice_cache.as_ref().map_or((0, 0), BatchCache::counts),
         canceller.cancelled,
+        (
+            deps.deferred,
+            deps.released,
+            deps.cascade_cancelled + dropped,
+            pins,
+        ),
     )
 }
 
@@ -1241,6 +1733,17 @@ struct FaultSched<'a> {
     scrubs_outstanding: usize,
     scrubs: u64,
     scrub_total: ScrubOutcome,
+    deps: DepTracker,
+    /// Residency id → (hosting unit, pin program kept for
+    /// re-materialization after quarantine).
+    residents: HashMap<u64, (DbcLocation, Arc<PimProgram>)>,
+    /// Shared id counter, for re-materialization jobs the scheduler
+    /// originates itself.
+    next_id: &'a AtomicU64,
+    pins: u64,
+    remats: u64,
+    /// Jobs dropped for an unknown residency (counted with the cascades).
+    dropped: u64,
 }
 
 impl FaultSched<'_> {
@@ -1288,6 +1791,27 @@ impl FaultSched<'_> {
                 }
             }
             Placement::Fixed(loc) => loc,
+            Placement::Resident(res) => {
+                // The residency map is kept current by re-materialization
+                // (quarantine moves residents before re-placing their
+                // dependents), so the hosting unit is always usable here.
+                let Some((unit, _)) = self.residents.get(&res) else {
+                    // Unknown residency: the job can never run.
+                    let id = job.id;
+                    self.dropped += 1;
+                    self.canceller.drop_cascaded(id);
+                    self.finalize(id, true, Vec::new());
+                    return;
+                };
+                let unit = *unit;
+                let relocated = PimJob {
+                    id: job.id,
+                    program: Arc::new(relocate_to_tile(&job.program, unit)),
+                    placement: job.placement,
+                };
+                self.sched.enqueue(relocated, unit.bank);
+                return;
+            }
         };
         let retargeted = PimJob {
             id: job.id,
@@ -1295,6 +1819,97 @@ impl FaultSched<'_> {
             placement: job.placement,
         };
         self.sched.enqueue(retargeted, unit.bank);
+    }
+
+    /// Records a job's final attempt with the dependency tracker and
+    /// handles whatever that set free: ready jobs place (unless
+    /// cancelled meanwhile), cascade-failed jobs report as cancelled.
+    fn finalize(&mut self, id: u64, errored: bool, outputs: Vec<(String, Vec<u64>)>) {
+        let rel = self.deps.on_final(id, errored, outputs);
+        self.process_released(rel);
+    }
+
+    fn process_released(&mut self, rel: Released) {
+        for id in rel.failed {
+            self.canceller.drop_cascaded(id);
+        }
+        for job in rel.ready {
+            if self.canceller.armed() && self.canceller.drop_if_cancelled(job.id) {
+                self.finalize(job.id, true, Vec::new());
+                continue;
+            }
+            self.place(job);
+        }
+    }
+
+    /// Admits one submission from the queue.
+    fn admit(&mut self, submission: Submission) {
+        match submission {
+            Submission::Job(job) => {
+                if self.canceller.armed() && self.canceller.drop_if_cancelled(job.id) {
+                    self.finalize(job.id, true, Vec::new());
+                    return;
+                }
+                self.place(job);
+            }
+            Submission::Chain(chain) => {
+                let rel = self.deps.admit(chain);
+                self.process_released(rel);
+            }
+            Submission::Pin { res, unit_idx, job } => {
+                let requested = self.units.pim_unit(unit_idx % self.unit_count);
+                let unit = if self.health.is_quarantined(requested.bank) {
+                    self.pick_unit(None)
+                } else {
+                    requested
+                };
+                self.residents.insert(res, (unit, Arc::clone(&job.program)));
+                self.pins += 1;
+                if let Some(trace) = &self.trace {
+                    trace.record(&Event::ResidentPinned {
+                        res,
+                        job: job.id,
+                        bank: unit.bank,
+                    });
+                }
+                self.place(job);
+            }
+        }
+    }
+
+    /// Moves every residency off a quarantined bank: each one gets a
+    /// fresh re-materialization job that re-runs its pin program on a
+    /// healthy unit. Called *before* the bank's FIFO is drained and
+    /// re-placed, so per-bank FIFO order guarantees the weights reload
+    /// before any dependent job runs on the new bank.
+    fn rematerialize_off(&mut self, bank: usize) {
+        let mut moved: Vec<(u64, Arc<PimProgram>)> = self
+            .residents
+            .iter()
+            .filter(|(_, (unit, _))| unit.bank == bank)
+            .map(|(res, (_, program))| (*res, Arc::clone(program)))
+            .collect();
+        moved.sort_by_key(|(res, _)| *res);
+        for (res, program) in moved {
+            let unit = self.pick_unit(Some(bank));
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.remats += 1;
+            if let Some(trace) = &self.trace {
+                trace.record(&Event::Rematerialized {
+                    res,
+                    job: id,
+                    from_bank: bank,
+                    to_bank: unit.bank,
+                });
+            }
+            self.residents.insert(res, (unit, Arc::clone(&program)));
+            let relocated = PimJob {
+                id,
+                program: Arc::new(relocate_to_tile(&program, unit)),
+                placement: Placement::Resident(res),
+            };
+            self.sched.enqueue(relocated, unit.bank);
+        }
     }
 
     /// Issues every queued dispatch whose bank is below the in-flight cap.
@@ -1311,7 +1926,9 @@ impl FaultSched<'_> {
             else {
                 return;
             };
-            self.canceller.filter_issue(&mut issue.jobs);
+            for id in self.canceller.filter_issue(&mut issue.jobs) {
+                self.finalize(id, true, Vec::new());
+            }
             if issue.jobs.is_empty() {
                 // Every member was cancelled: nothing dispatches, nothing
                 // counts toward `issued` or the bank's in-flight cap.
@@ -1392,6 +2009,8 @@ impl FaultSched<'_> {
                 bank,
                 faults,
                 verified,
+                errored,
+                members,
             } => {
                 let rec = self
                     .inflight
@@ -1426,6 +2045,10 @@ impl FaultSched<'_> {
                         if let Some(trace) = &self.trace {
                             trace.record(&Event::BankQuarantined { bank, score });
                         }
+                        // Residencies leave first: their re-materialization
+                        // jobs enqueue on the new banks ahead of any
+                        // re-routed dependent (per-bank FIFO order).
+                        self.rematerialize_off(bank);
                         // Re-route the quarantined bank's backlog; only
                         // explicitly pinned jobs stay.
                         for queued in self.sched.drain_bank(bank) {
@@ -1438,11 +2061,15 @@ impl FaultSched<'_> {
                     }
                     Transition::None | Transition::Recovered => {}
                 }
-                if !verified && self.protection_active {
-                    // Every member of an unverified dispatch re-routes
-                    // individually — re-executions never re-batch with
-                    // the same partners, which bounds correlated failure.
-                    for member in rec.jobs {
+                // Per-member finality: a member re-dispatches if the
+                // dispatch failed verification and it has attempts left;
+                // otherwise this ack was its final attempt and its gate
+                // (if any dependent waits) resolves now.
+                let mut outs: HashMap<u64, Vec<(String, Vec<u64>)>> = members.into_iter().collect();
+                let redispatch = !verified && self.protection_active;
+                for member in rec.jobs {
+                    let mut redispatched_now = false;
+                    if redispatch {
                         let count = self.redispatched.entry(member.id).or_insert(0);
                         if *count < self.policy.max_redispatch
                             && !matches!(member.placement, Placement::Fixed(_))
@@ -1450,7 +2077,26 @@ impl FaultSched<'_> {
                             *count += 1;
                             let next = *count;
                             self.redispatches += 1;
-                            let unit = self.pick_unit(Some(bank));
+                            // Every member of an unverified dispatch
+                            // re-routes individually — re-executions never
+                            // re-batch with the same partners, which
+                            // bounds correlated failure. Resident members
+                            // follow their residency instead of picking a
+                            // fresh unit.
+                            let (unit, program) = match member.placement {
+                                Placement::Resident(res) => {
+                                    let unit = self
+                                        .residents
+                                        .get(&res)
+                                        .map(|(u, _)| *u)
+                                        .expect("placed resident jobs have a residency");
+                                    (unit, Arc::new(relocate_to_tile(&member.program, unit)))
+                                }
+                                _ => {
+                                    let unit = self.pick_unit(Some(bank));
+                                    (unit, Arc::new(member.program.retarget(unit)))
+                                }
+                            };
                             if let Some(trace) = &self.trace {
                                 trace.record(&Event::Redispatch {
                                     job: member.id,
@@ -1461,11 +2107,16 @@ impl FaultSched<'_> {
                             }
                             let job = PimJob {
                                 id: member.id,
-                                program: Arc::new(member.program.retarget(unit)),
+                                program,
                                 placement: member.placement,
                             };
                             self.sched.enqueue(job, unit.bank);
+                            redispatched_now = true;
                         }
+                    }
+                    if !redispatched_now {
+                        let outputs = outs.remove(&member.id).unwrap_or_default();
+                        self.finalize(member.id, errored, outputs);
                     }
                 }
             }
@@ -1484,7 +2135,7 @@ impl FaultSched<'_> {
 #[allow(clippy::too_many_arguments)]
 fn fault_scheduler_loop(
     config: &MemoryConfig,
-    queue: &JobQueue<PimJob>,
+    queue: &JobQueue<Submission>,
     work_txs: &[mpsc::Sender<WorkMsg>],
     ack_rx: &mpsc::Receiver<AckMsg>,
     dispatch: DispatchMode,
@@ -1494,6 +2145,7 @@ fn fault_scheduler_loop(
     batch: BatchOptions,
     compile: CompileOptions,
     canceller: Canceller,
+    next_id: &AtomicU64,
 ) -> SchedulerOutput {
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
@@ -1523,9 +2175,15 @@ fn fault_scheduler_loop(
         scrubs_outstanding: 0,
         scrubs: 0,
         scrub_total: ScrubOutcome::default(),
+        deps: DepTracker::new(),
+        residents: HashMap::new(),
+        next_id,
+        pins: 0,
+        remats: 0,
+        dropped: 0,
         units,
     };
-    let mut drained: Vec<PimJob> = Vec::new();
+    let mut drained: Vec<Submission> = Vec::new();
     let mut closed = false;
 
     loop {
@@ -1540,11 +2198,8 @@ fn fault_scheduler_loop(
                 Pop::Closed => closed = true,
             }
         }
-        for job in drained.drain(..) {
-            if state.canceller.armed() && state.canceller.drop_if_cancelled(job.id) {
-                continue;
-            }
-            state.place(job);
+        for submission in drained.drain(..) {
+            state.admit(submission);
         }
 
         // 2. Process every acknowledgement already available.
@@ -1558,6 +2213,14 @@ fn fault_scheduler_loop(
         // 4. Termination and anti-spin blocking once the queue is closed.
         if closed {
             if state.sched.pending() == 0 && state.inflight.is_empty() {
+                if !state.deps.is_empty() {
+                    // Every dependency that could retire has; the rest
+                    // can never run. Failing them may only cascade (it
+                    // releases nothing), then the loop re-evaluates.
+                    let rel = state.deps.fail_all();
+                    state.process_released(rel);
+                    continue;
+                }
                 // Only background scrubs can still be outstanding.
                 while state.scrubs_outstanding > 0 {
                     match ack_rx.recv() {
@@ -1598,6 +2261,11 @@ fn fault_scheduler_loop(
         suspect_banks: state.health.suspect_count(),
         quarantined_banks: state.health.quarantined_count(),
         degraded_capacity: state.health.degraded_capacity(),
+        deferred: state.deps.deferred,
+        released: state.deps.released,
+        cascaded: state.deps.cascade_cancelled + state.dropped,
+        pins: state.pins,
+        remats: state.remats,
     }
 }
 
@@ -1655,22 +2323,29 @@ fn worker_loop(
                 slots,
             } => {
                 let out = execute_protected(&mut machine, protection, &program, voter.as_mut());
-                if let Some(notify) = notify {
-                    // Demux the batched output stream per member exactly
-                    // as `finish` does, so a live consumer sees the same
-                    // bytes the final report will record.
-                    let members = slots.len() as u32;
+                // Demux the batched output stream per member exactly as
+                // `finish` does, so live consumers (notify) and the
+                // scheduler's dependency gates see the same bytes the
+                // final report will record.
+                let mut members: Vec<(u64, DepOutputs)> = Vec::with_capacity(slots.len());
+                {
                     let mut cursor = 0usize;
                     for slot in &slots {
                         let end = (cursor + slot.readouts).min(out.outputs.len());
                         let start = cursor.min(out.outputs.len());
                         cursor += slot.readouts;
+                        members.push((slot.job_id, out.outputs[start..end].to_vec()));
+                    }
+                }
+                if let Some(notify) = notify {
+                    let batch = slots.len() as u32;
+                    for (slot, (_, outputs)) in slots.iter().zip(&members) {
                         let _ = notify.send(JobNotice::Attempt {
                             job_id: slot.job_id,
                             attempt: slot.attempt,
                             bank: unit.bank,
-                            batch: members,
-                            outputs: out.outputs[start..end].to_vec(),
+                            batch,
+                            outputs: outputs.clone(),
                             error: out.error.clone(),
                             verified: out.verified,
                             protection_active: protection.is_active(),
@@ -1684,6 +2359,8 @@ fn worker_loop(
                         bank: unit.bank,
                         faults: out.faults_detected + u64::from(out.error.is_some()),
                         verified: out.verified,
+                        errored: out.error.is_some(),
+                        members,
                     });
                 }
                 let _ = done.send(DoneMsg {
@@ -1967,11 +2644,11 @@ mod tests {
         let queue = Arc::clone(&rt.queue);
         rt.finish().unwrap();
         assert_eq!(
-            queue.push(PimJob {
+            queue.push(Submission::Job(PimJob {
                 id: 0,
                 program: Arc::new(PimProgram::default()),
                 placement: Placement::Auto,
-            }),
+            })),
             Err(PushError::Closed)
         );
     }

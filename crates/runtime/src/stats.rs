@@ -119,6 +119,24 @@ pub struct BatchStats {
     pub splice_misses: u64,
 }
 
+/// Dependency-gating and resident-weight counters of a runtime session
+/// (all zero when neither chains nor pins are used).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PipelineStats {
+    /// Jobs that waited in the dependency tracker before placement.
+    pub deferred_jobs: u64,
+    /// Deferred jobs released after their predecessors retired.
+    pub released_jobs: u64,
+    /// Jobs dropped because a predecessor failed, was cancelled, or a
+    /// binder refused to build (they never ran; reported as cancelled).
+    pub cascade_cancelled: u64,
+    /// Resident weight pins materialized.
+    pub residents: u64,
+    /// Re-materialization jobs quarantine forced (pinned weights
+    /// re-loaded on a healthy bank).
+    pub rematerializations: u64,
+}
+
 /// Aggregate, serializable statistics of a runtime session.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RuntimeStats {
@@ -162,6 +180,8 @@ pub struct RuntimeStats {
     pub cache: crate::cache::CacheStats,
     /// Same-bank batch-fusion counters.
     pub batch: BatchStats,
+    /// Dependency-gating and resident-weight counters.
+    pub pipeline: PipelineStats,
 }
 
 #[cfg(test)]

@@ -67,6 +67,9 @@ pub enum Rejected {
     Deadline,
     /// The server is draining or shut down; no further work is accepted.
     Closed,
+    /// A pipeline submission was structurally invalid (a member depended
+    /// on itself or on a later member). Not retryable.
+    Invalid,
 }
 
 impl std::fmt::Display for Rejected {
@@ -76,6 +79,7 @@ impl std::fmt::Display for Rejected {
             Rejected::QueueFull => write!(f, "submission queue full"),
             Rejected::Deadline => write!(f, "deadline already expired at submission"),
             Rejected::Closed => write!(f, "server closed to new submissions"),
+            Rejected::Invalid => write!(f, "pipeline structurally invalid"),
         }
     }
 }

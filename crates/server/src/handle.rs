@@ -207,7 +207,10 @@ pub struct ResultStream {
 }
 
 impl ResultStream {
-    pub(crate) fn new(handles: Vec<JobHandle>) -> ResultStream {
+    /// Builds a stream over arbitrary handles, yielding in the given
+    /// order. Pipeline frontends use this to stream batched inference
+    /// results from each request chain's final member.
+    pub fn new(handles: Vec<JobHandle>) -> ResultStream {
         ResultStream {
             handles: handles.into(),
         }

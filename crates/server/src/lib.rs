@@ -42,7 +42,9 @@ pub use stats::ServerStats;
 
 use coruscant_core::program::PimProgram;
 use coruscant_mem::MemoryConfig;
-use coruscant_runtime::{JobNotice, Placement, PushError, Runtime, RuntimeError, RuntimeOptions};
+use coruscant_runtime::{
+    ChainJob, JobNotice, Placement, PushError, ResidentPin, Runtime, RuntimeError, RuntimeOptions,
+};
 
 use admission::AdmissionController;
 use handle::Resolver;
@@ -574,6 +576,105 @@ impl Client {
             })
             .collect();
         ResultStream::new(handles)
+    }
+
+    /// Submits a dependency-gated pipeline chain (see
+    /// [`Runtime::submit_chain`]) and returns one [`JobHandle`] per
+    /// member, in chain order. Members held in the dependency tracker
+    /// resolve when their final attempt retires; members dropped because
+    /// a predecessor failed (or a binder refused to build) resolve
+    /// [`ServeError::Cancelled`].
+    ///
+    /// One admission decision covers the whole chain — a pipeline is
+    /// all-or-nothing, because shedding individual members would leave
+    /// dangling dependencies. The chain enters the runtime through the
+    /// blocking queue (backpressure) in both admission modes.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] when the chain is refused —
+    /// [`Rejected::Invalid`] marks a structurally bad chain (a member
+    /// depending on itself or a later member).
+    pub fn submit_pipeline(
+        &self,
+        chain: Vec<ChainJob>,
+        priority: Priority,
+    ) -> Result<Vec<JobHandle>, Rejected> {
+        let n = chain.len() as u64;
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(n, Ordering::Relaxed);
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            c.rejected_closed.fetch_add(n, Ordering::Relaxed);
+            return Err(Rejected::Closed);
+        }
+        let guard = self.shared.runtime.read().unwrap();
+        let Some(rt) = guard.as_ref() else {
+            c.rejected_closed.fetch_add(n, Ordering::Relaxed);
+            return Err(Rejected::Closed);
+        };
+        {
+            let mut adm = self.shared.admission.lock().unwrap();
+            if let Err(r) = adm.admit(
+                priority,
+                rt.queue_len(),
+                rt.queue_capacity(),
+                Instant::now(),
+            ) {
+                c.rejected_overload.fetch_add(n, Ordering::Relaxed);
+                return Err(r);
+            }
+        }
+        let ids = match rt.submit_chain(chain) {
+            Ok(ids) => ids,
+            Err(RuntimeError::Config(_)) => {
+                c.rejected_invalid.fetch_add(n, Ordering::Relaxed);
+                return Err(Rejected::Invalid);
+            }
+            Err(_) => {
+                c.rejected_closed.fetch_add(n, Ordering::Relaxed);
+                return Err(Rejected::Closed);
+            }
+        };
+        c.accepted.fetch_add(n, Ordering::Relaxed);
+        Ok(ids.into_iter().map(|id| self.shared.register(id)).collect())
+    }
+
+    /// Pins weights resident on a PIM unit (see
+    /// [`Runtime::pin_resident`]): runs `program` once on unit
+    /// `unit_idx` and registers a residency there, which
+    /// [`Placement::Resident`] jobs — standalone or pipeline members —
+    /// follow even across quarantine re-materialization. Returns the
+    /// [`ResidentPin`] receipt plus the pin job's completion handle.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] when the pin is refused.
+    pub fn pin_resident(
+        &self,
+        program: PimProgram,
+        unit_idx: usize,
+    ) -> Result<(ResidentPin, JobHandle), Rejected> {
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Closed);
+        }
+        let guard = self.shared.runtime.read().unwrap();
+        let Some(rt) = guard.as_ref() else {
+            c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Closed);
+        };
+        let pin = match rt.pin_resident(program, unit_idx) {
+            Ok(pin) => pin,
+            Err(_) => {
+                c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::Closed);
+            }
+        };
+        c.accepted.fetch_add(1, Ordering::Relaxed);
+        let handle = self.shared.register(pin.job);
+        Ok((pin, handle))
     }
 
     /// Requests cancellation of a still-queued job. Best-effort, like

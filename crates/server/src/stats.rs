@@ -25,6 +25,9 @@ pub struct ServerStats {
     pub rejected_deadline: u64,
     /// Submissions refused because the server was draining.
     pub rejected_closed: u64,
+    /// Pipeline members refused because the chain was structurally
+    /// invalid (forward or self dependency).
+    pub rejected_invalid: u64,
     /// Accepted jobs cancelled by deadline expiry while still queued.
     pub expired: u64,
     /// Accepted jobs cancelled by an explicit client cancel while queued.
@@ -43,6 +46,7 @@ impl ServerStats {
             + self.rejected_queue_full
             + self.rejected_deadline
             + self.rejected_closed
+            + self.rejected_invalid
     }
 
     /// The accounting invariant every drained server satisfies: every
@@ -66,6 +70,7 @@ pub(crate) struct Counters {
     pub rejected_queue_full: AtomicU64,
     pub rejected_deadline: AtomicU64,
     pub rejected_closed: AtomicU64,
+    pub rejected_invalid: AtomicU64,
     pub expired: AtomicU64,
     pub cancelled: AtomicU64,
     pub lost: AtomicU64,
@@ -82,6 +87,7 @@ impl Counters {
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             lost: self.lost.load(Ordering::Relaxed),

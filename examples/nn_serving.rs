@@ -1,0 +1,78 @@
+//! CNN inference served end-to-end through the full stack: model
+//! weights pinned resident once per layer, per-request layer chains
+//! gated on their predecessors, logits decoded on the host — and the
+//! whole thing bit-identical to the standalone `nn::pim_exec` engine.
+//!
+//! Run with: `cargo run --example nn_serving`
+
+use coruscant::mem::MemoryConfig;
+use coruscant::nn::infer::{proxy_lenet5, run_pim, synth_image, synth_weights};
+use coruscant::nn::quant::Precision;
+use coruscant::pipeline::serve::ServingSession;
+use coruscant::pipeline::Pipeline;
+use coruscant::server::{Priority, Server, ServerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sixteen tiles: each layer of the network gets its own hosting
+    // unit, with storage DBCs beside the compute DBC for the weights.
+    let config = MemoryConfig {
+        banks: 4,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    };
+
+    let net = proxy_lenet5();
+    let precision = Precision::Full;
+    let weights = synth_weights(&net, precision, 3);
+    let images: Vec<_> = (0..4).map(|s| synth_image(&net, 7 + s)).collect();
+
+    // --- 1. Build the pipeline and pin residencies. -------------------
+    let pipeline = Pipeline::new(&config, net.clone(), weights.clone(), 0)?;
+    println!(
+        "{} @ {precision:?}: {} layers, {} resident weight rows",
+        net.name,
+        net.layers.len(),
+        pipeline.resident_rows()
+    );
+    for li in 0..net.layers.len() {
+        println!("  layer {li} pinned on unit {}", pipeline.unit_for(li));
+    }
+
+    let server = Server::start(config.clone(), ServerOptions::default())?;
+    let session = ServingSession::pin(server.client(), pipeline)?;
+
+    // --- 2. Per-request handles: one dependency-gated chain each. -----
+    let handles = session.submit_batch(&images, Priority::Normal)?;
+    println!("\nSubmitted {} inference requests:", handles.len());
+    for (i, h) in handles.into_iter().enumerate() {
+        let logits = h.wait()?;
+        let expect = run_pim(&config, &net, &weights, &images[i])?;
+        assert_eq!(logits, expect, "served logits must equal nn::pim_exec");
+        println!("  image {i}: logits {logits:?} (bit-identical to standalone)");
+    }
+
+    // --- 3. Streaming: logits arrive in input order. ------------------
+    let mut stream = session.stream_batch(&images, Priority::Normal)?;
+    let mut got = 0;
+    while let Some(next) = stream.next() {
+        next?;
+        got += 1;
+    }
+    println!("\nStreamed batch: {got} results in input order");
+
+    let stats = server.shutdown()?;
+    println!(
+        "Accounting: {} submitted = {} completed (balanced: {})",
+        stats.submitted,
+        stats.completed,
+        stats.balanced()
+    );
+    Ok(())
+}
