@@ -1,0 +1,63 @@
+//! Emits `BENCH_cache.json`: the DWM cache frontend trajectory — hit
+//! rate and shift-cycle accounting per placement policy × locality mix,
+//! miss-to-PIM-job serving throughput, and the two frontend contracts
+//! (replay bit-determinism across shard counts, ≥15% hotness-weighted
+//! shift saving on the locality-heavy trace).
+//!
+//! Usage: `cargo run --release -p coruscant-bench --bin bench_cache
+//! [output-path]` (default `BENCH_cache.json` in the working
+//! directory).
+
+use coruscant_bench::{cache_perf, header};
+use coruscant_dwmcache::CacheConfig;
+use coruscant_mem::MemoryConfig;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cache.json".into());
+    // The runtime benches' small geometry: 64-wire DBCs (8-byte lines),
+    // 32 rows. A 64-set × 8-way cache (512 lines) over a 4096-line
+    // footprint keeps all four mixes contended.
+    let memory = MemoryConfig::tiny();
+    let bench = cache_perf::run_full(&memory, CacheConfig::new(64, 8), 20_000, 4_096);
+
+    header("DWM cache frontend: policy x trace sweep");
+    println!(
+        "{:<10} {:<18} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "trace", "policy", "hit%", "shift_cyc", "demand_cyc", "missjobs", "jobs/s"
+    );
+    for row in &bench.rows {
+        println!(
+            "{:<10} {:<18} {:>8.2} {:>12} {:>12} {:>10} {:>10.0}",
+            row.trace,
+            row.policy,
+            row.hit_rate * 100.0,
+            row.total_shift_cycles,
+            row.demand_shift_cycles,
+            row.miss_jobs,
+            row.miss_jobs_per_sec
+        );
+    }
+    header("Frontend contracts");
+    println!(
+        "hotness vs naive shift reduction (hot90): {:.1}% (contract >= 15%)",
+        bench.hotness_vs_naive_shift_reduction * 100.0
+    );
+    println!(
+        "bit-deterministic across shards {{1,2,4}}: {}",
+        bench.deterministic_across_shards
+    );
+    assert!(
+        bench.hotness_vs_naive_shift_reduction >= 0.15,
+        "shift-saving contract violated"
+    );
+    assert!(
+        bench.deterministic_across_shards,
+        "determinism contract violated"
+    );
+
+    let json = serde::json::to_string(&bench);
+    std::fs::write(&path, json + "\n").expect("write bench output");
+    println!("\nwrote {path}");
+}

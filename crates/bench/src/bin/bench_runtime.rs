@@ -31,22 +31,25 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_runtime.json".into());
     let config = eight_bank_config();
-    let bench = runtime_perf::run_full(&config, 16_000, &[1, 2, 4, 8], 10_000);
+    // Four rounds of the 250-chunk stream: the repeats are what let the
+    // compiled-program cache hit (750 hits per cache-on cell).
+    let bench = runtime_perf::run_full(&config, 16_000, &[1, 2, 4, 8], 4, 10_000);
 
     header("Runtime cross-job optimization grid (jobs/sec, host wall)");
     println!(
-        "{:<8} {:<6} {:<6} {:>10} {:>12} {:>12} {:>8}",
-        "shards", "cache", "batch", "jobs/s", "device_cyc", "makespan", "batches"
+        "{:<8} {:<6} {:<6} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "shards", "cache", "batch", "jobs/s", "device_cyc", "makespan", "hits", "batches"
     );
     for cell in &bench.grid {
         println!(
-            "{:<8} {:<6} {:<6} {:>10.0} {:>12} {:>12} {:>8}",
+            "{:<8} {:<6} {:<6} {:>10.0} {:>12} {:>12} {:>10} {:>8}",
             cell.shards,
             cell.cache,
             cell.batch,
             cell.jobs_per_sec,
             cell.device_cycles,
             cell.makespan_cycles,
+            cell.cache_hits,
             cell.batches
         );
     }

@@ -5,6 +5,7 @@
 //! prints them next to the paper's reported numbers so deviations are
 //! visible at a glance (EXPERIMENTS.md records the analysis).
 
+pub mod cache_perf;
 pub mod nn_perf;
 pub mod runtime_perf;
 pub mod server_perf;

@@ -112,6 +112,9 @@ pub fn grid_point(
         .with_shards(shards)
         .with_cache(CacheOptions {
             enabled: cache,
+            // Hold the whole distinct-program set even with skewed hash
+            // partitioning across lock shards, so every repeat hits.
+            capacity: programs.len().max(CacheOptions::default().capacity),
             ..CacheOptions::default()
         })
         .with_batch(if batch {
@@ -135,12 +138,26 @@ pub fn grid_point(
 }
 
 /// Runs the full shards × cache × batch grid over a `rows`-row
-/// bitmap-query stream.
+/// bitmap-query stream submitted `rounds` times.
+///
+/// The repeats are what give the compiled-program cache something to do:
+/// every chunk program is distinct, so a single pass can never hit — a
+/// `cache: true` cell at `rounds` ≥ 2 must record exactly
+/// `chunks × (rounds − 1)` hits.
 #[must_use]
-pub fn run_grid(config: &MemoryConfig, rows: usize, shards: &[usize]) -> Vec<GridPoint> {
+pub fn run_grid(
+    config: &MemoryConfig,
+    rows: usize,
+    shards: &[usize],
+    rounds: usize,
+) -> Vec<GridPoint> {
     let ds = BitmapDataset::generate(rows, 3, 11);
-    let programs = compile_bitmap_query_with(&ds, 3, config, QueryPlan::PairwiseChain)
+    let chunk_programs = compile_bitmap_query_with(&ds, 3, config, QueryPlan::PairwiseChain)
         .expect("query compiles");
+    let programs: Vec<PimProgram> = std::iter::repeat_with(|| chunk_programs.iter().cloned())
+        .take(rounds.max(1))
+        .flatten()
+        .collect();
     let units = MemoryController::new(config.clone()).pim_unit_count();
     let placements = blocked_placements(programs.len(), units, 8);
     let mut grid = Vec::new();
@@ -190,13 +207,20 @@ pub fn repeated_query_campaign(config: &MemoryConfig, jobs: u64) -> RepeatedQuer
     }
 }
 
-/// Runs the whole harness: the grid plus the repeated-query campaign.
+/// Runs the whole harness: the grid (each stream submitted `rounds`
+/// times) plus the repeated-query campaign.
 #[must_use]
-pub fn run_full(config: &MemoryConfig, rows: usize, shards: &[usize], jobs: u64) -> RuntimeBench {
+pub fn run_full(
+    config: &MemoryConfig,
+    rows: usize,
+    shards: &[usize],
+    rounds: usize,
+    jobs: u64,
+) -> RuntimeBench {
     RuntimeBench {
         banks: config.banks,
         pim_units: MemoryController::new(config.clone()).pim_unit_count(),
-        grid: run_grid(config, rows, shards),
+        grid: run_grid(config, rows, shards, rounds),
         repeated_query: repeated_query_campaign(config, jobs),
     }
 }
@@ -212,10 +236,13 @@ mod tests {
     #[test]
     fn harness_smoke_on_tiny_geometry() {
         let config = MemoryConfig::tiny();
-        let bench = run_full(&config, 2_000, &[1, 2], 200);
+        let rounds = 2;
+        let bench = run_full(&config, 2_000, &[1, 2], rounds, 200);
         assert_eq!(bench.grid.len(), 8);
         let jobs = bench.grid[0].jobs;
         assert!(jobs > 0);
+        // Distinct chunk programs per round; repeats are the hits.
+        let expected_hits = jobs / rounds as u64 * (rounds as u64 - 1);
         for cell in &bench.grid {
             assert_eq!(cell.jobs, jobs, "every cell serves the whole stream");
             assert!(cell.wall_ms > 0.0);
@@ -224,7 +251,12 @@ mod tests {
             } else {
                 assert_eq!(cell.batches, 0);
             }
-            if !cell.cache {
+            if cell.cache {
+                assert_eq!(
+                    cell.cache_hits, expected_hits,
+                    "cache cells must hit on every repeated chunk: {cell:?}"
+                );
+            } else {
                 assert_eq!(cell.cache_hits, 0);
             }
         }

@@ -1,0 +1,262 @@
+//! Shift-aware placement/port policies.
+//!
+//! Shift latency dominates DWM cache access, and the recoverable margin
+//! comes from two knobs the racetrack survey calls out: *where* a line's
+//! data row sits relative to the access ports, and *where the tape
+//! settles* between accesses. A [`PlacementPolicy`] decides both, plus
+//! whether hot lines should migrate toward the ports:
+//!
+//! * [`NaiveStatic`] — way-indexed rows filled from row 0, tape left
+//!   wherever the last access parked it. The baseline a shift-oblivious
+//!   cache controller produces.
+//! * [`EagerRestore`] — same static rows, but the tape restores to the
+//!   canonical alignment after every access: worst-case next-access
+//!   latency is bounded by the geometry, at the price of background
+//!   restore shifts.
+//! * [`HotnessWeighted`] — fills take the free row nearest a port, and
+//!   access-count heat bubbles hot lines into port-adjacent rows via
+//!   hysteresis-guarded row swaps (the survey's hotness-weighted port
+//!   positioning). Temporal locality then concentrates accesses on rows
+//!   a shift or two from a port.
+
+use coruscant_racetrack::PortGeometry;
+
+/// A read-only view of one set the policy decides over.
+///
+/// Parallel arrays indexed by way; `rows[w]` is only meaningful while
+/// `valid[w]` (an invalid way keeps its last row assignment as a hint).
+#[derive(Debug, Clone, Copy)]
+pub struct SetView<'a> {
+    /// Current tape displacement from the canonical alignment.
+    pub offset: isize,
+    /// Data row assigned to each way.
+    pub rows: &'a [usize],
+    /// Whether each way holds a line.
+    pub valid: &'a [bool],
+    /// Decayed access-count heat of each way.
+    pub heat: &'a [u64],
+}
+
+impl SetView<'_> {
+    /// Whether `row` is held by a valid way other than `except`.
+    fn row_taken(&self, row: usize, except: usize) -> bool {
+        self.rows
+            .iter()
+            .zip(self.valid)
+            .enumerate()
+            .any(|(w, (&r, &v))| v && w != except && r == row)
+    }
+}
+
+/// A shift-aware placement/port policy for one cache.
+///
+/// Implementations must be deterministic: every decision may depend only
+/// on the [`SetView`] and geometry, never on ambient state, so replaying
+/// a trace reproduces identical statistics bit-for-bit.
+pub trait PlacementPolicy: Send + Sync + std::fmt::Debug {
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The data row a line filling `way` should occupy. Must be in
+    /// `0..geom.rows()` and not held by another valid way (the way being
+    /// filled is being replaced, so its own previous row is free).
+    fn fill_row(&self, geom: &PortGeometry, set: &SetView<'_>, way: usize) -> usize;
+
+    /// The displacement the tape should settle at after an access, or
+    /// `None` to leave it where the access parked it. Restoring costs
+    /// background shift cycles.
+    fn rest_offset(&self, _geom: &PortGeometry, _set: &SetView<'_>) -> Option<isize> {
+        None
+    }
+
+    /// An optional row swap `(hot_way, cold_way)` to perform after an
+    /// access to `accessed` — hotness migration. The cache charges the
+    /// swap's shifts and port accesses to the migration counters.
+    fn promote(
+        &self,
+        _geom: &PortGeometry,
+        _set: &SetView<'_>,
+        _accessed: usize,
+    ) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Way-indexed static rows from row 0, lazy tape: the shift-oblivious
+/// baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveStatic;
+
+impl PlacementPolicy for NaiveStatic {
+    fn name(&self) -> &'static str {
+        "naive-static"
+    }
+
+    fn fill_row(&self, _geom: &PortGeometry, _set: &SetView<'_>, way: usize) -> usize {
+        way
+    }
+}
+
+/// Static rows with an eager restore to the canonical alignment after
+/// every access: bounded worst-case access latency, extra background
+/// shifts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EagerRestore;
+
+impl PlacementPolicy for EagerRestore {
+    fn name(&self) -> &'static str {
+        "eager-restore"
+    }
+
+    fn fill_row(&self, _geom: &PortGeometry, _set: &SetView<'_>, way: usize) -> usize {
+        way
+    }
+
+    fn rest_offset(&self, _geom: &PortGeometry, _set: &SetView<'_>) -> Option<isize> {
+        Some(0)
+    }
+}
+
+/// Port-proximal placement weighted by access heat.
+///
+/// Fills take the free row nearest any port; after each access, if the
+/// accessed way has grown at least [`hysteresis`](Self::hysteresis)
+/// times hotter than some way sitting on a strictly nearer row, the two
+/// swap rows (coldest such way first). Lazy tape — with hot lines packed
+/// around the ports, the tape is almost always already close.
+#[derive(Debug, Clone, Copy)]
+pub struct HotnessWeighted {
+    /// A swap fires only when `heat[hot] >= hysteresis * heat[cold]`
+    /// (and the hot way is strictly farther from its port). Guards
+    /// against migration thrash; 2 is a good default.
+    pub hysteresis: u64,
+}
+
+impl Default for HotnessWeighted {
+    fn default() -> Self {
+        HotnessWeighted { hysteresis: 2 }
+    }
+}
+
+impl PlacementPolicy for HotnessWeighted {
+    fn name(&self) -> &'static str {
+        "hotness-weighted"
+    }
+
+    fn fill_row(&self, geom: &PortGeometry, set: &SetView<'_>, way: usize) -> usize {
+        // Nearest free row to any port; ties resolve to the lower row so
+        // the choice is deterministic.
+        (0..geom.rows())
+            .filter(|&r| !set.row_taken(r, way))
+            .min_by_key(|&r| (geom.shift_distance(r), r))
+            .expect("a set never has more ways than rows")
+    }
+
+    fn promote(
+        &self,
+        geom: &PortGeometry,
+        set: &SetView<'_>,
+        accessed: usize,
+    ) -> Option<(usize, usize)> {
+        if !set.valid[accessed] {
+            return None;
+        }
+        let hot_dist = geom.shift_distance(set.rows[accessed]);
+        let hot_heat = set.heat[accessed];
+        // The coldest valid way on a strictly nearer row that the hot
+        // way dominates by the hysteresis factor.
+        (0..set.rows.len())
+            .filter(|&w| {
+                w != accessed
+                    && set.valid[w]
+                    && geom.shift_distance(set.rows[w]) < hot_dist
+                    && hot_heat >= self.hysteresis.max(1).saturating_mul(set.heat[w])
+            })
+            .min_by_key(|&w| (set.heat[w], w))
+            .map(|cold| (accessed, cold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        offset: isize,
+        rows: &'a [usize],
+        valid: &'a [bool],
+        heat: &'a [u64],
+    ) -> SetView<'a> {
+        SetView {
+            offset,
+            rows,
+            valid,
+            heat,
+        }
+    }
+
+    #[test]
+    fn naive_and_eager_use_way_indexed_rows() {
+        let geom = PortGeometry::coruscant(32, 7);
+        let v = view(0, &[0, 1, 2, 3], &[true; 4], &[1; 4]);
+        for w in 0..4 {
+            assert_eq!(NaiveStatic.fill_row(&geom, &v, w), w);
+            assert_eq!(EagerRestore.fill_row(&geom, &v, w), w);
+        }
+        assert_eq!(NaiveStatic.rest_offset(&geom, &v), None);
+        assert_eq!(EagerRestore.rest_offset(&geom, &v), Some(0));
+        assert_eq!(NaiveStatic.promote(&geom, &v, 0), None);
+    }
+
+    #[test]
+    fn hotness_fills_port_proximal_rows_first() {
+        let geom = PortGeometry::coruscant(32, 7);
+        let policy = HotnessWeighted::default();
+        // Empty set: the first fills take the port rows (13, then 19).
+        let v = view(0, &[0; 4], &[false; 4], &[0; 4]);
+        assert_eq!(policy.fill_row(&geom, &v, 0), 13);
+        let rows = [13, 0, 0, 0];
+        let valid = [true, false, false, false];
+        let v = view(0, &rows, &valid, &[0; 4]);
+        assert_eq!(policy.fill_row(&geom, &v, 1), 19);
+        // Both port rows taken: the next nearest free row (12).
+        let rows = [13, 19, 0, 0];
+        let valid = [true, true, false, false];
+        let v = view(0, &rows, &valid, &[0; 4]);
+        assert_eq!(policy.fill_row(&geom, &v, 2), 12);
+        // A way refilling itself may keep its own row.
+        let rows = [13, 19, 12, 0];
+        let valid = [true, true, true, false];
+        let v = view(0, &rows, &valid, &[0; 4]);
+        assert_eq!(policy.fill_row(&geom, &v, 0), 13);
+    }
+
+    #[test]
+    fn hotness_promotes_past_hysteresis_only() {
+        let geom = PortGeometry::coruscant(32, 7);
+        let policy = HotnessWeighted::default();
+        // Way 1 is hot but far (row 0, distance 13); way 0 sits on the
+        // port row with low heat.
+        let rows = [13, 0];
+        let valid = [true, true];
+        let v = view(0, &rows, &valid, &[3, 5]);
+        // 5 < 2*3: no swap yet.
+        assert_eq!(policy.promote(&geom, &v, 1), None);
+        let v = view(0, &rows, &valid, &[3, 6]);
+        assert_eq!(policy.promote(&geom, &v, 1), Some((1, 0)));
+        // Already nearest: nothing to swap into.
+        assert_eq!(policy.promote(&geom, &v, 0), None);
+    }
+
+    #[test]
+    fn hotness_promotes_coldest_nearer_way() {
+        let geom = PortGeometry::coruscant(32, 7);
+        let policy = HotnessWeighted::default();
+        let rows = [13, 19, 12, 5];
+        let valid = [true, true, true, true];
+        // Way 3 (row 5, distance 8) is hot; ways 0..=2 are nearer. The
+        // coldest of them (way 1) gives up its row.
+        let v = view(0, &rows, &valid, &[4, 2, 9, 100]);
+        assert_eq!(policy.promote(&geom, &v, 3), Some((3, 1)));
+    }
+}

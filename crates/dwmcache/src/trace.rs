@@ -1,0 +1,370 @@
+//! Address traces: the `R/W <addr>` text format and synthetic generators
+//! with controllable locality.
+//!
+//! The trace format is the classic two-column cache-simulator input —
+//! one access per line, an operation letter (`R` or `W`, case
+//! insensitive) and a byte address (decimal or `0x`-prefixed hex).
+//! Full-line and trailing `#` comments and blank lines are skipped:
+//!
+//! ```text
+//! # warmup
+//! R 0x1a40
+//! W 6720      # store to the same line
+//! ```
+//!
+//! [`parse_trace`] and [`emit_trace`] round-trip: emitting a parsed
+//! trace and re-parsing it yields the same accesses (the canonical form
+//! writes hex addresses). The generators are seeded and fully
+//! deterministic — a given `(spec, seed)` always produces the same
+//! trace, which is what makes the replay determinism contract testable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation of one trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read => write!(f, "R"),
+            Op::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Read or write.
+    pub op: Op,
+    /// Byte address.
+    pub addr: u64,
+}
+
+impl Access {
+    /// A read at `addr`.
+    pub fn read(addr: u64) -> Access {
+        Access { op: Op::Read, addr }
+    }
+
+    /// A write at `addr`.
+    pub fn write(addr: u64) -> Access {
+        Access {
+            op: Op::Write,
+            addr,
+        }
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses the `R/W <addr>` text format. Blank lines and `#` comments
+/// (full-line or trailing) are skipped; an empty file is an empty trace.
+///
+/// # Errors
+///
+/// A [`TraceError`] naming the first malformed line: a missing or
+/// unknown operation letter, a missing or unparsable address, or
+/// trailing junk after the address.
+pub fn parse_trace(text: &str) -> Result<Vec<Access>, TraceError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut fields = body.split_whitespace();
+        let op = match fields.next() {
+            Some(t) if t.eq_ignore_ascii_case("r") => Op::Read,
+            Some(t) if t.eq_ignore_ascii_case("w") => Op::Write,
+            Some(t) => {
+                return Err(TraceError {
+                    line,
+                    message: format!("unknown operation {t:?} (expected R or W)"),
+                })
+            }
+            None => unreachable!("non-empty body has a first field"),
+        };
+        let addr_text = fields.next().ok_or_else(|| TraceError {
+            line,
+            message: "missing address".into(),
+        })?;
+        let addr = parse_addr(addr_text).ok_or_else(|| TraceError {
+            line,
+            message: format!("bad address {addr_text:?}"),
+        })?;
+        if let Some(junk) = fields.next() {
+            return Err(TraceError {
+                line,
+                message: format!("trailing junk {junk:?} after address"),
+            });
+        }
+        out.push(Access { op, addr });
+    }
+    Ok(out)
+}
+
+fn parse_addr(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Emits the canonical text form (hex addresses, one access per line).
+/// `parse_trace(&emit_trace(t)) == t` for every trace.
+pub fn emit_trace(accesses: &[Access]) -> String {
+    let mut out = String::new();
+    for a in accesses {
+        out.push_str(&format!("{} 0x{:x}\n", a.op, a.addr));
+    }
+    out
+}
+
+/// SplitMix64: the deterministic stream behind the generators and the
+/// replay engine's synthetic line/mask payloads (same generator family
+/// the fault-injection plumbing uses).
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(pub(crate) u64);
+
+impl SplitMix64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// True with probability `pct`/100.
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// The locality shape of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mix {
+    /// Sequential lines, wrapping over the footprint — maximal spatial
+    /// locality, no reuse until the wrap.
+    Streaming,
+    /// Every access `stride` lines after the previous, wrapping.
+    Strided(u64),
+    /// `hot_pct`% of accesses hit a small pool of `hot_lines` lines
+    /// (temporal locality); the rest scatter over the footprint.
+    HotCold {
+        /// Size of the hot pool, in lines.
+        hot_lines: u64,
+        /// Percentage of accesses that go to the hot pool.
+        hot_pct: u64,
+    },
+    /// Uniform random lines over the footprint — the locality-free
+    /// adversary.
+    Uniform,
+}
+
+impl Mix {
+    /// A short stable name for bench rows and reports.
+    pub fn name(&self) -> String {
+        match self {
+            Mix::Streaming => "streaming".into(),
+            Mix::Strided(s) => format!("strided{s}"),
+            Mix::HotCold { hot_pct, .. } => format!("hot{hot_pct}"),
+            Mix::Uniform => "uniform".into(),
+        }
+    }
+}
+
+/// A synthetic-trace specification: fully determines the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthSpec {
+    /// The locality shape.
+    pub mix: Mix,
+    /// Number of accesses to generate.
+    pub accesses: usize,
+    /// Address footprint, in cache lines.
+    pub lines: u64,
+    /// Cache-line size in bytes (addresses are line-aligned multiples).
+    pub line_bytes: u64,
+    /// Percentage of accesses that are writes.
+    pub write_pct: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// Generates the trace this spec describes. Deterministic: the same
+    /// spec always yields the same accesses.
+    pub fn generate(&self) -> Vec<Access> {
+        let mut rng = SplitMix64(self.seed ^ 0xD1F7_C0DE);
+        let lines = self.lines.max(1);
+        let mut out = Vec::with_capacity(self.accesses);
+        let mut cursor = 0u64;
+        for _ in 0..self.accesses {
+            let line = match self.mix {
+                Mix::Streaming => {
+                    let l = cursor % lines;
+                    cursor += 1;
+                    l
+                }
+                Mix::Strided(stride) => {
+                    let l = cursor % lines;
+                    cursor = cursor.wrapping_add(stride.max(1));
+                    l
+                }
+                Mix::HotCold { hot_lines, hot_pct } => {
+                    let hot = hot_lines.clamp(1, lines);
+                    if rng.chance(hot_pct) {
+                        rng.below(hot)
+                    } else {
+                        hot + rng.below((lines - hot).max(1))
+                    }
+                }
+                Mix::Uniform => rng.below(lines),
+            };
+            let op = if rng.chance(self.write_pct) {
+                Op::Write
+            } else {
+                Op::Read
+            };
+            out.push(Access {
+                op,
+                addr: line * self.line_bytes,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_radix_and_comments() {
+        let text = "# header\nR 0x40\n\nW 128   # trailing\n  r 0X10\nw 0\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Access::read(0x40),
+                Access::write(128),
+                Access::read(0x10),
+                Access::write(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_parse_empty() {
+        assert_eq!(parse_trace("").unwrap(), vec![]);
+        assert_eq!(parse_trace("# nothing\n\n  # here\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_trace("R 0x10\nX 4\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown operation"));
+
+        let e = parse_trace("R\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("missing address"));
+
+        let e = parse_trace("W 0xzz\n").unwrap_err();
+        assert!(e.message.contains("bad address"));
+
+        let e = parse_trace("R 4 extra\n").unwrap_err();
+        assert!(e.message.contains("trailing junk"));
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let t = vec![
+            Access::read(0),
+            Access::write(u64::MAX),
+            Access::read(0x1a40),
+        ];
+        assert_eq!(parse_trace(&emit_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = SynthSpec {
+            mix: Mix::HotCold {
+                hot_lines: 8,
+                hot_pct: 90,
+            },
+            accesses: 500,
+            lines: 1024,
+            line_bytes: 64,
+            write_pct: 30,
+            seed: 7,
+        };
+        assert_eq!(spec.generate(), spec.generate());
+        let other = SynthSpec { seed: 8, ..spec };
+        assert_ne!(spec.generate(), other.generate());
+    }
+
+    #[test]
+    fn hot_cold_mix_respects_pools() {
+        let spec = SynthSpec {
+            mix: Mix::HotCold {
+                hot_lines: 4,
+                hot_pct: 100,
+            },
+            accesses: 200,
+            lines: 4096,
+            line_bytes: 64,
+            write_pct: 0,
+            seed: 3,
+        };
+        for a in spec.generate() {
+            assert!(a.addr < 4 * 64, "hot-only trace stays in the pool");
+            assert_eq!(a.op, Op::Read);
+        }
+    }
+
+    #[test]
+    fn streaming_is_sequential() {
+        let spec = SynthSpec {
+            mix: Mix::Streaming,
+            accesses: 10,
+            lines: 4,
+            line_bytes: 8,
+            write_pct: 0,
+            seed: 1,
+        };
+        let addrs: Vec<u64> = spec.generate().iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 8, 16, 24, 0, 8, 16, 24, 0, 8]);
+    }
+}

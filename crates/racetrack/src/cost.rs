@@ -7,6 +7,9 @@
 //! [`Cost::in_parallel_with`] (lock-step parallel composition, where latency
 //! is the maximum and energy still accumulates).
 
+use crate::nanowire::NanowireSpec;
+use crate::params::{EnergyParams, LatencyParams};
+use crate::port::PortId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
@@ -243,6 +246,137 @@ impl fmt::Display for CostMeter {
     }
 }
 
+/// The access-port geometry of a nanowire, expressed in *data-row*
+/// coordinates at the canonical alignment.
+///
+/// Shift-latency reasoning (which row sits how far from which port) was
+/// previously implicit in [`Nanowire`](crate::nanowire::Nanowire)'s cost
+/// internals; callers that only need to *price* a shift — the compiler's
+/// placement passes, the DWM cache frontend — can use this standalone
+/// helper instead of instantiating a wire.
+///
+/// # Example
+///
+/// ```
+/// use coruscant_racetrack::cost::PortGeometry;
+/// // Paper Table II: 32 data rows, TRD = 7.
+/// let geom = PortGeometry::coruscant(32, 7);
+/// assert_eq!(geom.port_count(), 2);
+/// assert_eq!(geom.inter_port_spacing(), Some(6));
+/// assert_eq!(geom.shift_distance(13), 0); // row under the left port
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortGeometry {
+    /// Number of data rows.
+    rows: usize,
+    /// Data-row index under each port at the canonical alignment, in
+    /// physical port order.
+    port_rows: Vec<isize>,
+}
+
+impl PortGeometry {
+    /// The geometry of `spec` in data-row coordinates.
+    pub fn of(spec: &NanowireSpec) -> PortGeometry {
+        let off = spec.initial_offset as isize;
+        PortGeometry {
+            rows: spec.data_domains,
+            port_rows: spec
+                .ports
+                .iter()
+                .map(|p| p.position as isize - off)
+                .collect(),
+        }
+    }
+
+    /// The two-port CORUSCANT PIM geometry for `rows` data rows at
+    /// transverse-read distance `trd` (paper Table II: 32 rows, TRD 7).
+    pub fn coruscant(rows: usize, trd: usize) -> PortGeometry {
+        PortGeometry::of(&NanowireSpec::coruscant(rows, trd))
+    }
+
+    /// Number of data rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of access ports.
+    pub fn port_count(&self) -> usize {
+        self.port_rows.len()
+    }
+
+    /// The data-row index sitting under `port` at the canonical
+    /// alignment. Returns `None` for an out-of-range port id.
+    pub fn port_row(&self, port: PortId) -> Option<isize> {
+        self.port_rows.get(port.0).copied()
+    }
+
+    /// Data-row indices under every port at the canonical alignment, in
+    /// physical port order.
+    pub fn port_rows(&self) -> &[isize] {
+        &self.port_rows
+    }
+
+    /// The uniform spacing (in domains) between adjacent ports, or
+    /// `None` when the wire has fewer than two ports. For the CORUSCANT
+    /// two-port wire this is `trd - 1`: the segment between the ports
+    /// spans exactly the transverse-read distance.
+    pub fn inter_port_spacing(&self) -> Option<usize> {
+        match self.port_rows.as_slice() {
+            [] | [_] => None,
+            [a, b, ..] => Some(b.abs_diff(*a)),
+        }
+    }
+
+    /// The signed shift offset that aligns data row `row` under `port`
+    /// (positive offsets move the data window right relative to its
+    /// canonical position). `None` for an out-of-range port.
+    pub fn shift_offset(&self, row: usize, port: PortId) -> Option<isize> {
+        Some(row as isize - self.port_rows.get(port.0)?)
+    }
+
+    /// The nearest port to data row `row` and the shift distance (in
+    /// domains) to align the row under it. Ties resolve to the
+    /// lower-indexed (leftmost) port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has no ports.
+    pub fn nearest_port(&self, row: usize) -> (PortId, usize) {
+        assert!(!self.port_rows.is_empty(), "geometry has no ports");
+        self.port_rows
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (PortId(i), (row as isize).abs_diff(p)))
+            .min_by_key(|&(id, d)| (d, id))
+            .expect("at least one port")
+    }
+
+    /// Shift distance (in domains) from data row `row` to its nearest
+    /// port: the shifts an access to `row` costs from the canonical
+    /// alignment.
+    pub fn shift_distance(&self, row: usize) -> usize {
+        self.nearest_port(row).1
+    }
+
+    /// The largest nearest-port shift distance over all data rows — the
+    /// worst-case access from the canonical alignment.
+    pub fn max_shift_distance(&self) -> usize {
+        (0..self.rows)
+            .map(|r| self.shift_distance(r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Prices a shift of `steps` domains on one nanowire under the given
+    /// device parameters.
+    pub fn shift_cost(steps: u64, latency: &LatencyParams, energy: &EnergyParams) -> Cost {
+        Cost::new(
+            steps * latency.shift_per_step,
+            steps as f64 * energy.shift_per_step,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +470,80 @@ mod tests {
         m.take();
         assert_eq!(m.class_total(OpClass::Read), Cost::ZERO);
         assert_eq!(m.op_count(), 0);
+    }
+
+    /// Table II geometry (32 rows per DBC, TRD = 7): two ports sit over
+    /// data rows 13 and 19 at the canonical alignment.
+    #[test]
+    fn port_geometry_pins_table2() {
+        let geom = PortGeometry::coruscant(32, 7);
+        assert_eq!(geom.rows(), 32);
+        assert_eq!(geom.port_count(), 2);
+        assert_eq!(geom.port_rows(), &[13, 19]);
+        assert_eq!(geom.port_row(PortId::LEFT), Some(13));
+        assert_eq!(geom.port_row(PortId::RIGHT), Some(19));
+        assert_eq!(geom.port_row(PortId(2)), None);
+        // The inter-port segment spans exactly the TRD.
+        assert_eq!(geom.inter_port_spacing(), Some(6));
+    }
+
+    #[test]
+    fn port_geometry_matches_spec_derivation() {
+        for trd in [3, 5, 7] {
+            let spec = NanowireSpec::coruscant(32, trd);
+            let geom = PortGeometry::of(&spec);
+            assert_eq!(geom, PortGeometry::coruscant(32, trd), "trd {trd}");
+            assert_eq!(geom.inter_port_spacing(), Some(trd - 1), "trd {trd}");
+        }
+    }
+
+    #[test]
+    fn nearest_port_distances_pin_table2() {
+        let geom = PortGeometry::coruscant(32, 7);
+        // Rows under the ports are free; extremities pay the most.
+        assert_eq!(geom.nearest_port(13), (PortId::LEFT, 0));
+        assert_eq!(geom.nearest_port(19), (PortId::RIGHT, 0));
+        assert_eq!(geom.nearest_port(0), (PortId::LEFT, 13));
+        assert_eq!(geom.nearest_port(31), (PortId::RIGHT, 12));
+        // Row 16 is equidistant (3 domains); ties go to the left port.
+        assert_eq!(geom.nearest_port(16), (PortId::LEFT, 3));
+        // The worst-case access from canonical alignment is row 0.
+        assert_eq!(geom.max_shift_distance(), 13);
+        // Every distance is within the physical overhead the spec
+        // reserves, so nearest-port alignment never runs off the wire.
+        let spec = NanowireSpec::coruscant(32, 7);
+        assert!(geom.max_shift_distance() <= spec.overhead_domains());
+    }
+
+    #[test]
+    fn shift_offsets_are_signed_row_minus_port() {
+        let geom = PortGeometry::coruscant(32, 7);
+        assert_eq!(geom.shift_offset(0, PortId::LEFT), Some(-13));
+        assert_eq!(geom.shift_offset(31, PortId::RIGHT), Some(12));
+        assert_eq!(geom.shift_offset(19, PortId::RIGHT), Some(0));
+        assert_eq!(geom.shift_offset(5, PortId(9)), None);
+    }
+
+    #[test]
+    fn shift_cost_prices_per_step() {
+        let c = PortGeometry::shift_cost(13, &LatencyParams::PAPER, &EnergyParams::PAPER);
+        assert_eq!(c.cycles, 13);
+        assert!((c.energy_pj - 1.3).abs() < 1e-12);
+        assert_eq!(
+            PortGeometry::shift_cost(0, &LatencyParams::PAPER, &EnergyParams::PAPER),
+            Cost::ZERO
+        );
+    }
+
+    #[test]
+    fn single_port_geometry_has_no_spacing() {
+        let geom = PortGeometry::of(&NanowireSpec::single_port(8));
+        assert_eq!(geom.port_count(), 1);
+        assert_eq!(geom.inter_port_spacing(), None);
+        // Every row reaches the single port.
+        for r in 0..8 {
+            let (p, _) = geom.nearest_port(r);
+            assert_eq!(p, PortId::LEFT);
+        }
     }
 }

@@ -59,7 +59,7 @@ pub mod port;
 mod error;
 
 pub use align::{Alignment, PositionCode};
-pub use cost::{Cost, CostMeter, OpClass};
+pub use cost::{Cost, CostMeter, OpClass, PortGeometry};
 pub use error::Error;
 pub use fault::{FaultConfig, FaultInjector, FaultKind};
 pub use magnet::Magnetization;

@@ -1,10 +1,16 @@
 //! Memory-trace replay: drive the command-level controller with synthetic
 //! traces of different locality, compare DWM vs DRAM timing, and inspect
 //! per-bank load distribution — the system-simulation machinery behind
-//! the paper's Fig. 10 methodology.
+//! the paper's Fig. 10 methodology. Then replay the same kind of traces
+//! through the DWM cache frontend, comparing shift-aware placement
+//! policies and converting the misses into real served PIM jobs.
 //!
 //! Run with: `cargo run --example trace_replay`
 
+use coruscant::dwmcache::{
+    replay::ReplayConfig, CacheConfig, EagerRestore, HotnessWeighted, Mix, NaiveStatic,
+    PlacementPolicy, SynthSpec,
+};
 use coruscant::mem::timing::DeviceTiming;
 use coruscant::mem::trace::{replay, Trace};
 use coruscant::mem::{MemoryConfig, MemoryController};
@@ -64,5 +70,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ctrl.stats().shift_cycles,
         ctrl.stats().queue_cycles
     );
+
+    // ── DWM cache frontend ──────────────────────────────────────────
+    // The same locality story one level up: a set-associative cache
+    // whose data blocks live on DBC rows, replayed under each
+    // shift-aware placement policy; every miss becomes a real PIM fill
+    // + filter job served end to end through the runtime.
+    let cache_mem = MemoryConfig::tiny();
+    let replay_config = ReplayConfig {
+        memory: cache_mem.clone(),
+        cache: CacheConfig::new(16, 8),
+        jobs: Default::default(),
+        shards: 2,
+    };
+    let hot_trace = SynthSpec {
+        mix: Mix::HotCold {
+            hot_lines: 64,
+            hot_pct: 90,
+        },
+        accesses: 4000,
+        lines: 1024,
+        line_bytes: (cache_mem.nanowires_per_dbc / 8) as u64,
+        write_pct: 25,
+        seed: 42,
+    }
+    .generate();
+
+    println!(
+        "\nDWM cache frontend: {}-set x {}-way over {}-wire DBC rows, hot/cold trace",
+        replay_config.cache.sets, replay_config.cache.ways, cache_mem.nanowires_per_dbc
+    );
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "policy", "hit%", "shift_cyc", "demand_cyc", "missjobs", "filter_ones"
+    );
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(NaiveStatic),
+        Box::new(EagerRestore),
+        Box::new(HotnessWeighted::default()),
+    ];
+    for policy in policies {
+        let outcome = coruscant::dwmcache::replay::replay(&hot_trace, policy, &replay_config)?;
+        let r = &outcome.report;
+        println!(
+            "{:<18} {:>8.2} {:>12} {:>12} {:>10} {:>12}",
+            r.policy,
+            r.hit_rate * 100.0,
+            r.total_shift_cycles,
+            r.demand_shift_cycles,
+            r.miss_jobs,
+            r.filter_ones
+        );
+    }
     Ok(())
 }

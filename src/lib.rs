@@ -14,6 +14,9 @@
 //! * [`compiler`] — the optimizing pass pipeline over `cpim` programs:
 //!   multi-operand TR fusion, shift-minimizing scheduling, dead-step
 //!   elimination, differential verification.
+//! * [`dwmcache`] — the trace-driven DWM cache frontend: shift-aware
+//!   placement/port policies over DBC rows and miss-to-PIM job
+//!   conversion through the serving stack.
 //! * [`baselines`] — Ambit, ELP²IM, DW-NN, SPIM, ISAAC and CPU models.
 //! * [`nn`] — the CNN case study (LeNet-5, AlexNet; full/BWN/TWN modes).
 //! * [`workloads`] — polybench kernel models and bitmap-index queries.
@@ -51,6 +54,7 @@
 pub use coruscant_baselines as baselines;
 pub use coruscant_compiler as compiler;
 pub use coruscant_core as core;
+pub use coruscant_dwmcache as dwmcache;
 pub use coruscant_mem as mem;
 pub use coruscant_nn as nn;
 pub use coruscant_pipeline as pipeline;
