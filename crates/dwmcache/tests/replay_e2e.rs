@@ -1,0 +1,76 @@
+//! End-to-end: a recorded SPEC-style address dump flows through
+//! `parse_trace` into `replay` — cache model, miss-to-job conversion,
+//! and the serving stack — deterministically across policies and shard
+//! counts.
+
+use coruscant_dwmcache::replay::replay;
+use coruscant_dwmcache::{
+    parse_trace, Access, EagerRestore, HotnessWeighted, NaiveStatic, PlacementPolicy, ReplayConfig,
+};
+
+fn spec_dump() -> Vec<Access> {
+    parse_trace(include_str!("data/spec_dump.trace")).expect("recorded dump parses")
+}
+
+#[test]
+fn spec_dump_parses_with_expected_shape() {
+    let trace = spec_dump();
+    assert_eq!(trace.len(), 646, "every non-comment line is one access");
+    let writes = trace
+        .iter()
+        .filter(|a| matches!(a.op, coruscant_dwmcache::Op::Write))
+        .count();
+    assert!(writes > 0, "the dump mixes reads and writes");
+    assert!(
+        trace.iter().any(|a| a.addr >= 0x7ffe_0000),
+        "stack region present"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|a| (0x0040_0000..0x0041_0000).contains(&a.addr)),
+        "text region present"
+    );
+}
+
+#[test]
+fn spec_dump_replays_balanced_under_every_policy() {
+    let trace = spec_dump();
+    let policies: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+        ("naive", Box::new(NaiveStatic)),
+        ("eager", Box::new(EagerRestore)),
+        ("hotness", Box::new(HotnessWeighted::default())),
+    ];
+    for (name, policy) in policies {
+        let out = replay(&trace, policy, &ReplayConfig::tiny()).expect("replay succeeds");
+        let s = &out.report.stats;
+        assert!(s.balanced(), "{name}: {s:?}");
+        assert_eq!(s.accesses as usize, trace.len(), "{name}");
+        assert!(s.misses > 0, "{name}: a real dump misses somewhere");
+        assert!(s.hits > 0, "{name}: the hot stack region hits");
+        assert_eq!(
+            out.outputs.len(),
+            out.report.miss_jobs as usize,
+            "{name}: one served job per converted miss"
+        );
+    }
+}
+
+#[test]
+fn spec_dump_replay_is_bit_identical_across_shard_counts() {
+    let trace = spec_dump();
+    let base = replay(&trace, Box::new(NaiveStatic), &ReplayConfig::tiny()).unwrap();
+    for shards in [2usize, 4] {
+        let out = replay(
+            &trace,
+            Box::new(NaiveStatic),
+            &ReplayConfig::tiny().with_shards(shards),
+        )
+        .unwrap();
+        assert_eq!(
+            out.outputs, base.outputs,
+            "outputs diverged at {shards} shards"
+        );
+        assert_eq!(out.report.stats, base.report.stats);
+    }
+}

@@ -156,6 +156,14 @@ fn structural_hash(program: &PimProgram, replace: Option<DbcLocation>) -> u64 {
     h.finish()
 }
 
+/// The poison registry's program fingerprint: the same structural,
+/// placement-normalized hash the cache keys on, so one pathological
+/// program maps to one quarantine entry wherever it is placed.
+pub(crate) fn fingerprint(program: &PimProgram) -> u64 {
+    let home = single_location(program);
+    structural_hash(program, home.map(|_| CANON))
+}
+
 impl ProgramCache {
     pub fn new(options: &CacheOptions) -> ProgramCache {
         let shards = options.shards.max(1);
@@ -186,7 +194,7 @@ impl ProgramCache {
     /// hits nor misses for the caller — it does so itself.
     pub fn get(&self, program: &PimProgram) -> Option<CachedCompile> {
         let (home, key) = self.key_of(program);
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = crate::sync::lock(self.shard_of(key));
         shard.stamp += 1;
         let stamp = shard.stamp;
         let hit = match shard.map.get_mut(&key) {
@@ -244,7 +252,7 @@ impl ProgramCache {
             }
             _ => (program.clone(), Arc::clone(optimized)),
         };
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = crate::sync::lock(self.shard_of(key));
         shard.stamp += 1;
         let stamp = shard.stamp;
         shard.map.insert(

@@ -136,6 +136,41 @@ pub enum Event {
         /// Wires whose position code repaired a misalignment.
         repaired: u64,
     },
+    /// A worker shard went down (panic caught or in-flight attempt
+    /// declared hung); its queued work is re-dispatched.
+    ShardDown {
+        /// Worker shard index.
+        shard: usize,
+        /// `true` when the watchdog took the shard down, `false` for a
+        /// caught panic.
+        hung: bool,
+    },
+    /// A replacement worker took over a down shard.
+    ShardRestart {
+        /// Worker shard index.
+        shard: usize,
+        /// Restarts of this shard so far (1 = first restart).
+        restarts: u32,
+    },
+    /// An in-flight attempt exceeded its watchdog budget.
+    AttemptHung {
+        /// Job id.
+        job: u64,
+        /// Bank the attempt was running on.
+        bank: usize,
+        /// Dispatch attempt (0 = first placement).
+        attempt: u32,
+        /// The budget that was exceeded, in microseconds.
+        budget_us: u64,
+    },
+    /// A program fingerprint crossed the poison-quarantine threshold;
+    /// further submissions of it are refused at admission.
+    PoisonQuarantine {
+        /// Structural, placement-normalized program hash.
+        fingerprint: u64,
+        /// Hung attempts attributed to the fingerprint.
+        strikes: u32,
+    },
 }
 
 /// A thread-safe JSONL sink.
@@ -160,13 +195,13 @@ impl EventTrace {
     /// trace is diagnostics, not a correctness surface.
     pub fn record(&self, event: &Event) {
         let line = serde::json::to_string(event);
-        let mut out = self.out.lock().unwrap();
+        let mut out = crate::sync::lock(&self.out);
         let _ = writeln!(out, "{line}");
     }
 
     /// Flushes buffered events to disk.
     pub fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = crate::sync::lock(&self.out).flush();
     }
 }
 

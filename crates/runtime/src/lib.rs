@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod deps;
 pub mod events;
 pub mod health;
@@ -54,8 +55,11 @@ pub mod notify;
 pub mod queue;
 pub mod sched;
 pub mod stats;
+pub mod supervise;
+pub mod sync;
 
 pub use cache::{CacheOptions, CacheStats};
+pub use chaos::{install_quiet_hook, ChaosAction, ChaosPanic, ChaosPlan, CrossingPoint};
 pub use coruscant_compiler::CompileOptions;
 pub use deps::{Binder, DepOutputs};
 pub use health::{BankState, HealthPolicy, HealthTracker, ProtectionPolicy};
@@ -64,6 +68,9 @@ pub use notify::JobNotice;
 pub use queue::{JobQueue, Pop, PushError};
 pub use sched::{BankScheduler, BatchGrouping, DispatchMode, IssuedBatch};
 pub use stats::{BankOccupancy, BatchStats, FaultStats, Histogram, PipelineStats, RuntimeStats};
+pub use supervise::{
+    PoisonEntry, PoisonRegistry, PoisonReport, SuperviseOptions, SupervisionStats, WatchdogOptions,
+};
 
 use cache::{BatchCache, ProgramCache};
 use coruscant_compiler::{splice_programs, CompileError, Compiler};
@@ -85,7 +92,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use supervise::{Down, DownCause, Supervisor};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]
@@ -102,6 +110,13 @@ pub enum RuntimeError {
     Config(String),
     /// A worker or scheduler thread disappeared (panicked) mid-run.
     WorkerLost,
+    /// The program's fingerprint is quarantined by the poison registry:
+    /// earlier submissions of the same (placement-normalized) program
+    /// kept hanging their workers, so admission refuses it.
+    Poisoned {
+        /// The quarantined structural program fingerprint.
+        fingerprint: u64,
+    },
     /// The event-trace file could not be created.
     Trace(std::io::Error),
 }
@@ -114,6 +129,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::QueueClosed => write!(f, "job queue closed"),
             RuntimeError::Config(msg) => write!(f, "invalid runtime configuration: {msg}"),
             RuntimeError::WorkerLost => write!(f, "worker thread lost"),
+            RuntimeError::Poisoned { fingerprint } => write!(
+                f,
+                "program fingerprint {fingerprint:#018x} is quarantined (kept hanging workers)"
+            ),
             RuntimeError::Trace(e) => write!(f, "event trace: {e}"),
         }
     }
@@ -250,6 +269,18 @@ pub struct RuntimeOptions {
     /// before draining). Lets tests and staged deployments line up a
     /// backlog — and cancel parts of it — deterministically.
     pub start_paused: bool,
+    /// Shard restart policy: backoff bounds, per-job crash-retry budget,
+    /// and the hard drain deadline [`Runtime::finish`] honors.
+    pub supervise: SuperviseOptions,
+    /// Execution watchdog: per-attempt wall-clock budgets, hung-attempt
+    /// classification, and the poison-job quarantine. Enabling it routes
+    /// scheduling through the resilient (ack-polling) loop.
+    pub watchdog: WatchdogOptions,
+    /// Seeded software-fault injection (worker panics, stalls, delays at
+    /// named crossing points). An active plan routes scheduling through
+    /// the resilient loop; `None` (or a quiet plan) leaves the
+    /// deterministic path untouched.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for RuntimeOptions {
@@ -267,6 +298,9 @@ impl Default for RuntimeOptions {
             batch: BatchOptions::default(),
             notify: None,
             start_paused: false,
+            supervise: SuperviseOptions::default(),
+            watchdog: WatchdogOptions::default(),
+            chaos: None,
         }
     }
 }
@@ -343,9 +377,42 @@ impl RuntimeOptions {
         self
     }
 
+    /// Options with a given shard restart policy, defaults elsewhere.
+    #[must_use]
+    pub fn with_supervise(mut self, supervise: SuperviseOptions) -> RuntimeOptions {
+        self.supervise = supervise;
+        self
+    }
+
+    /// Options with a given watchdog policy, defaults elsewhere.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogOptions) -> RuntimeOptions {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Options with a seeded chaos plan, defaults elsewhere.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> RuntimeOptions {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Whether these options activate the fault-aware scheduler.
     pub fn fault_aware(&self) -> bool {
         self.faults.is_some() || self.protection.is_active()
+    }
+
+    /// The active chaos plan, if one is configured and nonzero.
+    fn active_chaos(&self) -> Option<ChaosPlan> {
+        self.chaos.filter(ChaosPlan::is_active)
+    }
+
+    /// Whether these options route scheduling through the resilient
+    /// (ack-polling) loop: device-fault awareness, an active chaos plan,
+    /// or the watchdog all require interleaved ack processing.
+    fn resilient(&self) -> bool {
+        self.fault_aware() || self.active_chaos().is_some() || self.watchdog.enabled
     }
 }
 
@@ -359,7 +426,11 @@ struct SlotMeta {
     attempt: u32,
 }
 
-/// What the scheduler sends each worker.
+/// What the scheduler sends each worker. Cloneable so the plain
+/// scheduler can keep a copy of every outstanding dispatch and re-send
+/// it verbatim to a restarted shard (programs are shared by `Arc`, so a
+/// clone is cheap).
+#[derive(Clone)]
 enum WorkMsg {
     /// Execute one dispatch: a single job's program, or a batched splice
     /// of several same-unit jobs. `slots` demuxes the outputs per job.
@@ -394,6 +465,12 @@ struct DoneMsg {
 /// both loops use the per-member outputs to resolve dependency gates
 /// and feed deferred binders.
 enum AckMsg {
+    /// Heartbeat: the worker dequeued dispatch `seq` and is about to
+    /// execute it. Sent only when the watchdog is enabled; it stamps the
+    /// attempt's wall-clock start for budget accounting.
+    Started {
+        seq: u64,
+    },
     Job {
         seq: u64,
         bank: usize,
@@ -407,6 +484,16 @@ enum AckMsg {
     Scrub {
         bank: usize,
         outcome: ScrubOutcome,
+    },
+    /// Terminal: the worker caught a panic and is exiting. `generation`
+    /// guards against late reports from already-replaced incarnations;
+    /// `panicked_seq` is the dispatch that was executing when the panic
+    /// hit (its attempt died; queued dispatches are re-sent from the
+    /// scheduler's own outstanding records, never from the worker).
+    ShardDown {
+        shard: usize,
+        generation: u64,
+        panicked_seq: Option<u64>,
     },
 }
 
@@ -531,6 +618,14 @@ struct SchedulerOutput {
     cascaded: u64,
     pins: u64,
     remats: u64,
+    /// Scheduler-side supervision counters (the supervisor itself keeps
+    /// the panic/restart/retire counts; `finish` merges both).
+    supervision: SupervisionStats,
+    /// Issue sequence numbers that will never produce a completion: the
+    /// dispatch died with its shard (and was re-issued under a new seq,
+    /// abandoned, or declared hung). `finish` excludes them from the
+    /// expected completion count and discards late results under them.
+    lost: Vec<u64>,
 }
 
 impl SchedulerOutput {
@@ -543,6 +638,8 @@ impl SchedulerOutput {
         splice: (u64, u64),
         cancelled: u64,
         pipeline: (u64, u64, u64, u64),
+        supervision: SupervisionStats,
+        lost: Vec<u64>,
     ) -> SchedulerOutput {
         SchedulerOutput {
             depth_hist,
@@ -563,6 +660,8 @@ impl SchedulerOutput {
             cascaded: pipeline.2,
             pins: pipeline.3,
             remats: 0,
+            supervision,
+            lost,
         }
     }
 }
@@ -585,15 +684,15 @@ impl Gate {
 
     /// Blocks until the gate is open.
     fn wait_open(&self) {
-        let mut paused = self.paused.lock().unwrap();
+        let mut paused = sync::lock(&self.paused);
         while *paused {
-            paused = self.cv.wait(paused).unwrap();
+            paused = sync::wait(&self.cv, paused);
         }
     }
 
     /// Opens the gate (idempotent).
     fn open(&self) {
-        *self.paused.lock().unwrap() = false;
+        *sync::lock(&self.paused) = false;
         self.cv.notify_all();
     }
 }
@@ -631,13 +730,13 @@ impl Canceller {
     /// that keeps the per-job check off the hot path in the common
     /// (no-cancellation) case.
     fn armed(&self) -> bool {
-        !self.set.lock().unwrap().is_empty()
+        !sync::lock(&self.set).is_empty()
     }
 
     /// If `job_id` was cancelled, record the drop (notice + trace +
     /// counter) and return `true`.
     fn drop_if_cancelled(&mut self, job_id: u64) -> bool {
-        if !self.set.lock().unwrap().contains(&job_id) {
+        if !sync::lock(&self.set).contains(&job_id) {
             return false;
         }
         self.cancelled += 1;
@@ -705,13 +804,15 @@ pub struct Runtime {
     next_id: Arc<AtomicU64>,
     next_res: AtomicU64,
     scheduler: Option<JoinHandle<SchedulerOutput>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Arc<Supervisor<WorkMsg>>,
     // Behind a mutex only so `Runtime` stays `Sync` (an `mpsc::Receiver`
     // is not); `finish` takes it by value.
     done_rx: Mutex<mpsc::Receiver<DoneMsg>>,
     trace: Option<Arc<EventTrace>>,
     shards: usize,
     protection: ProtectionPolicy,
+    supervise: SuperviseOptions,
+    poison: Option<Arc<PoisonRegistry>>,
     compiler: Compiler,
     cache: Option<ProgramCache>,
     cancels: CancelSet,
@@ -743,6 +844,15 @@ impl Runtime {
         if fault_aware {
             options.health.check().map_err(RuntimeError::Config)?;
         }
+        let resilient = options.resilient();
+        let chaos = options.active_chaos();
+        if chaos.is_some() {
+            chaos::install_quiet_hook();
+        }
+        let poison = options
+            .watchdog
+            .enabled
+            .then(|| Arc::new(PoisonRegistry::new(options.watchdog.poison_strikes)));
         let shards = options.shards.clamp(1, config.banks);
         let queue = Arc::new(JobQueue::new(options.queue_capacity));
         let trace = match &options.trace_path {
@@ -757,36 +867,48 @@ impl Runtime {
 
         let (done_tx, done_rx) = mpsc::channel::<DoneMsg>();
         let (ack_tx, ack_rx) = mpsc::channel::<AckMsg>();
-        let mut work_txs = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = mpsc::channel::<WorkMsg>();
-            work_txs.push(tx);
-            let done = done_tx.clone();
-            // Acks are always on: the fault-aware loop needs them for
-            // health accounting, and both loops need the per-member
-            // outputs to resolve dependency gates.
-            let ack = Some(ack_tx.clone());
+        // Workers are spawned (and re-spawned after a panic) through this
+        // factory; the supervisor owns it, so dropping the supervisor's
+        // state at `finish` also closes the done/ack channels.
+        let factory: supervise::Factory<WorkMsg> = {
             let cfg = config.clone();
             let faults = options.faults.clone();
             let protection = options.protection;
             let notify = options.notify.clone();
             let max_redispatch = options.health.max_redispatch;
-            workers.push(std::thread::spawn(move || {
-                worker_loop(
-                    &cfg,
-                    faults,
-                    protection,
-                    &rx,
-                    &done,
-                    ack.as_ref(),
-                    notify.as_ref(),
-                    max_redispatch,
-                );
-            }));
-        }
-        drop(done_tx);
-        drop(ack_tx);
+            let heartbeat = options.watchdog.enabled;
+            Box::new(move |shard, generation| {
+                let (tx, rx) = mpsc::channel::<WorkMsg>();
+                let done = done_tx.clone();
+                // Acks are always on: the fault-aware loop needs them for
+                // health accounting, and both loops need the per-member
+                // outputs to resolve dependency gates.
+                let ack = ack_tx.clone();
+                let cfg = cfg.clone();
+                let faults = faults.clone();
+                let notify = notify.clone();
+                let handle = std::thread::spawn(move || {
+                    worker_loop(
+                        &cfg,
+                        faults,
+                        protection,
+                        &rx,
+                        &done,
+                        Some(&ack),
+                        notify.as_ref(),
+                        max_redispatch,
+                        WorkerCtx {
+                            shard,
+                            generation,
+                            chaos,
+                            heartbeat,
+                        },
+                    );
+                });
+                (tx, handle)
+            })
+        };
+        let supervisor = Arc::new(Supervisor::new(shards, options.supervise, factory));
 
         let next_id = Arc::new(AtomicU64::new(0));
         let scheduler = {
@@ -798,21 +920,49 @@ impl Runtime {
             let policy = options.health;
             let batch = options.batch;
             let compile = options.compile;
+            let supervise_opts = options.supervise;
+            let watchdog = options.watchdog;
             let canceller =
                 Canceller::new(Arc::clone(&cancels), options.notify.clone(), trace.clone());
             let gate = Arc::clone(&gate);
             let next_id = Arc::clone(&next_id);
+            let supervisor = Arc::clone(&supervisor);
+            let poison = poison.clone();
             std::thread::spawn(move || {
                 gate.wait_open();
-                if fault_aware {
+                if resilient {
                     fault_scheduler_loop(
-                        &cfg, &queue, &work_txs, &ack_rx, dispatch, protection, policy, trace,
-                        batch, compile, canceller, &next_id,
+                        &cfg,
+                        &queue,
+                        &supervisor,
+                        shards,
+                        &ack_rx,
+                        dispatch,
+                        protection,
+                        policy,
+                        trace,
+                        batch,
+                        compile,
+                        canceller,
+                        &next_id,
+                        supervise_opts,
+                        watchdog,
+                        chaos,
+                        poison,
                     )
                 } else {
                     scheduler_loop(
-                        &cfg, &queue, &work_txs, &ack_rx, dispatch, trace, batch, compile,
+                        &cfg,
+                        &queue,
+                        &supervisor,
+                        shards,
+                        &ack_rx,
+                        dispatch,
+                        trace,
+                        batch,
+                        compile,
                         canceller,
+                        supervise_opts,
                     )
                 }
             })
@@ -829,11 +979,13 @@ impl Runtime {
             next_id,
             next_res: AtomicU64::new(0),
             scheduler: Some(scheduler),
-            workers,
+            supervisor,
             done_rx: Mutex::new(done_rx),
             trace,
             shards,
             protection: options.protection,
+            supervise: options.supervise,
+            poison,
             compiler,
             cache,
             cancels,
@@ -910,7 +1062,28 @@ impl Runtime {
     /// usual. Cancelled jobs produce no [`JobOutcome`] and count in
     /// [`RuntimeStats::cancelled`].
     pub fn cancel(&self, job_id: u64) {
-        self.cancels.lock().unwrap().insert(job_id);
+        sync::lock(&self.cancels).insert(job_id);
+    }
+
+    /// Serializable snapshot of the poison-job quarantine (empty when the
+    /// watchdog is disabled — the registry only exists under one).
+    pub fn poison_report(&self) -> PoisonReport {
+        self.poison.as_ref().map(|p| p.report()).unwrap_or_default()
+    }
+
+    /// Refuses a program whose fingerprint the poison registry has
+    /// quarantined. Checked after compilation so the fingerprint matches
+    /// what the watchdog strikes (the dispatched, optimized program;
+    /// structural hashing is placement-normalized, so retargeting does
+    /// not change it).
+    fn check_poison(&self, program: &PimProgram) -> Result<(), u64> {
+        if let Some(poison) = &self.poison {
+            let fingerprint = cache::fingerprint(program);
+            if poison.is_quarantined(fingerprint) {
+                return Err(fingerprint);
+            }
+        }
+        Ok(())
     }
 
     /// Submits a job, blocking while the queue is full (backpressure).
@@ -918,9 +1091,13 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::QueueClosed`] after [`Runtime::finish`].
+    /// Returns [`RuntimeError::QueueClosed`] after [`Runtime::finish`],
+    /// or [`RuntimeError::Poisoned`] for a program the watchdog's poison
+    /// registry has quarantined.
     pub fn submit(&self, program: PimProgram, placement: Placement) -> Result<u64, RuntimeError> {
         let (program, cache_hit) = self.compile(&program).map_err(RuntimeError::Compile)?;
+        self.check_poison(&program)
+            .map_err(|fingerprint| RuntimeError::Poisoned { fingerprint })?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         if let Some(trace) = &self.trace {
             trace.record(&Event::Submit { job: id });
@@ -946,7 +1123,8 @@ impl Runtime {
     /// # Errors
     ///
     /// [`PushError::Full`] when the queue is at capacity (shed load or
-    /// retry), [`PushError::Closed`] after [`Runtime::finish`].
+    /// retry), [`PushError::Closed`] after [`Runtime::finish`], or
+    /// [`PushError::Poisoned`] for a quarantined program.
     pub fn try_submit(&self, program: PimProgram, placement: Placement) -> Result<u64, PushError> {
         // On compile failure the original program is submitted verbatim;
         // no defensive clone is needed because the compiler borrows it.
@@ -954,6 +1132,9 @@ impl Runtime {
             Ok(compiled) => compiled,
             Err(_) => (Arc::new(program), false),
         };
+        if let Err(fingerprint) = self.check_poison(&program) {
+            return Err(PushError::Poisoned { fingerprint });
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.queue.try_push(Submission::Job(PimJob {
             id,
@@ -1140,10 +1321,18 @@ impl Runtime {
     /// Closes the queue, drains all pending work, joins the scheduler and
     /// workers, replays the timing accounting, and returns the report.
     ///
+    /// Worker panics do **not** fail the session: the supervisor caught
+    /// them live, their jobs were re-dispatched or abandoned, and the
+    /// report is built from every completion the scheduler accounted for
+    /// ([`SupervisionStats`] records what was lost along the way). A
+    /// permanently stalled worker cannot wedge this call either — the
+    /// collection is bounded by [`SuperviseOptions::drain_deadline_ms`].
+    ///
     /// # Errors
     ///
     /// Returns the first job error in issue order, or
-    /// [`RuntimeError::WorkerLost`] if a worker panicked.
+    /// [`RuntimeError::WorkerLost`] if the scheduler thread itself
+    /// panicked.
     pub fn finish(mut self) -> Result<RuntimeReport, RuntimeError> {
         self.queue.close();
         // A paused runtime drains on finish: open the gate so the
@@ -1156,17 +1345,46 @@ impl Runtime {
             .join()
             .map_err(|_| RuntimeError::WorkerLost)?;
 
-        // Workers exit once the scheduler drops their channels; the
-        // completion stream ends when the last worker hangs up.
-        let done_rx = self.done_rx.lock().map_err(|_| RuntimeError::WorkerLost)?;
-        let mut completions: Vec<DoneMsg> = done_rx.iter().collect();
+        // Stop supervision: drop the factory and every live sender so
+        // workers drain their channels and exit. Dispatches still
+        // buffered for down shards are already in `sched_out.lost`.
+        drop(self.supervisor.close());
+        let lost: HashSet<u64> = sched_out.lost.iter().copied().collect();
+        let done_rx = sync::lock(&self.done_rx);
+        let stalled = self.supervisor.stalled_workers();
+        let mut completions: Vec<DoneMsg> = if stalled == 0 && lost.is_empty() {
+            // Every worker has exited (or exits as its channel drains):
+            // the completion stream ends when the last sender drops.
+            done_rx.iter().collect()
+        } else {
+            // A stalled or abandoned-but-undetached worker still holds a
+            // `done` sender, so the stream never disconnects. Collect
+            // exactly the completions the scheduler accounted for,
+            // bounded by the drain deadline. The lost filter drops late
+            // results of replaced or given-up workers.
+            let expected = (sched_out.issued as usize).saturating_sub(lost.len());
+            let deadline = Instant::now() + self.supervise.drain_deadline();
+            let mut collected = Vec::with_capacity(expected);
+            while collected.len() < expected {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match done_rx.recv_timeout(deadline - now) {
+                    Ok(c) => {
+                        if !lost.contains(&c.seq) {
+                            collected.push(c);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            collected
+        };
         drop(done_rx);
-        for w in self.workers.drain(..) {
-            w.join().map_err(|_| RuntimeError::WorkerLost)?;
-        }
-        if completions.len() as u64 != sched_out.issued {
-            return Err(RuntimeError::WorkerLost);
-        }
+        let workers_lost = self
+            .supervisor
+            .join_all(Instant::now() + self.supervise.drain_deadline());
         completions.sort_by_key(|c| c.seq);
 
         // Timing accounting: replay every instruction's measured device
@@ -1293,6 +1511,14 @@ impl Runtime {
 
         let jobs = outcomes.len() as u64;
         let modeled_us = makespan as f64 * self.config.memory_cycle_ns / 1000.0;
+        let (panics_caught, shard_restarts, shards_retired) = self.supervisor.counters();
+        let supervision = SupervisionStats {
+            panics_caught,
+            shard_restarts,
+            shards_retired,
+            workers_lost,
+            ..sched_out.supervision
+        };
         let stats = RuntimeStats {
             jobs,
             cancelled: sched_out.cancelled,
@@ -1332,6 +1558,7 @@ impl Runtime {
                 residents: sched_out.pins,
                 rematerializations: sched_out.remats,
             },
+            supervision,
         };
         if let Some(trace) = &self.trace {
             trace.flush();
@@ -1403,22 +1630,143 @@ fn batch_program_cached(
     batch_program(jobs, compiler)
 }
 
+/// The plain scheduler's minimal supervision state: outstanding
+/// dispatches (kept cloneable for verbatim re-send to a restarted
+/// shard), per-seq crash retries, and lost-seq accounting.
+#[derive(Default)]
+struct PlainRecovery {
+    /// `seq` → (shard, dispatch copy, member job ids).
+    outstanding: HashMap<u64, (usize, WorkMsg, Vec<u64>)>,
+    /// Crash retries per outstanding seq.
+    crash_retries: HashMap<u64, u32>,
+    /// Seqs that will never complete (abandoned dispatches).
+    lost: Vec<u64>,
+    /// Scheduler-side supervision counters.
+    sup: SupervisionStats,
+}
+
+/// Processes one worker acknowledgement in the plain scheduler:
+/// completions resolve dependency gates; a shard-down report re-sends
+/// the shard's outstanding dispatches verbatim (the supervisor buffers
+/// them until the replacement worker is up), abandoning the crashed
+/// attempt once its retry budget is spent.
+#[allow(clippy::too_many_arguments)]
+fn plain_handle_ack(
+    ack: AckMsg,
+    rec: &mut PlainRecovery,
+    supervisor: &Supervisor<WorkMsg>,
+    opts: &SuperviseOptions,
+    trace: &Option<Arc<EventTrace>>,
+    canceller: &mut Canceller,
+    deps: &mut DepTracker,
+    ready: &mut std::collections::VecDeque<PimJob>,
+) {
+    let abandon = |rec: &mut PlainRecovery,
+                   canceller: &mut Canceller,
+                   deps: &mut DepTracker,
+                   ready: &mut std::collections::VecDeque<PimJob>,
+                   seq: u64| {
+        let Some((_, _, ids)) = rec.outstanding.remove(&seq) else {
+            return;
+        };
+        rec.crash_retries.remove(&seq);
+        rec.lost.push(seq);
+        for id in ids {
+            rec.sup.abandoned_jobs += 1;
+            if let Some(tx) = &canceller.notify {
+                let _ = tx.send(JobNotice::Abandoned {
+                    job_id: id,
+                    hung: false,
+                });
+            }
+            let rel = deps.on_final(id, true, Vec::new());
+            for fid in rel.failed {
+                canceller.drop_cascaded(fid);
+            }
+            ready.extend(rel.ready);
+        }
+    };
+    match ack {
+        AckMsg::Started { .. } | AckMsg::Scrub { .. } => {}
+        AckMsg::Job {
+            seq,
+            errored,
+            members,
+            ..
+        } => {
+            if rec.outstanding.remove(&seq).is_none() {
+                rec.sup.stale_acks += 1;
+                return;
+            }
+            rec.crash_retries.remove(&seq);
+            for (id, outputs) in members {
+                let rel = deps.on_final(id, errored, outputs);
+                for fid in rel.failed {
+                    canceller.drop_cascaded(fid);
+                }
+                ready.extend(rel.ready);
+            }
+        }
+        AckMsg::ShardDown {
+            shard,
+            generation,
+            panicked_seq,
+        } => {
+            let down = supervisor.mark_down(shard, generation, DownCause::Panic);
+            if matches!(down, Down::Stale) {
+                return;
+            }
+            let retired = matches!(down, Down::Retired(_));
+            if let Some(trace) = trace {
+                trace.record(&Event::ShardDown { shard, hung: false });
+            }
+            let mut seqs: Vec<u64> = rec
+                .outstanding
+                .iter()
+                .filter(|(_, (s, _, _))| *s == shard)
+                .map(|(&seq, _)| seq)
+                .collect();
+            seqs.sort_unstable();
+            for seq in seqs {
+                if retired {
+                    // No replacement is coming; everything the shard
+                    // still owed is lost.
+                    abandon(rec, canceller, deps, ready, seq);
+                    continue;
+                }
+                if Some(seq) == panicked_seq {
+                    let retries = rec.crash_retries.entry(seq).or_insert(0);
+                    if *retries >= opts.max_job_retries {
+                        abandon(rec, canceller, deps, ready, seq);
+                        continue;
+                    }
+                    *retries += 1;
+                }
+                let (_, msg, ids) = &rec.outstanding[&seq];
+                rec.sup.crash_redispatches += ids.len() as u64;
+                supervisor.send(shard, msg.clone());
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn scheduler_loop(
     config: &MemoryConfig,
     queue: &JobQueue<Submission>,
-    work_txs: &[mpsc::Sender<WorkMsg>],
+    supervisor: &Supervisor<WorkMsg>,
+    shards: usize,
     ack_rx: &mpsc::Receiver<AckMsg>,
     dispatch: DispatchMode,
     trace: Option<Arc<EventTrace>>,
     batch_opts: BatchOptions,
     compile: CompileOptions,
     mut canceller: Canceller,
+    supervise_opts: SuperviseOptions,
 ) -> SchedulerOutput {
     // A controller used only for PIM-unit geometry (bank-major indexing).
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
-    let shards = work_txs.len();
     // The scheduler's own compiler optimizes *across* spliced program
     // boundaries; per-job optimization already happened at submit.
     let compiler = Compiler::new(config.clone(), &compile);
@@ -1435,36 +1783,36 @@ fn scheduler_loop(
     let mut dropped = 0u64;
     let mut deps = DepTracker::new();
     let mut residents: HashMap<u64, (DbcLocation, Arc<PimProgram>)> = HashMap::new();
-    // Dispatches sent whose ack has not been processed yet.
-    let mut inflight = 0u64;
+    // Dispatches sent whose ack has not been processed yet, kept
+    // verbatim so a crashed shard's queue can be re-sent.
+    let mut rec = PlainRecovery::default();
+    // Armed once supervision has something to drain against a deadline.
+    let mut drain_deadline: Option<Instant> = None;
     let mut closed = false;
     let mut drained: Vec<Submission> = Vec::new();
     // Jobs cleared for placement (admitted or released by a retirement).
     let mut ready: std::collections::VecDeque<PimJob> = std::collections::VecDeque::new();
 
     loop {
-        // 1. Pull newly submitted work. With no dependency gates waiting
-        //    the classic blocking pop applies — identical issue order and
-        //    latency to the pre-pipeline scheduler — otherwise poll so
-        //    worker acks keep resolving gates.
+        // 1. Pull newly submitted work. The pop is bounded (never an
+        //    unbounded block) so shard-down acks are always noticed;
+        //    with no dependency gates waiting a long 50ms wait keeps the
+        //    classic low-spin behavior — acks carry no placement
+        //    decisions then, so issue order is unchanged — while gates
+        //    waiting demand the tight 1ms poll.
         if !closed {
-            if deps.is_empty() {
-                match queue.pop() {
-                    Some(first) => {
-                        drained.push(first);
-                        queue.drain_ready(&mut drained);
-                    }
-                    None => closed = true,
-                }
+            let wait = if deps.is_empty() {
+                Duration::from_millis(50)
             } else {
-                match queue.pop_timeout(Duration::from_millis(1)) {
-                    Pop::Item(first) => {
-                        drained.push(first);
-                        queue.drain_ready(&mut drained);
-                    }
-                    Pop::Timeout => {}
-                    Pop::Closed => closed = true,
+                Duration::from_millis(1)
+            };
+            match queue.pop_timeout(wait) {
+                Pop::Item(first) => {
+                    drained.push(first);
+                    queue.drain_ready(&mut drained);
                 }
+                Pop::Timeout => {}
+                Pop::Closed => closed = true,
             }
         }
 
@@ -1497,20 +1845,29 @@ fn scheduler_loop(
             }
         }
 
-        // 3. Drain worker acks. The plain loop never re-dispatches, so
-        //    every ack is a final attempt and resolves gates.
+        // 3. Drain worker acks. The plain loop never re-dispatches for
+        //    verification, so every job ack is a final attempt and
+        //    resolves gates; shard-down acks trigger minimal recovery.
         while let Ok(ack) = ack_rx.try_recv() {
-            if let AckMsg::Job {
-                errored, members, ..
-            } = ack
-            {
-                inflight -= 1;
-                for (id, outputs) in members {
-                    let rel = deps.on_final(id, errored, outputs);
-                    for fid in rel.failed {
-                        canceller.drop_cascaded(fid);
-                    }
-                    ready.extend(rel.ready);
+            plain_handle_ack(
+                ack,
+                &mut rec,
+                supervisor,
+                &supervise_opts,
+                &trace,
+                &mut canceller,
+                &mut deps,
+                &mut ready,
+            );
+        }
+        // Bring replacement workers up (cheap: gated on a caught panic).
+        if supervisor.counters().0 > 0 {
+            for ev in supervisor.poll_restarts() {
+                if let Some(trace) = &trace {
+                    trace.record(&Event::ShardRestart {
+                        shard: ev.shard,
+                        restarts: ev.restarts,
+                    });
                 }
             }
         }
@@ -1626,15 +1983,18 @@ fn scheduler_loop(
                     }
                 }
                 issued += 1;
-                inflight += 1;
-                // A send only fails if the worker panicked; the missing
-                // completion is detected in finish().
-                let _ = work_txs[shard].send(WorkMsg::Job {
+                let members: Vec<u64> = slots.iter().map(|s| s.job_id).collect();
+                let msg = WorkMsg::Job {
                     seq: issue.seq,
                     unit,
                     program,
                     slots,
-                });
+                };
+                rec.outstanding
+                    .insert(issue.seq, (shard, msg.clone(), members));
+                // A send to a down shard buffers inside the supervisor
+                // until the replacement worker is up.
+                supervisor.send(shard, msg);
             }
 
             if ready.is_empty() {
@@ -1643,26 +2003,68 @@ fn scheduler_loop(
         }
 
         // 6. Termination: drain acks to the last gate, then fail any
-        //    unsatisfiable tail.
+        //    unsatisfiable tail. With supervision clean (no panic ever
+        //    caught) the wait is the pre-PR blocking recv — a shard-down
+        //    ack itself is what would wake it; once supervision is dirty
+        //    the drain is bounded by the configured deadline so a lost
+        //    shard can never wedge the session.
         if closed && ready.is_empty() {
-            if inflight > 0 {
-                match ack_rx.recv() {
-                    Ok(ack) => {
-                        if let AckMsg::Job {
-                            errored, members, ..
-                        } = ack
-                        {
-                            inflight -= 1;
-                            for (id, outputs) in members {
-                                let rel = deps.on_final(id, errored, outputs);
-                                for fid in rel.failed {
-                                    canceller.drop_cascaded(fid);
-                                }
-                                ready.extend(rel.ready);
+            if !rec.outstanding.is_empty() {
+                if supervisor.counters().0 == 0 {
+                    match ack_rx.recv() {
+                        Ok(ack) => plain_handle_ack(
+                            ack,
+                            &mut rec,
+                            supervisor,
+                            &supervise_opts,
+                            &trace,
+                            &mut canceller,
+                            &mut deps,
+                            &mut ready,
+                        ),
+                        Err(_) => break,
+                    }
+                    continue;
+                }
+                let deadline = *drain_deadline
+                    .get_or_insert_with(|| Instant::now() + supervise_opts.drain_deadline());
+                if Instant::now() >= deadline {
+                    // Deadline hit: whatever is still outstanding will
+                    // never complete. Abandon it so finish() returns.
+                    let seqs: Vec<u64> = rec.outstanding.keys().copied().collect();
+                    for seq in seqs {
+                        let (_, _, ids) = rec.outstanding.remove(&seq).unwrap();
+                        rec.lost.push(seq);
+                        for id in ids {
+                            rec.sup.abandoned_jobs += 1;
+                            if let Some(tx) = &canceller.notify {
+                                let _ = tx.send(JobNotice::Abandoned {
+                                    job_id: id,
+                                    hung: false,
+                                });
                             }
+                            let rel = deps.on_final(id, true, Vec::new());
+                            for fid in rel.failed {
+                                canceller.drop_cascaded(fid);
+                            }
+                            ready.extend(rel.ready);
                         }
                     }
-                    Err(_) => break,
+                    continue;
+                }
+                match ack_rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(ack) => plain_handle_ack(
+                        ack,
+                        &mut rec,
+                        supervisor,
+                        &supervise_opts,
+                        &trace,
+                        &mut canceller,
+                        &mut deps,
+                        &mut ready,
+                    ),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 }
                 continue;
             }
@@ -1692,6 +2094,8 @@ fn scheduler_loop(
             deps.cascade_cancelled + dropped,
             pins,
         ),
+        rec.sup,
+        rec.lost,
     )
 }
 
@@ -1701,6 +2105,16 @@ fn scheduler_loop(
 /// batch re-dispatches each member separately.
 struct InflightRec {
     jobs: Vec<PimJob>,
+    /// Worker shard the dispatch went to.
+    shard: usize,
+    /// Bank the dispatch targets (for in-flight cap accounting).
+    bank: usize,
+    /// When the worker's `Started` heartbeat arrived (watchdog anchor);
+    /// `None` until then — a dispatch still queued behind other work
+    /// cannot be hung.
+    started: Option<Instant>,
+    /// Watchdog wall-clock budget for this dispatch.
+    budget: Duration,
 }
 
 /// The fault-aware scheduler's mutable state, factored out so ack
@@ -1718,19 +2132,32 @@ struct FaultSched<'a> {
     splice_cache: Option<BatchCache>,
     canceller: Canceller,
     trace: Option<Arc<EventTrace>>,
-    work_txs: &'a [mpsc::Sender<WorkMsg>],
+    supervisor: &'a Supervisor<WorkMsg>,
+    supervise: SuperviseOptions,
+    watchdog: WatchdogOptions,
+    chaos: Option<ChaosPlan>,
+    poison: Option<Arc<PoisonRegistry>>,
     sched: BankScheduler,
     health: HealthTracker,
     inflight: HashMap<u64, InflightRec>,
     inflight_per_bank: Vec<usize>,
     /// Re-dispatch count per job id (bounds recovery attempts).
     redispatched: HashMap<u64, u32>,
+    /// Crash/hang re-placement count per job id (bounds supervision
+    /// recovery, separately from verification re-dispatch).
+    crash_retries: HashMap<u64, u32>,
+    /// Scheduler-side supervision counters.
+    sup: SupervisionStats,
+    /// Seqs that will never complete (crashed, hung, or abandoned).
+    lost: Vec<u64>,
     place_cursor: usize,
     issued: u64,
     batches: u64,
     batched_jobs: u64,
     redispatches: u64,
-    scrubs_outstanding: usize,
+    /// Scrub passes awaiting an ack, per shard (zeroed when the shard
+    /// goes down — its queued scrubs died with it).
+    scrubs_outstanding: Vec<usize>,
     scrubs: u64,
     scrub_total: ScrubOutcome,
     deps: DepTracker,
@@ -1747,14 +2174,20 @@ struct FaultSched<'a> {
 }
 
 impl FaultSched<'_> {
-    /// The next PIM unit in circular order, skipping quarantined banks
-    /// (and `avoid`, when alternatives exist). Falls back to plain
-    /// circular order if every unit is excluded.
+    /// The next PIM unit in circular order, skipping quarantined banks,
+    /// banks owned by a down worker shard, and `avoid` (when
+    /// alternatives exist). Falls back to plain circular order if every
+    /// unit is excluded.
     fn pick_unit(&mut self, avoid: Option<usize>) -> DbcLocation {
+        // One lock for the whole scan instead of one per candidate.
+        let shards_dirty = self.supervisor.any_down();
         for _ in 0..self.unit_count {
             let unit = self.units.pim_unit(self.place_cursor % self.unit_count);
             self.place_cursor += 1;
             if self.health.is_quarantined(unit.bank) {
+                continue;
+            }
+            if shards_dirty && self.supervisor.is_down(unit.bank % self.shards) {
                 continue;
             }
             if avoid == Some(unit.bank) && self.unit_count > 1 {
@@ -1842,8 +2275,23 @@ impl FaultSched<'_> {
         }
     }
 
-    /// Admits one submission from the queue.
+    /// Admits one submission from the queue (a chaos plan may inject a
+    /// deterministic, seed-keyed delay here).
     fn admit(&mut self, submission: Submission) {
+        if let Some(plan) = self.chaos {
+            let probe = match &submission {
+                Submission::Job(job) | Submission::Pin { job, .. } => Some(job.id),
+                Submission::Chain(_) => None,
+            };
+            if let Some(id) = probe {
+                if matches!(
+                    plan.decide(CrossingPoint::SchedulerAdmit, id, 0),
+                    ChaosAction::Delay
+                ) {
+                    std::thread::sleep(Duration::from_micros(plan.delay_us));
+                }
+            }
+        }
         match submission {
             Submission::Job(job) => {
                 if self.canceller.armed() && self.canceller.drop_if_cancelled(job.id) {
@@ -1912,16 +2360,27 @@ impl FaultSched<'_> {
         }
     }
 
-    /// Issues every queued dispatch whose bank is below the in-flight cap.
+    /// Issues every queued dispatch whose bank is below the in-flight cap
+    /// and whose worker shard is up (work for a down shard stays queued
+    /// until the replacement worker runs).
     fn issue_ready(&mut self) {
         let cap = self.policy.max_inflight_per_bank;
         let max_jobs = self.batch.cap();
         let grouping = self.batch.grouping;
+        // Snapshot of down shards, stable for the scan; a shard that
+        // goes down mid-scan is caught on the next pass.
+        let down: Vec<bool> = if self.supervisor.any_down() {
+            (0..self.shards)
+                .map(|s| self.supervisor.is_down(s))
+                .collect()
+        } else {
+            vec![false; self.shards]
+        };
         loop {
             let Some(mut issue) = self
                 .sched
                 .issue_next_batch_grouped(max_jobs, grouping, |bank| {
-                    self.inflight_per_bank[bank] < cap
+                    self.inflight_per_bank[bank] < cap && !down[bank % self.shards]
                 })
             else {
                 return;
@@ -1963,7 +2422,11 @@ impl FaultSched<'_> {
             .map(|j| SlotMeta {
                 job_id: j.id,
                 readouts: count_readouts(&j.program),
-                attempt: self.redispatched.get(&j.id).copied().unwrap_or(0),
+                // Verification re-dispatches and crash/hang re-placements
+                // share the attempt axis (each restart of the job is a
+                // distinct attempt).
+                attempt: self.redispatched.get(&j.id).copied().unwrap_or(0)
+                    + self.crash_retries.get(&j.id).copied().unwrap_or(0),
             })
             .collect();
         if let Some(trace) = &self.trace {
@@ -1978,13 +2441,26 @@ impl FaultSched<'_> {
         }
         self.issued += 1;
         self.inflight_per_bank[bank] += 1;
-        let _ = self.work_txs[shard].send(WorkMsg::Job {
+        let budget = self.watchdog.budget(program.steps.len() as u64);
+        self.supervisor.send(
+            shard,
+            WorkMsg::Job {
+                seq,
+                unit,
+                program,
+                slots,
+            },
+        );
+        self.inflight.insert(
             seq,
-            unit,
-            program,
-            slots,
-        });
-        self.inflight.insert(seq, InflightRec { jobs });
+            InflightRec {
+                jobs,
+                shard,
+                bank,
+                started: None,
+                budget,
+            },
+        );
     }
 
     /// Processes one worker acknowledgement: health accounting, state
@@ -1992,8 +2468,23 @@ impl FaultSched<'_> {
     /// unverified jobs.
     fn handle_ack(&mut self, ack: AckMsg) {
         match ack {
+            AckMsg::Started { seq } => {
+                if let Some(rec) = self.inflight.get_mut(&seq) {
+                    rec.started = Some(Instant::now());
+                }
+            }
+            AckMsg::ShardDown {
+                shard,
+                generation,
+                panicked_seq,
+            } => {
+                self.shard_down(shard, generation, DownCause::Panic, panicked_seq);
+            }
             AckMsg::Scrub { bank, outcome } => {
-                self.scrubs_outstanding -= 1;
+                let shard = bank % self.shards;
+                // Saturating: the counter was zeroed if the shard went
+                // down while this scrub was in flight.
+                self.scrubs_outstanding[shard] = self.scrubs_outstanding[shard].saturating_sub(1);
                 self.scrubs += 1;
                 self.scrub_total.merge(outcome);
                 if let Some(trace) = &self.trace {
@@ -2012,10 +2503,12 @@ impl FaultSched<'_> {
                 errored,
                 members,
             } => {
-                let rec = self
-                    .inflight
-                    .remove(&seq)
-                    .expect("every ack matches a dispatched attempt");
+                let Some(rec) = self.inflight.remove(&seq) else {
+                    // A detached (hung, since replaced) worker finally
+                    // reported; its attempt was already re-routed.
+                    self.sup.stale_acks += 1;
+                    return;
+                };
                 self.inflight_per_bank[bank] -= 1;
                 let faulty = faults > 0;
                 if faulty {
@@ -2037,8 +2530,13 @@ impl FaultSched<'_> {
                             trace.record(&Event::BankSuspect { bank, score });
                         }
                         if self.policy.scrub_on_suspect {
-                            self.scrubs_outstanding += 1;
-                            let _ = self.work_txs[bank % self.shards].send(WorkMsg::Scrub { bank });
+                            let shard = bank % self.shards;
+                            // A down shard gets no scrub: the suspicion
+                            // will recur if the bank still misbehaves.
+                            if !self.supervisor.is_down(shard) {
+                                self.scrubs_outstanding[shard] += 1;
+                                self.supervisor.send(shard, WorkMsg::Scrub { bank });
+                            }
                         }
                     }
                     Transition::Quarantined(score) => {
@@ -2122,6 +2620,185 @@ impl FaultSched<'_> {
             }
         }
     }
+
+    /// Total scrub passes still awaiting an ack across live shards.
+    fn scrubs_pending(&self) -> usize {
+        self.scrubs_outstanding.iter().sum()
+    }
+
+    /// Whether supervision has anything that could wedge the drain: a
+    /// caught panic, a hung attempt, or an active chaos plan (which can
+    /// stall workers without either counter moving yet). While clean,
+    /// termination blocks exactly as the pre-supervision scheduler did.
+    fn dirty(&self) -> bool {
+        self.chaos.is_some() || self.sup.hung_attempts > 0 || self.supervisor.counters().0 > 0
+    }
+
+    /// Gives up on one job: final-attempt bookkeeping, an `Abandoned`
+    /// notice for live consumers, and an errored finalize so dependents
+    /// cascade-cancel.
+    fn abandon_job(&mut self, id: u64, hung: bool) {
+        self.sup.abandoned_jobs += 1;
+        if let Some(tx) = &self.canceller.notify {
+            let _ = tx.send(JobNotice::Abandoned { job_id: id, hung });
+        }
+        self.finalize(id, true, Vec::new());
+    }
+
+    /// Re-places one member job whose attempt died with a crashed or
+    /// hung worker, bounded by the crash-retry budget; over budget the
+    /// job is abandoned.
+    fn crash_retry_or_abandon(&mut self, member: PimJob, hung: bool) {
+        let retries = self.crash_retries.entry(member.id).or_insert(0);
+        if *retries < self.supervise.max_job_retries {
+            *retries += 1;
+            self.sup.crash_redispatches += 1;
+            self.place(member);
+        } else {
+            self.abandon_job(member.id, hung);
+        }
+    }
+
+    /// Takes a worker shard down: marks it with the supervisor, discards
+    /// anything buffered for it (the in-flight records below re-place
+    /// through normal issue — flushing the buffer on restart too would
+    /// double-send), and re-routes every in-flight attempt it owned. The
+    /// attempt that actually crashed or hung burns a crash retry per
+    /// member; attempts merely queued behind it re-place for free.
+    fn shard_down(
+        &mut self,
+        shard: usize,
+        generation: u64,
+        cause: DownCause,
+        failed_seq: Option<u64>,
+    ) {
+        match self.supervisor.mark_down(shard, generation, cause) {
+            Down::Stale => return,
+            // Retirement hands the buffer back; a pending restart would
+            // flush it to the replacement, so take it out of the slot.
+            Down::Retired(buffered) => drop(buffered),
+            Down::Pending => drop(self.supervisor.take_buffer(shard)),
+        }
+        let hung = matches!(cause, DownCause::Hang);
+        if let Some(trace) = &self.trace {
+            trace.record(&Event::ShardDown { shard, hung });
+        }
+        // Scrubs queued on the shard died with it.
+        self.scrubs_outstanding[shard] = 0;
+        let mut seqs: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, rec)| rec.shard == shard)
+            .map(|(&seq, _)| seq)
+            .collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            let rec = self.inflight.remove(&seq).expect("seq collected above");
+            self.inflight_per_bank[rec.bank] -= 1;
+            self.lost.push(seq);
+            let failed = Some(seq) == failed_seq;
+            for member in rec.jobs {
+                if failed {
+                    self.crash_retry_or_abandon(member, hung);
+                } else {
+                    self.sup.crash_redispatches += 1;
+                    self.place(member);
+                }
+            }
+        }
+    }
+
+    /// Scans in-flight attempts for watchdog-budget overruns. Each hung
+    /// attempt takes its shard down (the stalled worker thread is
+    /// detached, a replacement starts immediately) and fingerprints its
+    /// member programs into the poison registry.
+    fn watchdog_scan(&mut self) {
+        if !self.watchdog.enabled {
+            return;
+        }
+        let now = Instant::now();
+        loop {
+            // Lowest seq first, for deterministic event order.
+            let Some(seq) = self
+                .inflight
+                .iter()
+                .filter(|(_, rec)| {
+                    rec.started
+                        .is_some_and(|at| now.duration_since(at) >= rec.budget)
+                        && !self.supervisor.is_down(rec.shard)
+                })
+                .map(|(&seq, _)| seq)
+                .min()
+            else {
+                return;
+            };
+            let rec = &self.inflight[&seq];
+            let shard = rec.shard;
+            let bank = rec.bank;
+            let budget_us = rec.budget.as_micros() as u64;
+            let members: Vec<(u64, u32, u64)> = rec
+                .jobs
+                .iter()
+                .map(|j| {
+                    let attempt = self.redispatched.get(&j.id).copied().unwrap_or(0)
+                        + self.crash_retries.get(&j.id).copied().unwrap_or(0);
+                    (j.id, attempt, cache::fingerprint(&j.program))
+                })
+                .collect();
+            self.sup.hung_attempts += 1;
+            for (job, attempt, fingerprint) in members {
+                if let Some(trace) = &self.trace {
+                    trace.record(&Event::AttemptHung {
+                        job,
+                        bank,
+                        attempt,
+                        budget_us,
+                    });
+                }
+                if let Some(poison) = &self.poison {
+                    let (strikes, crossed) = poison.strike(fingerprint);
+                    if crossed {
+                        self.sup.quarantined_programs += 1;
+                        if let Some(trace) = &self.trace {
+                            trace.record(&Event::PoisonQuarantine {
+                                fingerprint,
+                                strikes,
+                            });
+                        }
+                    }
+                }
+            }
+            let generation = self.supervisor.generation(shard);
+            self.shard_down(shard, generation, DownCause::Hang, Some(seq));
+        }
+    }
+
+    /// Drain-deadline expiry: everything still queued or in flight will
+    /// never complete. Abandon it all so `finish` can report.
+    fn abandon_all(&mut self) {
+        let mut seqs: Vec<u64> = self.inflight.keys().copied().collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            let rec = self.inflight.remove(&seq).expect("seq collected above");
+            self.inflight_per_bank[rec.bank] -= 1;
+            self.lost.push(seq);
+            for member in rec.jobs {
+                self.abandon_job(member.id, false);
+            }
+        }
+        // Abandoning can only cascade-fail dependents (errored finals
+        // release nothing), but drain defensively until quiescent.
+        while self.sched.pending() > 0 {
+            for bank in 0..self.inflight_per_bank.len() {
+                for queued in self.sched.drain_bank(bank) {
+                    self.abandon_job(queued.id, false);
+                }
+            }
+        }
+        for pending in &mut self.scrubs_outstanding {
+            *pending = 0;
+        }
+    }
 }
 
 /// The scheduler loop used when fault injection or a protection policy is
@@ -2136,7 +2813,8 @@ impl FaultSched<'_> {
 fn fault_scheduler_loop(
     config: &MemoryConfig,
     queue: &JobQueue<Submission>,
-    work_txs: &[mpsc::Sender<WorkMsg>],
+    supervisor: &Supervisor<WorkMsg>,
+    shards: usize,
     ack_rx: &mpsc::Receiver<AckMsg>,
     dispatch: DispatchMode,
     protection: ProtectionPolicy,
@@ -2146,13 +2824,17 @@ fn fault_scheduler_loop(
     compile: CompileOptions,
     canceller: Canceller,
     next_id: &AtomicU64,
+    supervise: SuperviseOptions,
+    watchdog: WatchdogOptions,
+    chaos: Option<ChaosPlan>,
+    poison: Option<Arc<PoisonRegistry>>,
 ) -> SchedulerOutput {
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
     let splice_cache = batch.splice_cache();
     let mut state = FaultSched {
         unit_count,
-        shards: work_txs.len(),
+        shards,
         dispatch,
         policy,
         protection_active: protection.is_active(),
@@ -2161,18 +2843,25 @@ fn fault_scheduler_loop(
         splice_cache,
         canceller,
         trace,
-        work_txs,
+        supervisor,
+        supervise,
+        watchdog,
+        chaos,
+        poison,
         sched: BankScheduler::new(config.banks),
         health: HealthTracker::new(config.banks, policy),
         inflight: HashMap::new(),
         inflight_per_bank: vec![0; config.banks],
         redispatched: HashMap::new(),
+        crash_retries: HashMap::new(),
+        sup: SupervisionStats::default(),
+        lost: Vec::new(),
         place_cursor: 0,
         issued: 0,
         batches: 0,
         batched_jobs: 0,
         redispatches: 0,
-        scrubs_outstanding: 0,
+        scrubs_outstanding: vec![0; shards],
         scrubs: 0,
         scrub_total: ScrubOutcome::default(),
         deps: DepTracker::new(),
@@ -2185,6 +2874,8 @@ fn fault_scheduler_loop(
     };
     let mut drained: Vec<Submission> = Vec::new();
     let mut closed = false;
+    // Armed (once supervision is dirty) the first time the drain blocks.
+    let mut drain_deadline: Option<Instant> = None;
 
     loop {
         // 1. Pull newly submitted jobs, bounded so acks stay responsive.
@@ -2202,9 +2893,19 @@ fn fault_scheduler_loop(
             state.admit(submission);
         }
 
-        // 2. Process every acknowledgement already available.
+        // 2. Process every acknowledgement already available, scan for
+        //    hung attempts, and bring replacement workers up.
         while let Ok(ack) = ack_rx.try_recv() {
             state.handle_ack(ack);
+        }
+        state.watchdog_scan();
+        for ev in supervisor.poll_restarts() {
+            if let Some(trace) = &state.trace {
+                trace.record(&Event::ShardRestart {
+                    shard: ev.shard,
+                    restarts: ev.restarts,
+                });
+            }
         }
 
         // 3. Issue everything the in-flight cap allows.
@@ -2222,20 +2923,57 @@ fn fault_scheduler_loop(
                     continue;
                 }
                 // Only background scrubs can still be outstanding.
-                while state.scrubs_outstanding > 0 {
-                    match ack_rx.recv() {
-                        Ok(ack) => state.handle_ack(ack),
-                        Err(_) => break,
+                while state.scrubs_pending() > 0 {
+                    if state.dirty() {
+                        let deadline = *drain_deadline.get_or_insert_with(|| {
+                            Instant::now() + state.supervise.drain_deadline()
+                        });
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        match ack_rx.recv_timeout(Duration::from_millis(10)) {
+                            Ok(ack) => state.handle_ack(ack),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {}
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    } else {
+                        match ack_rx.recv() {
+                            Ok(ack) => state.handle_ack(ack),
+                            Err(_) => break,
+                        }
                     }
                 }
                 break;
             }
-            // Progress now requires an ack (a free bank slot or a
-            // completion that may trigger re-dispatch); block for one.
-            if !state.inflight.is_empty() || state.scrubs_outstanding > 0 {
-                match ack_rx.recv() {
+            // Progress now requires an ack (a free bank slot, a
+            // completion that may trigger re-dispatch, or a restart
+            // flushing queued work). With supervision clean this blocks
+            // exactly as before — a shard-down ack itself would wake it;
+            // dirty, the wait is bounded so a dead or stalled shard can
+            // never wedge the drain past the configured deadline.
+            if !state.inflight.is_empty() || state.scrubs_pending() > 0 || state.sched.pending() > 0
+            {
+                // The watchdog needs the wait bounded even while clean,
+                // or a stalled attempt would never get scanned.
+                if !state.dirty() && !state.watchdog.enabled {
+                    match ack_rx.recv() {
+                        Ok(ack) => state.handle_ack(ack),
+                        Err(_) => break,
+                    }
+                    continue;
+                }
+                if state.dirty() {
+                    let deadline = *drain_deadline
+                        .get_or_insert_with(|| Instant::now() + state.supervise.drain_deadline());
+                    if Instant::now() >= deadline {
+                        state.abandon_all();
+                        continue;
+                    }
+                }
+                match ack_rx.recv_timeout(Duration::from_millis(1)) {
                     Ok(ack) => state.handle_ack(ack),
-                    Err(_) => break,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
@@ -2266,6 +3004,8 @@ fn fault_scheduler_loop(
         cascaded: state.deps.cascade_cancelled + state.dropped,
         pins: state.pins,
         remats: state.remats,
+        supervision: state.sup,
+        lost: state.lost,
     }
 }
 
@@ -2281,6 +3021,18 @@ struct ExecOutcome {
     verified: bool,
 }
 
+/// Per-incarnation worker identity and behavior switches: the shard and
+/// generation stamped into supervision acks, the chaos plan to consult
+/// at crossing points, and whether to send `Started` heartbeats (only
+/// useful when the watchdog reads them).
+#[derive(Clone, Copy)]
+struct WorkerCtx {
+    shard: usize,
+    generation: u64,
+    chaos: Option<ChaosPlan>,
+    heartbeat: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     config: &MemoryConfig,
@@ -2291,6 +3043,7 @@ fn worker_loop(
     ack: Option<&mpsc::Sender<AckMsg>>,
     notify: Option<&mpsc::Sender<JobNotice>>,
     max_redispatch: u32,
+    ctx: WorkerCtx,
 ) {
     // Each shard owns a full machine; storage is sparse, so it only pays
     // for the DBCs of the banks routed to it.
@@ -2304,14 +3057,32 @@ fn worker_loop(
         ProtectionPolicy::Nmr { .. } => Some((NmrVoter::new(config), Dbc::pim_enabled(config))),
         _ => None,
     };
+    // Reports this incarnation's death to the supervisor. Per-producer
+    // mpsc FIFO order guarantees every ack this worker already sent is
+    // processed before the down report.
+    let report_down = |panicked_seq: Option<u64>| {
+        if let Some(ack) = ack {
+            let _ = ack.send(AckMsg::ShardDown {
+                shard: ctx.shard,
+                generation: ctx.generation,
+                panicked_seq,
+            });
+        }
+    };
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkMsg::Scrub { bank } => {
-                let mut meter = CostMeter::new();
-                let outcome = machine
-                    .controller_mut()
-                    .scrub_bank(bank, &mut meter)
-                    .unwrap_or_default();
+                let scrubbed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut meter = CostMeter::new();
+                    machine
+                        .controller_mut()
+                        .scrub_bank(bank, &mut meter)
+                        .unwrap_or_default()
+                }));
+                let Ok(outcome) = scrubbed else {
+                    report_down(None);
+                    return;
+                };
                 if let Some(ack) = ack {
                     let _ = ack.send(AckMsg::Scrub { bank, outcome });
                 }
@@ -2322,7 +3093,44 @@ fn worker_loop(
                 program,
                 slots,
             } => {
-                let out = execute_protected(&mut machine, protection, &program, voter.as_mut());
+                if ctx.heartbeat {
+                    if let Some(ack) = ack {
+                        let _ = ack.send(AckMsg::Started { seq });
+                    }
+                }
+                // Chaos draws key on the dispatch's first member and its
+                // attempt, so a re-dispatched attempt draws fresh and
+                // two runs of one seed inject identically.
+                let (chaos_job, chaos_attempt) =
+                    slots.first().map_or((0, 0), |s| (s.job_id, s.attempt));
+                let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(plan) = ctx.chaos {
+                        match plan.decide(CrossingPoint::WorkerStart, chaos_job, chaos_attempt) {
+                            ChaosAction::Panic => chaos::chaos_panic(),
+                            ChaosAction::Stall => {
+                                std::thread::sleep(Duration::from_millis(plan.stall_ms));
+                            }
+                            ChaosAction::Delay => {
+                                std::thread::sleep(Duration::from_micros(plan.delay_us));
+                            }
+                            ChaosAction::None => {}
+                        }
+                    }
+                    let out = execute_protected(&mut machine, protection, &program, voter.as_mut());
+                    if let Some(plan) = ctx.chaos {
+                        if matches!(
+                            plan.decide(CrossingPoint::WorkerReport, chaos_job, chaos_attempt),
+                            ChaosAction::Panic
+                        ) {
+                            chaos::chaos_panic();
+                        }
+                    }
+                    out
+                }));
+                let Ok(out) = executed else {
+                    report_down(Some(seq));
+                    return;
+                };
                 // Demux the batched output stream per member exactly as
                 // `finish` does, so live consumers (notify) and the
                 // scheduler's dependency gates see the same bytes the

@@ -57,23 +57,43 @@ pub enum JobNotice {
         /// The job's id.
         job_id: u64,
     },
+    /// The supervision layer gave the job up: its attempts exhausted the
+    /// crash/hang retry budget (or the drain deadline arrived first). It
+    /// will produce no outcome.
+    Abandoned {
+        /// The job's id.
+        job_id: u64,
+        /// `true` when the final failure was a hung attempt, `false`
+        /// when it was a worker crash.
+        hung: bool,
+    },
+    /// Sentinel: the session fully drained; no further notice can
+    /// follow. A consumer loop may exit without waiting for every sender
+    /// clone to drop (a stalled, detached worker can hold one
+    /// indefinitely).
+    Drained,
 }
 
 impl JobNotice {
-    /// The job this notice concerns.
+    /// The job this notice concerns ([`JobNotice::Drained`] concerns no
+    /// job and reports `u64::MAX`).
     pub fn job_id(&self) -> u64 {
         match self {
-            JobNotice::Attempt { job_id, .. } | JobNotice::Cancelled { job_id } => *job_id,
+            JobNotice::Attempt { job_id, .. }
+            | JobNotice::Cancelled { job_id }
+            | JobNotice::Abandoned { job_id, .. } => *job_id,
+            JobNotice::Drained => u64::MAX,
         }
     }
 
     /// Whether no later attempt of the same job can follow this notice:
-    /// cancellations are always final; an attempt is final when it
-    /// verified, when no protection policy (and therefore no re-dispatch)
-    /// is active, or when the re-dispatch budget is exhausted.
+    /// cancellations and abandonments are always final; an attempt is
+    /// final when it verified, when no protection policy (and therefore
+    /// no re-dispatch) is active, or when the re-dispatch budget is
+    /// exhausted.
     pub fn is_final(&self) -> bool {
         match self {
-            JobNotice::Cancelled { .. } => true,
+            JobNotice::Cancelled { .. } | JobNotice::Abandoned { .. } | JobNotice::Drained => true,
             JobNotice::Attempt {
                 verified,
                 protection_active,

@@ -7,8 +7,9 @@
 //! work — while [`JobQueue::try_push`] refuses instead, for clients that
 //! would rather shed load.
 
+use crate::sync;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A bounded blocking FIFO. `T` is the job type; the queue itself is
@@ -38,6 +39,13 @@ pub enum PushError {
     Full,
     /// The queue was closed; no more work is accepted.
     Closed,
+    /// The program's fingerprint is quarantined by the poison registry
+    /// (never returned by the queue itself — the runtime's
+    /// `try_submit` refuses the job before it reaches the queue).
+    Poisoned {
+        /// The quarantined structural program fingerprint.
+        fingerprint: u64,
+    },
 }
 
 /// The outcome of a [`JobQueue::pop_timeout`].
@@ -72,9 +80,16 @@ impl<T> JobQueue<T> {
         self.capacity
     }
 
+    /// Locks the queue state, recovering from poison: a client that
+    /// panics mid-push must not wedge the scheduler (or every other
+    /// client) behind a poisoned mutex.
+    fn state(&self) -> MutexGuard<'_, QueueState<T>> {
+        sync::lock(&self.inner)
+    }
+
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.state().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -84,7 +99,7 @@ impl<T> JobQueue<T> {
 
     /// Deepest the queue has been.
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().unwrap().max_depth
+        self.state().max_depth
     }
 
     /// Enqueues a job, blocking while the queue is full (backpressure).
@@ -93,7 +108,7 @@ impl<T> JobQueue<T> {
     ///
     /// Returns [`PushError::Closed`] if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.state();
         loop {
             if state.closed {
                 return Err(PushError::Closed);
@@ -104,7 +119,7 @@ impl<T> JobQueue<T> {
                 self.items.notify_one();
                 return Ok(());
             }
-            state = self.space.wait(state).unwrap();
+            state = sync::wait(&self.space, state);
         }
     }
 
@@ -115,7 +130,7 @@ impl<T> JobQueue<T> {
     /// Returns [`PushError::Full`] at capacity, [`PushError::Closed`]
     /// after close.
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.state();
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -131,7 +146,7 @@ impl<T> JobQueue<T> {
     /// Dequeues the next job, blocking while the queue is empty. Returns
     /// `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.state();
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.space.notify_one();
@@ -140,7 +155,7 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.items.wait(state).unwrap();
+            state = sync::wait(&self.items, state);
         }
     }
 
@@ -149,7 +164,7 @@ impl<T> JobQueue<T> {
     /// queue draining with worker-ack processing without busy-spinning.
     pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.state();
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.space.notify_one();
@@ -162,15 +177,14 @@ impl<T> JobQueue<T> {
             if now >= deadline {
                 return Pop::Timeout;
             }
-            let (guard, _) = self.items.wait_timeout(state, deadline - now).unwrap();
-            state = guard;
+            state = sync::wait_timeout(&self.items, state, deadline - now);
         }
     }
 
     /// Dequeues every job currently available without blocking (the
     /// scheduler uses this to batch a burst into its bank FIFOs).
     pub fn drain_ready(&self, into: &mut Vec<T>) {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.state();
         let had = !state.items.is_empty();
         into.extend(state.items.drain(..));
         if had {
@@ -181,7 +195,7 @@ impl<T> JobQueue<T> {
     /// Closes the queue: pending jobs still drain, new pushes fail, and
     /// blocked poppers wake up.
     pub fn close(&self) {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.state();
         state.closed = true;
         self.items.notify_all();
         self.space.notify_all();

@@ -182,6 +182,9 @@ pub struct RuntimeStats {
     pub batch: BatchStats,
     /// Dependency-gating and resident-weight counters.
     pub pipeline: PipelineStats,
+    /// Software-fault supervision counters (panics caught, shard
+    /// restarts, hung attempts, quarantined programs).
+    pub supervision: crate::supervise::SupervisionStats,
 }
 
 #[cfg(test)]

@@ -1,0 +1,290 @@
+//! Seeded chaos campaigns over the supervised runtime.
+//!
+//! Every campaign drives a session through a replayable [`ChaosPlan`]
+//! (worker panics, stalls, delays at named crossing points) and asserts
+//! the supervision contract:
+//!
+//! * **Exactly-once resolution** — every submitted job either appears in
+//!   the final report's outcomes or produced exactly one `Abandoned`
+//!   notice, never both, never neither, and never twice.
+//! * **Replayability** — two sessions with the same seed resolve the
+//!   same jobs to the same fates (and the same outputs for completions),
+//!   across shard counts.
+//! * **Bounded drain** — `finish()` returns within the configured drain
+//!   deadline even when an attempt hangs forever.
+
+use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant_core::program::{PimProgram, Step};
+use coruscant_mem::{DbcLocation, MemoryConfig, RowAddress};
+use coruscant_runtime::{
+    install_quiet_hook, ChaosPlan, JobNotice, Placement, Runtime, RuntimeOptions, SuperviseOptions,
+    WatchdogOptions,
+};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Eight banks so shard counts up to 8 each own at least one bank.
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+/// A self-contained add job with a per-job operand so outputs identify
+/// the job that produced them.
+fn add_job(tag: u64) -> PimProgram {
+    let loc = DbcLocation::new(0, 0, 0, 0);
+    PimProgram {
+        steps: vec![
+            Step::Load {
+                addr: RowAddress::new(loc, 4),
+                values: vec![tag; 8],
+                lane: 8,
+            },
+            Step::Load {
+                addr: RowAddress::new(loc, 5),
+                values: vec![3; 8],
+                lane: 8,
+            },
+            Step::Exec(
+                CpimInstr::new(
+                    CpimOpcode::Add,
+                    RowAddress::new(loc, 4),
+                    2,
+                    BlockSize::new(8).unwrap(),
+                    Some(RowAddress::new(loc, 20)),
+                )
+                .unwrap(),
+            ),
+            Step::Readout {
+                label: "sum".into(),
+                addr: RowAddress::new(loc, 20),
+                lane: 8,
+            },
+        ],
+    }
+}
+
+/// How one job ended, normalized for cross-run comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Fate {
+    /// Completed with these outputs.
+    Done(Vec<(String, Vec<u64>)>),
+    /// Abandoned by supervision (`hung` per the notice).
+    Abandoned { hung: bool },
+}
+
+/// Runs one chaos campaign and returns every job's fate, keyed by id.
+/// Panics (failing the test) if any job resolved twice or not at all.
+fn run_campaign(
+    shards: usize,
+    plan: ChaosPlan,
+    jobs: u64,
+    options: RuntimeOptions,
+) -> BTreeMap<u64, Fate> {
+    install_quiet_hook();
+    let (tx, rx) = mpsc::channel::<JobNotice>();
+    let runtime = Runtime::new(
+        eight_bank_config(),
+        options.with_shards(shards).with_chaos(plan).with_notify(tx),
+    )
+    .expect("runtime starts");
+    let mut submitted = Vec::new();
+    for tag in 0..jobs {
+        let id = runtime
+            .submit(add_job(tag), Placement::Auto)
+            .expect("chaos never rejects at submit");
+        submitted.push(id);
+    }
+    let report = runtime.finish().expect("supervised finish succeeds");
+
+    let mut fates: BTreeMap<u64, Fate> = BTreeMap::new();
+    for outcome in &report.outcomes {
+        let prev = fates.insert(outcome.job_id, Fate::Done(outcome.outputs.clone()));
+        assert!(prev.is_none(), "job {} completed twice", outcome.job_id);
+    }
+    for notice in rx.try_iter() {
+        if let JobNotice::Abandoned { job_id, hung } = notice {
+            let prev = fates.insert(job_id, Fate::Abandoned { hung });
+            assert!(
+                prev.is_none(),
+                "job {job_id} resolved twice: {prev:?} then abandoned"
+            );
+        }
+    }
+    for id in &submitted {
+        assert!(fates.contains_key(id), "job {id} never resolved");
+    }
+    assert_eq!(fates.len(), submitted.len(), "spurious resolutions");
+    fates
+}
+
+/// Options used by the campaigns: modest retry budget, fast restarts,
+/// and a watchdog tight enough to catch the stall plans quickly.
+fn campaign_options() -> RuntimeOptions {
+    RuntimeOptions::default()
+        .with_supervise(SuperviseOptions {
+            max_restarts: u32::MAX,
+            backoff_base_ms: 1,
+            backoff_max_ms: 8,
+            max_job_retries: 4,
+            drain_deadline_ms: 10_000,
+        })
+        .with_watchdog(WatchdogOptions {
+            enabled: true,
+            base_ms: 200,
+            per_step_us: 50,
+            slack_pct: 400,
+            poison_strikes: u32::MAX, // campaigns resubmit nothing; never quarantine
+        })
+}
+
+#[test]
+fn panic_plan_resolves_every_job_across_shard_counts() {
+    let plan = ChaosPlan::panics(0xC0FFEE, 120);
+    for shards in [1usize, 2, 4, 8] {
+        let fates = run_campaign(shards, plan, 48, campaign_options());
+        let done = fates
+            .values()
+            .filter(|f| matches!(f, Fate::Done(_)))
+            .count();
+        assert!(
+            done > 0,
+            "some jobs survive a 12% panic rate (shards={shards})"
+        );
+        for fate in fates.values() {
+            if let Fate::Abandoned { hung } = fate {
+                assert!(!hung, "panic plan abandons as crashes, not hangs");
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_plan_classifies_hangs_and_still_resolves() {
+    // Stalls far beyond the watchdog budget: every stalled attempt is
+    // declared hung, its shard is replaced, and the job either retries
+    // to completion or is abandoned as hung.
+    let plan = ChaosPlan::stalls(0xBADCAB, 100, 3_000);
+    let fates = run_campaign(4, plan, 32, campaign_options());
+    let done = fates
+        .values()
+        .filter(|f| matches!(f, Fate::Done(_)))
+        .count();
+    assert!(done > 0, "unaffected jobs complete");
+}
+
+#[test]
+fn mixed_plan_resolves_every_job() {
+    let plan = ChaosPlan::mixed(0x5EED, 80, 2_000, 200);
+    for shards in [2usize, 8] {
+        run_campaign(shards, plan, 40, campaign_options());
+    }
+}
+
+#[test]
+fn same_seed_runs_resolve_identically() {
+    let plan = ChaosPlan::panics(42, 150);
+    for shards in [1usize, 4] {
+        let a = run_campaign(shards, plan, 40, campaign_options());
+        let b = run_campaign(shards, plan, 40, campaign_options());
+        assert_eq!(a, b, "same seed, same fates and outputs (shards={shards})");
+    }
+}
+
+#[test]
+fn quiet_plan_changes_nothing() {
+    // A zero-rate plan must not reroute scheduling observably: every job
+    // completes with the same outputs as a plain session.
+    let quiet = run_campaign(4, ChaosPlan::quiet(7), 24, RuntimeOptions::default());
+    let runtime = Runtime::new(
+        eight_bank_config(),
+        RuntimeOptions::default().with_shards(4),
+    )
+    .expect("runtime starts");
+    for tag in 0..24 {
+        runtime.submit(add_job(tag), Placement::Auto).unwrap();
+    }
+    let plain = runtime.finish().expect("plain finish");
+    assert_eq!(quiet.len(), plain.outcomes.len());
+    for outcome in &plain.outcomes {
+        assert_eq!(
+            quiet.get(&outcome.job_id),
+            Some(&Fate::Done(outcome.outputs.clone())),
+            "job {} diverged under a quiet plan",
+            outcome.job_id
+        );
+    }
+}
+
+#[test]
+fn finish_returns_within_drain_deadline_despite_permanent_hang() {
+    install_quiet_hook();
+    // Every attempt stalls for a minute — far beyond the drain deadline
+    // — and the watchdog is off, so nothing ever detaches the stalled
+    // workers. The deadline alone must bound `finish()`.
+    let plan = ChaosPlan::stalls(9, 1000, 60_000);
+    let runtime = Runtime::new(
+        eight_bank_config(),
+        RuntimeOptions::default()
+            .with_shards(2)
+            .with_chaos(plan)
+            .with_supervise(SuperviseOptions {
+                drain_deadline_ms: 1_500,
+                ..SuperviseOptions::default()
+            }),
+    )
+    .expect("runtime starts");
+    for tag in 0..4 {
+        runtime.submit(add_job(tag), Placement::Auto).unwrap();
+    }
+    let begin = Instant::now();
+    let report = runtime.finish().expect("deadline-bounded finish");
+    let elapsed = begin.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "finish took {elapsed:?}, deadline was 1.5s"
+    );
+    assert!(report.outcomes.is_empty(), "every attempt was stalled");
+    let sup = report.stats.supervision;
+    assert!(
+        sup.abandoned_jobs == 4 || sup.workers_lost > 0,
+        "jobs were abandoned at the deadline: {sup:?}"
+    );
+}
+
+#[test]
+fn supervision_counters_reflect_injected_panics() {
+    let plan = ChaosPlan::panics(0xFACADE, 200);
+    install_quiet_hook();
+    let (tx, _rx) = mpsc::channel::<JobNotice>();
+    let runtime = Runtime::new(
+        eight_bank_config(),
+        campaign_options()
+            .with_shards(4)
+            .with_chaos(plan)
+            .with_notify(tx),
+    )
+    .expect("runtime starts");
+    for tag in 0..40 {
+        runtime.submit(add_job(tag), Placement::Auto).unwrap();
+    }
+    let report = runtime.finish().expect("finish");
+    let sup = report.stats.supervision;
+    assert!(sup.panics_caught > 0, "a 20% panic rate panics somewhere");
+    assert!(sup.shard_restarts > 0, "panicked shards were restarted");
+    assert!(
+        sup.crash_redispatches + sup.abandoned_jobs > 0,
+        "crashed work was re-dispatched or abandoned"
+    );
+}

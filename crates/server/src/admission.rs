@@ -70,6 +70,13 @@ pub enum Rejected {
     /// A pipeline submission was structurally invalid (a member depended
     /// on itself or on a later member). Not retryable.
     Invalid,
+    /// The program's structural fingerprint is quarantined: earlier
+    /// submissions of it repeatedly hung worker shards past the
+    /// execution watchdog's budget. Not retryable.
+    Poison {
+        /// The quarantined, placement-normalized program hash.
+        fingerprint: u64,
+    },
 }
 
 impl std::fmt::Display for Rejected {
@@ -80,6 +87,9 @@ impl std::fmt::Display for Rejected {
             Rejected::Deadline => write!(f, "deadline already expired at submission"),
             Rejected::Closed => write!(f, "server closed to new submissions"),
             Rejected::Invalid => write!(f, "pipeline structurally invalid"),
+            Rejected::Poison { fingerprint } => {
+                write!(f, "program {fingerprint:#018x} quarantined as poison")
+            }
         }
     }
 }

@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
+
+use crate::sync;
 use std::task::{Context, Poll, Waker};
 
 use crate::admission::Rejected;
@@ -49,6 +51,12 @@ pub enum ServeError {
     Cancelled,
     /// The job executed and hit a PIM error.
     Exec(PimError),
+    /// The job's last attempt exceeded the execution watchdog's budget;
+    /// supervision declared it hung and gave the job up.
+    Hung,
+    /// The job's attempts kept crashing worker shards until supervision
+    /// exhausted its crash-retry budget.
+    Crashed,
     /// The server shut down without learning the job's fate (a worker
     /// was lost, or the session failed wholesale).
     Lost,
@@ -61,6 +69,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Expired => write!(f, "deadline expired while queued"),
             ServeError::Cancelled => write!(f, "cancelled while queued"),
             ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Hung => write!(f, "abandoned: attempt exceeded the watchdog budget"),
+            ServeError::Crashed => {
+                write!(f, "abandoned: attempts exhausted the crash-retry budget")
+            }
             ServeError::Lost => write!(f, "server shut down without a result"),
         }
     }
@@ -103,7 +115,7 @@ pub(crate) struct Resolver {
 impl Resolver {
     /// Resolves the handle; returns `false` if it was already resolved.
     pub fn resolve(&self, completion: Completion) -> bool {
-        let mut state = self.slot.state.lock().unwrap();
+        let mut state = sync::lock(&self.slot.state);
         if state.value.is_some() {
             return false;
         }
@@ -156,22 +168,22 @@ impl JobHandle {
 
     /// Whether the completion has already arrived.
     pub fn is_done(&self) -> bool {
-        self.slot.state.lock().unwrap().value.is_some()
+        sync::lock(&self.slot.state).value.is_some()
     }
 
     /// Takes the completion if it has arrived, without blocking.
     pub fn try_take(&mut self) -> Option<Completion> {
-        self.slot.state.lock().unwrap().value.take()
+        sync::lock(&self.slot.state).value.take()
     }
 
     /// Blocks until the job resolves and returns its completion.
     pub fn wait(self) -> Completion {
-        let mut state = self.slot.state.lock().unwrap();
+        let mut state = sync::lock(&self.slot.state);
         loop {
             if let Some(v) = state.value.take() {
                 return v;
             }
-            state = self.slot.cv.wait(state).unwrap();
+            state = sync::wait(&self.slot.cv, state);
         }
     }
 }
@@ -180,7 +192,7 @@ impl Future for JobHandle {
     type Output = Completion;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut state = self.slot.state.lock().unwrap();
+        let mut state = sync::lock(&self.slot.state);
         if let Some(v) = state.value.take() {
             return Poll::Ready(v);
         }

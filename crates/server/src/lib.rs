@@ -35,6 +35,7 @@
 pub mod admission;
 pub mod handle;
 pub mod stats;
+mod sync;
 
 pub use admission::{AdmissionOptions, BucketConfig, Priority, Rejected};
 pub use handle::{Completion, JobDone, JobHandle, ResultStream, ServeError};
@@ -43,7 +44,8 @@ pub use stats::ServerStats;
 use coruscant_core::program::PimProgram;
 use coruscant_mem::MemoryConfig;
 use coruscant_runtime::{
-    ChainJob, JobNotice, Placement, PushError, ResidentPin, Runtime, RuntimeError, RuntimeOptions,
+    ChainJob, ChaosAction, ChaosPlan, CrossingPoint, JobNotice, Placement, PushError, ResidentPin,
+    Runtime, RuntimeError, RuntimeOptions,
 };
 
 use admission::AdmissionController;
@@ -140,6 +142,11 @@ struct Registry {
     /// notice for these resolves [`ServeError::Expired`] instead of
     /// [`ServeError::Cancelled`].
     expire_intent: HashSet<u64>,
+    /// Jobs already routed to a resolution. Under supervision one job can
+    /// emit two final signals — e.g. an `Abandoned` notice when the
+    /// watchdog gives it up, then a late `Attempt` notice when the
+    /// detached worker finally completes — and only the first may count.
+    resolved: HashSet<u64>,
 }
 
 /// The deadline sweeper's work queue.
@@ -166,8 +173,12 @@ impl Shared {
     /// stashes it for a registration that has not happened yet. Counts
     /// the resolution exactly once.
     fn route(&self, job_id: u64, completion: Completion) {
+        let mut reg = sync::lock(&self.registry);
+        if !reg.resolved.insert(job_id) {
+            // A duplicate final signal; the first resolution won.
+            return;
+        }
         self.count(&completion);
-        let mut reg = self.registry.lock().unwrap();
         reg.expire_intent.remove(&job_id);
         match reg.pending.remove(&job_id) {
             Some(resolver) => {
@@ -187,6 +198,8 @@ impl Shared {
             Err(ServeError::Exec(_)) => c.failed.fetch_add(1, Ordering::Relaxed),
             Err(ServeError::Expired) => c.expired.fetch_add(1, Ordering::Relaxed),
             Err(ServeError::Cancelled) => c.cancelled.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Hung) => c.hung.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Crashed) => c.crashed.fetch_add(1, Ordering::Relaxed),
             Err(ServeError::Lost) => c.lost.fetch_add(1, Ordering::Relaxed),
             // Rejections are counted at the submission site.
             Err(ServeError::Rejected(_)) => 0,
@@ -196,7 +209,7 @@ impl Shared {
     /// Registers a handle for a freshly accepted job, claiming any
     /// completion that raced ahead of the registration.
     fn register(&self, job_id: u64) -> JobHandle {
-        let mut reg = self.registry.lock().unwrap();
+        let mut reg = sync::lock(&self.registry);
         if let Some(completion) = reg.early.remove(&job_id) {
             return handle::resolved(job_id, completion);
         }
@@ -209,32 +222,37 @@ impl Shared {
     /// the expiry intent and ask the runtime to cancel it.
     fn expire(&self, job_id: u64) {
         {
-            let mut reg = self.registry.lock().unwrap();
+            let mut reg = sync::lock(&self.registry);
             if !reg.pending.contains_key(&job_id) {
                 return; // already resolved — the deadline is moot
             }
             reg.expire_intent.insert(job_id);
         }
-        if let Some(rt) = self.runtime.read().unwrap().as_ref() {
+        if let Some(rt) = sync::read(&self.runtime).as_ref() {
             rt.cancel(job_id);
         }
     }
 
     fn sweeper_push(&self, at: Instant, job_id: u64) {
-        self.sweeper
-            .heap
-            .lock()
-            .unwrap()
-            .push(Reverse((at, job_id)));
+        sync::lock(&self.sweeper.heap).push(Reverse((at, job_id)));
         self.sweeper.cv.notify_all();
     }
 }
 
 /// The router: turns the runtime's live notice feed into handle
-/// resolutions. Exits when every notice sender (workers + scheduler)
-/// hangs up, which [`Runtime::finish`] guarantees at drain.
-fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>) {
+/// resolutions. Exits on the [`JobNotice::Drained`] sentinel the server
+/// sends after [`Runtime::finish`] returns, or when every notice sender
+/// (workers + scheduler) hangs up — the sentinel matters under
+/// supervision, where a permanently stalled worker may never drop its
+/// sender.
+fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>, chaos: Option<ChaosPlan>) {
     for notice in rx.iter() {
+        if let Some(plan) = chaos {
+            let key = (notice.job_id(), 0);
+            if let ChaosAction::Delay = plan.decide(CrossingPoint::RouterNotice, key.0, key.1) {
+                std::thread::sleep(Duration::from_micros(plan.delay_us));
+            }
+        }
         if !notice.is_final() {
             // A superseded attempt under an active protection policy;
             // the re-dispatched attempt (or the drain fallback) resolves
@@ -266,12 +284,12 @@ fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>) {
                 shared.route(job_id, completion);
             }
             JobNotice::Cancelled { job_id } => {
-                let expired = shared
-                    .registry
-                    .lock()
-                    .unwrap()
-                    .expire_intent
-                    .remove(&job_id);
+                let expired = {
+                    let mut reg = sync::lock(&shared.registry);
+                    // Claim the intent only if this notice will win the
+                    // route (a resolved job's late cancel is moot).
+                    !reg.resolved.contains(&job_id) && reg.expire_intent.remove(&job_id)
+                };
                 let completion = if expired {
                     Err(ServeError::Expired)
                 } else {
@@ -279,6 +297,15 @@ fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>) {
                 };
                 shared.route(job_id, completion);
             }
+            JobNotice::Abandoned { job_id, hung } => {
+                let completion = Err(if hung {
+                    ServeError::Hung
+                } else {
+                    ServeError::Crashed
+                });
+                shared.route(job_id, completion);
+            }
+            JobNotice::Drained => break,
         }
     }
 }
@@ -286,7 +313,7 @@ fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>) {
 /// The deadline sweeper: sleeps until the earliest pending deadline and
 /// fires expiries in order.
 fn sweeper_loop(shared: &Shared) {
-    let mut heap = shared.sweeper.heap.lock().unwrap();
+    let mut heap = sync::lock(&shared.sweeper.heap);
     loop {
         if shared.sweeper.stop.load(Ordering::Acquire) {
             return;
@@ -294,7 +321,7 @@ fn sweeper_loop(shared: &Shared) {
         let next = heap.peek().map(|Reverse((at, id))| (*at, *id));
         match next {
             None => {
-                heap = shared.sweeper.cv.wait(heap).unwrap();
+                heap = sync::wait(&shared.sweeper.cv, heap);
             }
             Some((at, id)) => {
                 let now = Instant::now();
@@ -302,10 +329,9 @@ fn sweeper_loop(shared: &Shared) {
                     heap.pop();
                     drop(heap);
                     shared.expire(id);
-                    heap = shared.sweeper.heap.lock().unwrap();
+                    heap = sync::lock(&shared.sweeper.heap);
                 } else {
-                    let (guard, _) = shared.sweeper.cv.wait_timeout(heap, at - now).unwrap();
-                    heap = guard;
+                    heap = sync::wait_timeout(&shared.sweeper.cv, heap, at - now);
                 }
             }
         }
@@ -317,6 +343,10 @@ fn sweeper_loop(shared: &Shared) {
 /// call [`Server::shutdown`] to drain.
 pub struct Server {
     shared: Arc<Shared>,
+    /// Our own clone of the notice sender, used to push the
+    /// [`JobNotice::Drained`] sentinel that unblocks the router at
+    /// shutdown even if a stalled worker still holds a sender.
+    notify: mpsc::Sender<JobNotice>,
     router: Option<JoinHandle<()>>,
     sweeper: Option<JoinHandle<()>>,
 }
@@ -330,6 +360,8 @@ impl Server {
     /// Propagates [`Runtime::new`] failures.
     pub fn start(config: MemoryConfig, options: ServerOptions) -> Result<Server, ServerError> {
         let (notify_tx, notify_rx) = mpsc::channel::<JobNotice>();
+        let notify = notify_tx.clone();
+        let chaos = options.runtime.chaos.filter(ChaosPlan::is_active);
         let runtime_options = options.runtime.with_notify(notify_tx);
         // The channel's original sender was moved into the runtime (and
         // cloned to its workers/scheduler); once `finish` joins them the
@@ -345,7 +377,7 @@ impl Server {
         });
         let router = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || router_loop(&shared, &notify_rx))
+            std::thread::spawn(move || router_loop(&shared, &notify_rx, chaos))
         };
         let sweeper = {
             let shared = Arc::clone(&shared);
@@ -353,6 +385,7 @@ impl Server {
         };
         Ok(Server {
             shared,
+            notify,
             router: Some(router),
             sweeper: Some(sweeper),
         })
@@ -368,10 +401,7 @@ impl Server {
     /// Live depth of the runtime's submission queue (the admission
     /// signal).
     pub fn queue_len(&self) -> usize {
-        self.shared
-            .runtime
-            .read()
-            .unwrap()
+        sync::read(&self.shared.runtime)
             .as_ref()
             .map_or(0, Runtime::queue_len)
     }
@@ -381,7 +411,7 @@ impl Server {
     /// stage submissions/cancellations deterministically before any
     /// scheduling happens.
     pub fn resume(&self) {
-        if let Some(rt) = self.shared.runtime.read().unwrap().as_ref() {
+        if let Some(rt) = sync::read(&self.shared.runtime).as_ref() {
             rt.resume();
         }
     }
@@ -401,16 +431,15 @@ impl Server {
 
     fn shutdown_inner(&mut self) -> Result<ServerStats, ServerError> {
         self.shared.accepting.store(false, Ordering::Release);
-        let runtime = self
-            .shared
-            .runtime
-            .write()
-            .unwrap()
+        let runtime = sync::write(&self.shared.runtime)
             .take()
             .ok_or(ServerError::Closed)?;
         let result = runtime.finish();
-        // The notice senders all dropped when `finish` joined the
-        // runtime threads; the router drains what is buffered and exits.
+        // Every real notice is already buffered (finish joined the
+        // scheduler, and completed workers dropped their senders); the
+        // sentinel tells the router to exit once it has drained them,
+        // without waiting on a permanently stalled worker's sender.
+        let _ = self.notify.send(JobNotice::Drained);
         self.shared.sweeper.stop.store(true, Ordering::Release);
         self.shared.sweeper.cv.notify_all();
         if let Some(h) = self.sweeper.take() {
@@ -421,13 +450,14 @@ impl Server {
         }
         match result {
             Ok(report) => {
-                let mut reg = self.shared.registry.lock().unwrap();
+                let mut reg = sync::lock(&self.shared.registry);
                 // Jobs that completed without a *final* live notice (for
                 // example a Fixed-placement job whose last attempt stayed
                 // unverified) resolve from the final report — the
                 // report's winner is exactly the winning attempt.
                 for outcome in &report.outcomes {
                     if let Some(resolver) = reg.pending.remove(&outcome.job_id) {
+                        reg.resolved.insert(outcome.job_id);
                         let completion = Ok(JobDone {
                             job_id: outcome.job_id,
                             outputs: outcome.outputs.clone(),
@@ -449,7 +479,7 @@ impl Server {
                 Ok(self.shared.counters.snapshot(report.stats))
             }
             Err(e) => {
-                let mut reg = self.shared.registry.lock().unwrap();
+                let mut reg = sync::lock(&self.shared.registry);
                 for (_, resolver) in reg.pending.drain() {
                     let completion = Err(ServeError::Lost);
                     self.shared.count(&completion);
@@ -510,7 +540,7 @@ impl Client {
             c.rejected_closed.fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::Closed);
         }
-        let guard = self.shared.runtime.read().unwrap();
+        let guard = sync::read(&self.shared.runtime);
         let Some(rt) = guard.as_ref() else {
             c.rejected_closed.fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::Closed);
@@ -521,7 +551,7 @@ impl Client {
         }
         let now = Instant::now();
         let admission_on = {
-            let mut adm = self.shared.admission.lock().unwrap();
+            let mut adm = sync::lock(&self.shared.admission);
             if let Err(r) = adm.admit(options.priority, rt.queue_len(), rt.queue_capacity(), now) {
                 c.rejected_overload.fetch_add(1, Ordering::Relaxed);
                 return Err(r);
@@ -539,13 +569,21 @@ impl Client {
                     c.rejected_closed.fetch_add(1, Ordering::Relaxed);
                     return Err(Rejected::Closed);
                 }
+                Err(PushError::Poisoned { fingerprint }) => {
+                    c.rejected_poison.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected::Poison { fingerprint });
+                }
             }
         } else {
             match rt.submit(program, options.placement) {
                 Ok(id) => id,
+                Err(RuntimeError::Poisoned { fingerprint }) => {
+                    c.rejected_poison.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected::Poison { fingerprint });
+                }
                 Err(_) => {
-                    // Blocking submit fails only on a closed queue or a
-                    // compiler rejection (differential-verify
+                    // Blocking submit otherwise fails only on a closed
+                    // queue or a compiler rejection (differential-verify
                     // divergence); either way the job was not accepted.
                     c.rejected_closed.fetch_add(1, Ordering::Relaxed);
                     return Err(Rejected::Closed);
@@ -607,13 +645,13 @@ impl Client {
             c.rejected_closed.fetch_add(n, Ordering::Relaxed);
             return Err(Rejected::Closed);
         }
-        let guard = self.shared.runtime.read().unwrap();
+        let guard = sync::read(&self.shared.runtime);
         let Some(rt) = guard.as_ref() else {
             c.rejected_closed.fetch_add(n, Ordering::Relaxed);
             return Err(Rejected::Closed);
         };
         {
-            let mut adm = self.shared.admission.lock().unwrap();
+            let mut adm = sync::lock(&self.shared.admission);
             if let Err(r) = adm.admit(
                 priority,
                 rt.queue_len(),
@@ -660,7 +698,7 @@ impl Client {
             c.rejected_closed.fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::Closed);
         }
-        let guard = self.shared.runtime.read().unwrap();
+        let guard = sync::read(&self.shared.runtime);
         let Some(rt) = guard.as_ref() else {
             c.rejected_closed.fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::Closed);
@@ -682,17 +720,14 @@ impl Client {
     /// its handle resolves [`ServeError::Cancelled`]; a job that already
     /// reached a bank completes normally.
     pub fn cancel(&self, job_id: u64) {
-        if let Some(rt) = self.shared.runtime.read().unwrap().as_ref() {
+        if let Some(rt) = sync::read(&self.shared.runtime).as_ref() {
             rt.cancel(job_id);
         }
     }
 
     /// Live depth of the runtime's submission queue.
     pub fn queue_len(&self) -> usize {
-        self.shared
-            .runtime
-            .read()
-            .unwrap()
+        sync::read(&self.shared.runtime)
             .as_ref()
             .map_or(0, Runtime::queue_len)
     }

@@ -28,10 +28,19 @@ pub struct ServerStats {
     /// Pipeline members refused because the chain was structurally
     /// invalid (forward or self dependency).
     pub rejected_invalid: u64,
+    /// Submissions refused because their program fingerprint is
+    /// quarantined as poison (it kept hanging workers).
+    pub rejected_poison: u64,
     /// Accepted jobs cancelled by deadline expiry while still queued.
     pub expired: u64,
     /// Accepted jobs cancelled by an explicit client cancel while queued.
     pub cancelled: u64,
+    /// Accepted jobs supervision gave up after their attempts exceeded
+    /// the watchdog budget (abandoned as hung).
+    pub hung: u64,
+    /// Accepted jobs supervision gave up after their attempts kept
+    /// crashing workers (crash-retry budget exhausted).
+    pub crashed: u64,
     /// Accepted jobs whose fate the server never learned (worker lost or
     /// session failure).
     pub lost: u64,
@@ -47,6 +56,7 @@ impl ServerStats {
             + self.rejected_deadline
             + self.rejected_closed
             + self.rejected_invalid
+            + self.rejected_poison
     }
 
     /// The accounting invariant every drained server satisfies: every
@@ -55,7 +65,13 @@ impl ServerStats {
     pub fn balanced(&self) -> bool {
         self.submitted == self.accepted + self.rejected()
             && self.accepted
-                == self.completed + self.failed + self.expired + self.cancelled + self.lost
+                == self.completed
+                    + self.failed
+                    + self.expired
+                    + self.cancelled
+                    + self.hung
+                    + self.crashed
+                    + self.lost
     }
 }
 
@@ -71,8 +87,11 @@ pub(crate) struct Counters {
     pub rejected_deadline: AtomicU64,
     pub rejected_closed: AtomicU64,
     pub rejected_invalid: AtomicU64,
+    pub rejected_poison: AtomicU64,
     pub expired: AtomicU64,
     pub cancelled: AtomicU64,
+    pub hung: AtomicU64,
+    pub crashed: AtomicU64,
     pub lost: AtomicU64,
 }
 
@@ -88,8 +107,11 @@ impl Counters {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            rejected_poison: self.rejected_poison.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            hung: self.hung.load(Ordering::Relaxed),
+            crashed: self.crashed.load(Ordering::Relaxed),
             lost: self.lost.load(Ordering::Relaxed),
             runtime,
         }

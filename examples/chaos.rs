@@ -1,0 +1,142 @@
+//! Seeded chaos demo: a supervised serving session under injected
+//! worker panics, stalls, and delays — fully replayable by seed.
+//!
+//! Runs the same campaign twice with the same [`ChaosPlan`] and shows
+//! that both runs resolve every job to the same fate, then once more
+//! with a different seed to show the fault pattern (not the contract)
+//! changes. Run with `cargo run --release --example chaos`.
+
+use coruscant::core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant::core::program::{PimProgram, Step};
+use coruscant::mem::{DbcLocation, MemoryConfig, RowAddress};
+use coruscant::runtime::{
+    install_quiet_hook, ChaosPlan, RuntimeOptions, SuperviseOptions, WatchdogOptions,
+};
+use coruscant::server::{ServeError, Server, ServerOptions};
+
+fn add_job(a: u64) -> PimProgram {
+    let loc = DbcLocation::new(0, 0, 0, 0);
+    PimProgram {
+        steps: vec![
+            Step::Load {
+                addr: RowAddress::new(loc, 4),
+                values: vec![a; 8],
+                lane: 8,
+            },
+            Step::Load {
+                addr: RowAddress::new(loc, 5),
+                values: vec![3; 8],
+                lane: 8,
+            },
+            Step::Exec(
+                CpimInstr::new(
+                    CpimOpcode::Add,
+                    RowAddress::new(loc, 4),
+                    2,
+                    BlockSize::new(8).unwrap(),
+                    Some(RowAddress::new(loc, 20)),
+                )
+                .unwrap(),
+            ),
+            Step::Readout {
+                label: "sum".into(),
+                addr: RowAddress::new(loc, 20),
+                lane: 8,
+            },
+        ],
+    }
+}
+
+fn config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+/// One campaign: 32 jobs through a chaos-injected supervised server.
+/// Returns each job's fate tag plus the final server stats line.
+fn campaign(plan: ChaosPlan) -> (Vec<&'static str>, String) {
+    let runtime = RuntimeOptions::default()
+        .with_shards(4)
+        .with_chaos(plan)
+        .with_supervise(SuperviseOptions {
+            backoff_base_ms: 1,
+            backoff_max_ms: 8,
+            max_job_retries: 3,
+            drain_deadline_ms: 10_000,
+            ..SuperviseOptions::default()
+        })
+        .with_watchdog(WatchdogOptions {
+            enabled: true,
+            base_ms: 200,
+            per_step_us: 50,
+            slack_pct: 400,
+            poison_strikes: u32::MAX,
+        });
+    let server = Server::start(
+        config(),
+        ServerOptions {
+            runtime,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    let handles: Vec<_> = (0..32)
+        .map(|tag| client.submit(add_job(tag)).expect("accepted"))
+        .collect();
+    let fates: Vec<&str> = handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            Ok(_) => "ok",
+            Err(ServeError::Crashed) => "crashed",
+            Err(ServeError::Hung) => "hung",
+            Err(_) => "other",
+        })
+        .collect();
+    let stats = server.shutdown().expect("drain succeeds");
+    assert!(stats.balanced(), "accounting must balance: {stats:?}");
+    let sup = stats.runtime.supervision;
+    let line = format!(
+        "completed={} crashed={} hung={} lost={} | panics_caught={} restarts={} redispatches={}",
+        stats.completed,
+        stats.crashed,
+        stats.hung,
+        stats.lost,
+        sup.panics_caught,
+        sup.shard_restarts,
+        sup.crash_redispatches,
+    );
+    (fates, line)
+}
+
+fn main() {
+    install_quiet_hook();
+    let plan = ChaosPlan::mixed(0xC0FFEE, 100, 1_500, 200);
+
+    println!("== run 1 (seed {:#x}) ==", plan.seed);
+    let (fates1, line1) = campaign(plan);
+    println!("{line1}");
+
+    println!("== run 2 (same seed) ==");
+    let (fates2, line2) = campaign(plan);
+    println!("{line2}");
+    assert_eq!(fates1, fates2, "same seed must replay the same fates");
+    println!("replay check: {} fates identical", fates1.len());
+
+    let other = ChaosPlan::mixed(0xBEEF, 100, 1_500, 200);
+    println!("== run 3 (seed {:#x}) ==", other.seed);
+    let (fates3, line3) = campaign(other);
+    println!("{line3}");
+    let diff = fates1.iter().zip(&fates3).filter(|(a, b)| a != b).count();
+    println!("different seed: {diff} of {} fates differ", fates3.len());
+}

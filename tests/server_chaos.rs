@@ -1,0 +1,236 @@
+//! Server-level chaos soak: the serving frontend over a runtime with
+//! seeded software-fault injection. The contract under test:
+//!
+//! * every accepted job's handle resolves exactly once — to `Ok`, a
+//!   typed abandonment (`Hung`/`Crashed`), or a cancellation — and
+//!   [`ServerStats::balanced`] holds with zero `lost`;
+//! * same-seed campaigns resolve to the same fate multiset;
+//! * `shutdown()` returns within the drain deadline even when a worker
+//!   is permanently stalled;
+//! * pipeline dependents of a crashed predecessor cancel cleanly.
+
+use coruscant::core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant::core::program::{PimProgram, Step};
+use coruscant::mem::{DbcLocation, MemoryConfig, RowAddress};
+use coruscant::runtime::{
+    install_quiet_hook, ChainJob, ChaosPlan, Placement, ProgramSource, RuntimeOptions,
+    SuperviseOptions, WatchdogOptions,
+};
+use coruscant::server::{Priority, ServeError, Server, ServerOptions};
+use std::time::{Duration, Instant};
+
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+fn add_job(a: u64) -> PimProgram {
+    let loc = DbcLocation::new(0, 0, 0, 0);
+    PimProgram {
+        steps: vec![
+            Step::Load {
+                addr: RowAddress::new(loc, 4),
+                values: vec![a; 8],
+                lane: 8,
+            },
+            Step::Load {
+                addr: RowAddress::new(loc, 5),
+                values: vec![5; 8],
+                lane: 8,
+            },
+            Step::Exec(
+                CpimInstr::new(
+                    CpimOpcode::Add,
+                    RowAddress::new(loc, 4),
+                    2,
+                    BlockSize::new(8).unwrap(),
+                    Some(RowAddress::new(loc, 20)),
+                )
+                .unwrap(),
+            ),
+            Step::Readout {
+                label: "sum".into(),
+                addr: RowAddress::new(loc, 20),
+                lane: 8,
+            },
+        ],
+    }
+}
+
+fn chaos_server(shards: usize, plan: ChaosPlan) -> Server {
+    install_quiet_hook();
+    let runtime = RuntimeOptions::default()
+        .with_shards(shards)
+        .with_chaos(plan)
+        .with_supervise(SuperviseOptions {
+            backoff_base_ms: 1,
+            backoff_max_ms: 8,
+            max_job_retries: 4,
+            drain_deadline_ms: 10_000,
+            ..SuperviseOptions::default()
+        })
+        .with_watchdog(WatchdogOptions {
+            enabled: true,
+            base_ms: 200,
+            per_step_us: 50,
+            slack_pct: 400,
+            poison_strikes: u32::MAX,
+        });
+    Server::start(
+        eight_bank_config(),
+        ServerOptions {
+            runtime,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// A completion's fate, normalized for cross-run comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Fate {
+    Done(Vec<(String, Vec<u64>)>),
+    Hung,
+    Crashed,
+    Other(String),
+}
+
+fn run_soak(shards: usize, plan: ChaosPlan, jobs: u64) -> Vec<Fate> {
+    let server = chaos_server(shards, plan);
+    let client = server.client();
+    let handles: Vec<_> = (0..jobs)
+        .map(|tag| client.submit(add_job(tag)).expect("accepted"))
+        .collect();
+    let mut fates: Vec<Fate> = handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            Ok(done) => Fate::Done(done.outputs),
+            Err(ServeError::Hung) => Fate::Hung,
+            Err(ServeError::Crashed) => Fate::Crashed,
+            Err(e) => Fate::Other(e.to_string()),
+        })
+        .collect();
+    let stats = server.shutdown().expect("drain succeeds");
+    assert!(stats.balanced(), "unbalanced stats: {stats:?}");
+    assert_eq!(stats.lost, 0, "no accepted job may be lost: {stats:?}");
+    assert_eq!(stats.accepted, jobs, "chaos never rejects these campaigns");
+    assert_eq!(
+        stats.completed + stats.hung + stats.crashed + stats.failed,
+        jobs,
+        "every accepted job resolved exactly once: {stats:?}"
+    );
+    fates.sort();
+    fates
+}
+
+#[test]
+fn panic_soak_resolves_every_handle_across_shard_counts() {
+    let plan = ChaosPlan::panics(0xD15EA5E, 120);
+    for shards in [1usize, 2, 4, 8] {
+        let fates = run_soak(shards, plan, 40);
+        assert!(
+            fates.iter().any(|f| matches!(f, Fate::Done(_))),
+            "some jobs survive (shards={shards})"
+        );
+        assert!(
+            !fates.iter().any(|f| matches!(f, Fate::Other(_))),
+            "panic soak resolves only Ok/Crashed/Hung (shards={shards}): {fates:?}"
+        );
+    }
+}
+
+#[test]
+fn mixed_soak_is_replayable_per_seed() {
+    let plan = ChaosPlan::mixed(0xFEED, 80, 1_500, 150);
+    let a = run_soak(4, plan, 36);
+    let b = run_soak(4, plan, 36);
+    assert_eq!(a, b, "same seed, same fate multiset");
+}
+
+#[test]
+fn shutdown_bounded_despite_permanent_stall() {
+    // Watchdog off: nothing detaches the stalled workers, so only the
+    // drain deadline bounds shutdown.
+    install_quiet_hook();
+    let runtime = RuntimeOptions::default()
+        .with_shards(2)
+        .with_chaos(ChaosPlan::stalls(3, 1000, 60_000))
+        .with_supervise(SuperviseOptions {
+            drain_deadline_ms: 1_500,
+            ..SuperviseOptions::default()
+        });
+    let server = Server::start(
+        eight_bank_config(),
+        ServerOptions {
+            runtime,
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    let handles: Vec<_> = (0..4)
+        .map(|tag| client.submit(add_job(tag)).expect("accepted"))
+        .collect();
+    let begin = Instant::now();
+    let stats = server.shutdown().expect("bounded drain");
+    assert!(
+        begin.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?}, deadline was 1.5s",
+        begin.elapsed()
+    );
+    assert!(stats.balanced(), "{stats:?}");
+    // The handles resolved too — nobody blocks on a dead session.
+    for h in handles {
+        assert!(h.wait().is_err(), "stalled jobs resolve with an error");
+    }
+}
+
+#[test]
+fn pipeline_dependents_of_crashed_predecessor_cancel_cleanly() {
+    // Every attempt panics: the chain head exhausts its crash retries
+    // and its dependents must resolve (cancelled), not hang.
+    let server = chaos_server(2, ChaosPlan::panics(77, 1000));
+    let client = server.client();
+    let chain = vec![
+        ChainJob {
+            source: ProgramSource::Ready(add_job(1)),
+            placement: Placement::Unit(0),
+            after: vec![],
+        },
+        ChainJob {
+            source: ProgramSource::Ready(add_job(2)),
+            placement: Placement::Unit(1),
+            after: vec![0],
+        },
+        ChainJob {
+            source: ProgramSource::Ready(add_job(3)),
+            placement: Placement::Unit(2),
+            after: vec![1],
+        },
+    ];
+    let handles = client
+        .submit_pipeline(chain, Priority::Normal)
+        .expect("chain accepted");
+    let results: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    assert!(
+        matches!(results[0], Err(ServeError::Crashed)),
+        "head exhausted its crash retries: {:?}",
+        results[0]
+    );
+    for (i, r) in results.iter().enumerate().skip(1) {
+        assert!(r.is_err(), "dependent {i} resolved Ok under total panics");
+    }
+    let stats = server.shutdown().expect("drain succeeds");
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.lost, 0);
+}
