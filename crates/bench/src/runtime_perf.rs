@@ -9,7 +9,8 @@
 
 use coruscant_mem::{MemoryConfig, MemoryController};
 use coruscant_runtime::{
-    BatchOptions, CacheOptions, Placement, Runtime, RuntimeOptions, RuntimeReport,
+    BatchOptions, CacheOptions, Placement, Runtime, RuntimeOptions, RuntimeReport, SchedMode,
+    SchedStats,
 };
 use coruscant_workloads::bitmap::BitmapDataset;
 use coruscant_workloads::compile::PimProgram;
@@ -60,6 +61,96 @@ pub struct RepeatedQueryCampaign {
     pub warm_hits: u64,
 }
 
+/// Share of the scheduling hot path each stage consumed, percent of the
+/// summed stage micros.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StagePct {
+    /// Submission-queue pops (and steal sweeps, parallel mode).
+    pub pop: f64,
+    /// Admission: compile-cache front, gating, chain admission.
+    pub admit: f64,
+    /// Placement resolution and program retargeting.
+    pub place: f64,
+    /// Batching, splicing, and dispatch (inline execution, parallel mode).
+    pub dispatch: f64,
+    /// Completion-ack draining and bookkeeping.
+    pub ack: f64,
+}
+
+impl StagePct {
+    fn of(sched: &SchedStats) -> StagePct {
+        let total = sched.stage_micros();
+        if total == 0 {
+            return StagePct::default();
+        }
+        let pct = |v: u64| v as f64 / total as f64 * 100.0;
+        StagePct {
+            pop: pct(sched.pop_micros),
+            admit: pct(sched.admit_micros),
+            place: pct(sched.place_micros),
+            dispatch: pct(sched.dispatch_micros),
+            ack: pct(sched.ack_micros),
+        }
+    }
+}
+
+/// One cell of the scheduler-scaling sweep: a mode × shards × jobs run
+/// with its wall throughput and its preemption-independent capacity.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Scheduling engine: `"classic"` or `"parallel"`.
+    pub mode: String,
+    /// Shards (classic workers, or parallel scheduler domains).
+    pub shards: usize,
+    /// Jobs served.
+    pub jobs: u64,
+    /// Host wall time, milliseconds, submit through finish.
+    pub wall_ms: f64,
+    /// Host wall throughput. On hosts with fewer cores than shards this
+    /// is preemption-bound — compare `capacity_jobs_per_sec` instead.
+    pub jobs_per_sec: f64,
+    /// Scheduler-capacity throughput: jobs divided by the busiest single
+    /// thread's CPU busy time. Immune to core-count preemption, this is
+    /// the serial-bottleneck metric scaling claims are made against.
+    pub capacity_jobs_per_sec: f64,
+    /// Busiest single thread's CPU busy time, microseconds.
+    pub busy_micros: u64,
+    /// Busiest thread's busy share of the engine's wall, percent.
+    pub occupancy_pct: f64,
+    /// Submissions moved between domains by work-stealing.
+    pub steals: u64,
+    /// Dispatches each shard/domain issued.
+    pub per_shard_issued: Vec<u64>,
+    /// Member jobs each shard/domain completed.
+    pub per_shard_jobs: Vec<u64>,
+    /// Where the scheduling hot path spent its stage time.
+    pub stage_pct: StagePct,
+}
+
+/// The perf-smoke summary: the 8-domain vs 1-domain parallel scaling
+/// ratio CI gates on, measured best-of-N on the capacity metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfSmoke {
+    /// What the gated number means (kept in the JSON so the trajectory
+    /// is self-describing).
+    pub metric: String,
+    /// Cores the host offered (`std::thread::available_parallelism`).
+    pub host_cores: usize,
+    /// Jobs per arm.
+    pub jobs: u64,
+    /// Runs per arm; each arm keeps its best capacity.
+    pub best_of: usize,
+    /// Best 1-domain parallel capacity, jobs/sec.
+    pub capacity_1: f64,
+    /// Best 8-domain parallel capacity, jobs/sec.
+    pub capacity_8: f64,
+    /// `capacity_8 / capacity_1` — the gated scaling ratio.
+    pub capacity_ratio_8v1: f64,
+    /// Wall-throughput ratio of the same best runs (informational; on a
+    /// 1-core host this sits near 1.0 by construction).
+    pub wall_ratio_8v1: f64,
+}
+
 /// The full `BENCH_runtime.json` payload.
 #[derive(Debug, Clone, Serialize)]
 pub struct RuntimeBench {
@@ -67,10 +158,22 @@ pub struct RuntimeBench {
     pub banks: usize,
     /// PIM units in the benched geometry.
     pub pim_units: usize,
+    /// Cores the host offered while benching.
+    pub host_cores: usize,
     /// The shards × cache × batch grid.
     pub grid: Vec<GridPoint>,
     /// The compile-time campaign.
     pub repeated_query: RepeatedQueryCampaign,
+    /// The mode × shards × jobs scheduler-scaling sweep.
+    pub scaling: Vec<ScalePoint>,
+    /// The gated parallel-scaling summary.
+    pub perf_smoke: PerfSmoke,
+}
+
+/// Cores the host offers (1 if the query fails).
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// The job stream the grid serves: bitmap-query chunks placed in blocks
@@ -207,8 +310,103 @@ pub fn repeated_query_campaign(config: &MemoryConfig, jobs: u64) -> RepeatedQuer
     }
 }
 
+/// A job stream of exactly `jobs` programs: the dataset's chunk
+/// programs cycled until the count is met (all submitted `Auto`, so the
+/// parallel router round-robins them and work-stealing stays legal).
+fn scaling_stream(config: &MemoryConfig, jobs: usize) -> Vec<PimProgram> {
+    let ds = BitmapDataset::generate(4_000, 3, 11);
+    let chunks = compile_bitmap_query_with(&ds, 3, config, QueryPlan::PairwiseChain)
+        .expect("query compiles");
+    chunks.iter().cloned().cycle().take(jobs).collect()
+}
+
+/// Runs one scaling cell: `jobs` Auto submissions through the chosen
+/// engine at the chosen shard count.
+#[must_use]
+pub fn scale_point(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    mode: SchedMode,
+    shards: usize,
+) -> ScalePoint {
+    let placements = vec![Placement::Auto; programs.len()];
+    let options = RuntimeOptions::default()
+        .with_shards(shards)
+        .with_sched_mode(mode);
+    let (report, wall_ms) = run_session(config, programs, &placements, options);
+    let sched = &report.stats.sched;
+    let jobs = report.stats.jobs;
+    ScalePoint {
+        mode: sched.mode.clone(),
+        shards,
+        jobs,
+        wall_ms,
+        jobs_per_sec: jobs as f64 / (wall_ms / 1e3),
+        capacity_jobs_per_sec: if sched.busy_micros > 0 {
+            jobs as f64 / (sched.busy_micros as f64 / 1e6)
+        } else {
+            0.0
+        },
+        busy_micros: sched.busy_micros,
+        occupancy_pct: sched.occupancy_pct,
+        steals: sched.steals,
+        per_shard_issued: sched.per_domain.iter().map(|d| d.issued).collect(),
+        per_shard_jobs: sched.per_domain.iter().map(|d| d.jobs).collect(),
+        stage_pct: StagePct::of(sched),
+    }
+}
+
+/// The scheduler-scaling sweep: both engines at every shard count, at
+/// every job count.
+#[must_use]
+pub fn scaling_sweep(
+    config: &MemoryConfig,
+    shards: &[usize],
+    jobs_counts: &[usize],
+) -> Vec<ScalePoint> {
+    let mut points = Vec::new();
+    for &jobs in jobs_counts {
+        let programs = scaling_stream(config, jobs);
+        for mode in [SchedMode::Classic, SchedMode::Parallel] {
+            for &s in shards {
+                points.push(scale_point(config, &programs, mode, s));
+            }
+        }
+    }
+    points
+}
+
+/// The gated perf-smoke measurement: best-of-`best_of` parallel runs at
+/// 1 and at 8 domains, compared on the capacity metric.
+#[must_use]
+pub fn perf_smoke(config: &MemoryConfig, jobs: usize, best_of: usize) -> PerfSmoke {
+    let programs = scaling_stream(config, jobs);
+    let best_arm = |shards: usize| -> ScalePoint {
+        (0..best_of.max(1))
+            .map(|_| scale_point(config, &programs, SchedMode::Parallel, shards))
+            .max_by(|a, b| a.capacity_jobs_per_sec.total_cmp(&b.capacity_jobs_per_sec))
+            .expect("at least one run")
+    };
+    let one = best_arm(1);
+    let eight = best_arm(8);
+    PerfSmoke {
+        metric: "capacity_jobs_per_sec = jobs / busiest-thread busy CPU time; \
+                 thread CPU time excludes preemption, so the 8v1 ratio measures \
+                 serial-bottleneck scaling even on hosts with fewer cores than domains"
+            .into(),
+        host_cores: host_cores(),
+        jobs: one.jobs,
+        best_of: best_of.max(1),
+        capacity_1: one.capacity_jobs_per_sec,
+        capacity_8: eight.capacity_jobs_per_sec,
+        capacity_ratio_8v1: eight.capacity_jobs_per_sec / one.capacity_jobs_per_sec,
+        wall_ratio_8v1: eight.jobs_per_sec / one.jobs_per_sec,
+    }
+}
+
 /// Runs the whole harness: the grid (each stream submitted `rounds`
-/// times) plus the repeated-query campaign.
+/// times), the repeated-query campaign, the scheduler-scaling sweep,
+/// and the gated perf-smoke summary.
 #[must_use]
 pub fn run_full(
     config: &MemoryConfig,
@@ -216,12 +414,16 @@ pub fn run_full(
     shards: &[usize],
     rounds: usize,
     jobs: u64,
+    scaling_jobs: &[usize],
 ) -> RuntimeBench {
     RuntimeBench {
         banks: config.banks,
         pim_units: MemoryController::new(config.clone()).pim_unit_count(),
+        host_cores: host_cores(),
         grid: run_grid(config, rows, shards, rounds),
         repeated_query: repeated_query_campaign(config, jobs),
+        scaling: scaling_sweep(config, shards, scaling_jobs),
+        perf_smoke: perf_smoke(config, scaling_jobs.last().copied().unwrap_or(1_000), 3),
     }
 }
 
@@ -237,7 +439,7 @@ mod tests {
     fn harness_smoke_on_tiny_geometry() {
         let config = MemoryConfig::tiny();
         let rounds = 2;
-        let bench = run_full(&config, 2_000, &[1, 2], rounds, 200);
+        let bench = run_full(&config, 2_000, &[1, 2], rounds, 200, &[200]);
         assert_eq!(bench.grid.len(), 8);
         let jobs = bench.grid[0].jobs;
         assert!(jobs > 0);
@@ -269,5 +471,24 @@ mod tests {
             "warm submits must be cheaper: {:?}",
             bench.repeated_query
         );
+        // Scaling sweep: both engines at both shard counts, one jobs
+        // count, every cell serving the whole stream.
+        assert_eq!(bench.scaling.len(), 4);
+        for point in &bench.scaling {
+            assert_eq!(point.jobs, 200, "{point:?}");
+            assert!(point.capacity_jobs_per_sec > 0.0, "{point:?}");
+            assert_eq!(point.per_shard_jobs.iter().sum::<u64>(), 200, "{point:?}");
+            let stage_total = point.stage_pct.pop
+                + point.stage_pct.admit
+                + point.stage_pct.place
+                + point.stage_pct.dispatch
+                + point.stage_pct.ack;
+            assert!(
+                (stage_total - 100.0).abs() < 1e-6,
+                "stage percentages sum to 100: {point:?}"
+            );
+        }
+        assert!(bench.perf_smoke.capacity_ratio_8v1 > 0.0);
+        assert!(bench.perf_smoke.host_cores >= 1);
     }
 }

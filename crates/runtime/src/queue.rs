@@ -30,6 +30,11 @@ struct QueueState<T> {
     closed: bool,
     /// High-water mark of the queue depth, for observability.
     max_depth: usize,
+    /// Monotonic count of [`JobQueue::kick`] calls. A popper that
+    /// snapshots this before waiting can tell "an external event fired
+    /// while I slept" apart from a plain timeout (see
+    /// [`JobQueue::pop_kicked`]).
+    kicks: u64,
 }
 
 /// Why a submission was refused.
@@ -68,6 +73,7 @@ impl<T> JobQueue<T> {
                 items: VecDeque::new(),
                 closed: false,
                 max_depth: 0,
+                kicks: 0,
             }),
             space: Condvar::new(),
             items: Condvar::new(),
@@ -181,6 +187,85 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// The current kick count. Snapshot this *before* processing
+    /// external events (worker acks), then pass it to
+    /// [`JobQueue::pop_kicked`]: any kick after the snapshot wakes the
+    /// pop early, and any kick before it means the event was already
+    /// visible to that processing pass — no wakeup is ever lost.
+    pub fn kicks(&self) -> u64 {
+        self.state().kicks
+    }
+
+    /// Signals poppers that an external event (not a push) needs
+    /// attention — workers kick after sending a completion ack so the
+    /// scheduler's bounded pop returns immediately instead of sleeping
+    /// out its timeout.
+    pub fn kick(&self) {
+        let mut state = self.state();
+        state.kicks = state.kicks.wrapping_add(1);
+        drop(state);
+        self.items.notify_all();
+    }
+
+    /// Like [`JobQueue::pop_timeout`], but also returns (with
+    /// [`Pop::Timeout`]) as soon as the kick count moves past
+    /// `seen_kicks` — the event-driven wait that replaces fixed-interval
+    /// polling in the scheduler loop.
+    pub fn pop_kicked(&self, timeout: Duration, seen_kicks: u64) -> Pop<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.space.notify_one();
+                return Pop::Item(item);
+            }
+            if state.closed {
+                return Pop::Closed;
+            }
+            if state.kicks != seen_kicks {
+                return Pop::Timeout;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Pop::Timeout;
+            }
+            state = sync::wait_timeout(&self.items, state, deadline - now);
+        }
+    }
+
+    /// Removes up to `max` queued items matching `pred` (front first,
+    /// preserving the relative order of everything left behind) and
+    /// appends them to `into`. Returns how many were taken. The parallel
+    /// scheduler's work-stealing uses this to lift steal-eligible
+    /// submissions out of a sibling domain's injector without disturbing
+    /// pinned work.
+    pub fn steal_matching<F: Fn(&T) -> bool>(
+        &self,
+        pred: F,
+        max: usize,
+        into: &mut Vec<T>,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = self.state();
+        let mut taken = 0;
+        let mut idx = 0;
+        while idx < state.items.len() && taken < max {
+            if pred(&state.items[idx]) {
+                let item = state.items.remove(idx).expect("index bounds checked");
+                into.push(item);
+                taken += 1;
+            } else {
+                idx += 1;
+            }
+        }
+        if taken > 0 {
+            self.space.notify_all();
+        }
+        taken
+    }
+
     /// Dequeues every job currently available without blocking (the
     /// scheduler uses this to batch a burst into its bank FIFOs).
     pub fn drain_ready(&self, into: &mut Vec<T>) {
@@ -274,6 +359,61 @@ mod tests {
         q.close();
         assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Item(1));
         assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Closed);
+    }
+
+    #[test]
+    fn kick_wakes_a_bounded_pop_early() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(4));
+        let seen = q.kicks();
+        let q2 = Arc::clone(&q);
+        let kicker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.kick();
+        });
+        let start = std::time::Instant::now();
+        // A plain empty wait would sleep the full 5 s; the kick cuts it.
+        assert_eq!(q.pop_kicked(Duration::from_secs(5), seen), Pop::Timeout);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "kick did not interrupt the wait"
+        );
+        kicker.join().unwrap();
+    }
+
+    #[test]
+    fn stale_kick_snapshot_returns_immediately() {
+        let q: JobQueue<u32> = JobQueue::new(4);
+        q.kick();
+        // A snapshot taken before the kick is stale: the pop must not
+        // sleep at all (the event it signals may still be unprocessed).
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_kicked(Duration::from_secs(5), 0), Pop::Timeout);
+        assert!(start.elapsed() < Duration::from_secs(1));
+        // A fresh snapshot waits normally and still delivers items.
+        let seen = q.kicks();
+        q.push(7).unwrap();
+        assert_eq!(q.pop_kicked(Duration::from_millis(5), seen), Pop::Item(7));
+        q.close();
+        assert_eq!(q.pop_kicked(Duration::from_millis(5), seen), Pop::Closed);
+    }
+
+    #[test]
+    fn steal_matching_takes_only_matching_items_in_order() {
+        let q = JobQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let mut stolen = Vec::new();
+        // Steal up to 2 even items: 0 and 2, leaving order intact.
+        assert_eq!(q.steal_matching(|v| v % 2 == 0, 2, &mut stolen), 2);
+        assert_eq!(stolen, vec![0, 2]);
+        let mut rest = Vec::new();
+        q.drain_ready(&mut rest);
+        assert_eq!(rest, vec![1, 3, 4, 5]);
+        // Nothing matching, nothing taken.
+        q.push(9).unwrap();
+        assert_eq!(q.steal_matching(|v| *v == 100, 4, &mut stolen), 0);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

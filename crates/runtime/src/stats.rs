@@ -3,7 +3,7 @@
 
 use coruscant_mem::controller::{BankStats, ControllerStats};
 use coruscant_mem::ScrubOutcome;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A power-of-two-bucket histogram of `u64` samples. Bucket `i` counts
 /// samples in `[2^(i-1), 2^i)` (bucket 0 counts zeros and ones), which
@@ -56,6 +56,20 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Folds another histogram into this one bucket-wise (used to merge
+    /// per-domain histograms into the session roll-up).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -137,6 +151,85 @@ pub struct PipelineStats {
     pub rematerializations: u64,
 }
 
+/// One scheduler domain's share of a session.
+///
+/// Under [`SchedMode::Classic`](crate::SchedMode) a "domain" is one
+/// worker shard (the single scheduler thread does all placement); under
+/// [`SchedMode::Parallel`](crate::SchedMode) it is one fused
+/// scheduler+executor domain owning `bank % domains == d` banks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DomainStats {
+    /// Domain (shard) index.
+    pub domain: usize,
+    /// Dispatches this domain issued (batched dispatches count once).
+    pub issued: u64,
+    /// Member jobs this domain completed.
+    pub jobs: u64,
+    /// Submissions this domain stole from sibling injectors (parallel
+    /// mode only).
+    pub steals: u64,
+    /// Wall-clock microseconds the domain's thread spent working (not
+    /// waiting). This is the denominator of the scheduler-capacity
+    /// metric the bench harness reports.
+    pub busy_micros: u64,
+    /// Deepest the domain's completion ring got before a drain
+    /// (parallel mode only).
+    pub ring_peak: u64,
+}
+
+/// The scheduler-occupancy profile of a session: where the scheduling
+/// hot path spent its time, stage by stage.
+///
+/// Everything here is **wall-clock measurement**, not modeled time — two
+/// otherwise identical runs will report different micros. Consumers that
+/// compare reports for determinism should compare the modeled fields of
+/// [`RuntimeStats`] and ignore `sched`, or compare only the counter
+/// fields (`steals`, `per_domain[].issued`/`jobs`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Which scheduling engine ran: `"classic"` or `"parallel"`.
+    pub mode: String,
+    /// Scheduler domains (1 for classic's single loop; the shard count
+    /// for parallel).
+    pub domains: usize,
+    /// Microseconds the scheduler spent popping the submission queue.
+    pub pop_micros: u64,
+    /// Microseconds spent admitting submissions (compile-cache front,
+    /// dependency gating, chain admission).
+    pub admit_micros: u64,
+    /// Microseconds spent resolving placements and retargeting programs.
+    pub place_micros: u64,
+    /// Microseconds spent batching, splicing, and dispatching work.
+    pub dispatch_micros: u64,
+    /// Microseconds spent draining and applying completion acks.
+    pub ack_micros: u64,
+    /// Busy microseconds of the busiest single thread (scheduler or any
+    /// worker/domain) — the serial bottleneck a scaling claim is made
+    /// against.
+    pub busy_micros: u64,
+    /// Wall-clock microseconds the scheduling engine was live.
+    pub wall_micros: u64,
+    /// Busy fraction of the busiest thread over the engine's lifetime,
+    /// `0.0..=100.0`.
+    pub occupancy_pct: f64,
+    /// Submissions moved between domains by work-stealing (parallel
+    /// mode only).
+    pub steals: u64,
+    /// Per-domain breakdown, in domain order.
+    pub per_domain: Vec<DomainStats>,
+}
+
+impl SchedStats {
+    /// Sum of the per-stage scheduler micros.
+    pub fn stage_micros(&self) -> u64 {
+        self.pop_micros
+            + self.admit_micros
+            + self.place_micros
+            + self.dispatch_micros
+            + self.ack_micros
+    }
+}
+
 /// Aggregate, serializable statistics of a runtime session.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RuntimeStats {
@@ -185,6 +278,9 @@ pub struct RuntimeStats {
     /// Software-fault supervision counters (panics caught, shard
     /// restarts, hung attempts, quarantined programs).
     pub supervision: crate::supervise::SupervisionStats,
+    /// Scheduler-occupancy profile (wall-clock; see [`SchedStats`] for
+    /// the determinism caveat).
+    pub sched: SchedStats,
 }
 
 #[cfg(test)]

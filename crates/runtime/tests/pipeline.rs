@@ -440,3 +440,35 @@ fn chain_report_is_deterministic_across_shards() {
         assert_eq!(report.stats.makespan_cycles, baseline.stats.makespan_cycles);
     }
 }
+
+#[test]
+fn ack_wakeups_release_dependency_chains_promptly() {
+    // Regression for the event-driven scheduler wakeup: releasing a
+    // dependency-gated job requires an ack to arrive while the scheduler
+    // sits in its queue pop. Workers kick the queue's wakeup counter
+    // after every ack, so each link of this chain must release in
+    // microseconds — under lost-wakeup polling, every link would wait
+    // out the full 50 ms pop timeout and a 40-deep chain would take
+    // two seconds or more.
+    let depth = 40usize;
+    let chain: Vec<ChainJob> = (0..depth)
+        .map(|i| ChainJob {
+            source: ProgramSource::Ready(add_job(i as u64, 1)),
+            placement: Placement::Auto,
+            after: if i == 0 { vec![] } else { vec![i - 1] },
+        })
+        .collect();
+    let runtime = Runtime::new(eight_bank_config(), RuntimeOptions::default()).unwrap();
+    let begin = std::time::Instant::now();
+    let ids = runtime.submit_chain(chain).expect("chain accepted");
+    let report = runtime.finish().expect("chain drains");
+    let elapsed = begin.elapsed();
+    assert_eq!(report.outcomes.len(), depth);
+    for id in ids {
+        assert!(report.outcomes.iter().any(|o| o.job_id == id));
+    }
+    assert!(
+        elapsed < std::time::Duration::from_millis(1_500),
+        "a {depth}-deep chain drained in {elapsed:?}; ack wakeups must not poll"
+    );
+}

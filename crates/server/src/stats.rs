@@ -1,7 +1,7 @@
 //! Server-level accounting: submission/rejection/completion counters
 //! plus the wrapped runtime's final [`RuntimeStats`].
 
-use coruscant_runtime::RuntimeStats;
+use coruscant_runtime::{RuntimeStats, SchedStats};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -57,6 +57,14 @@ impl ServerStats {
             + self.rejected_closed
             + self.rejected_invalid
             + self.rejected_poison
+    }
+
+    /// The wrapped session's scheduler-occupancy profile: engine mode,
+    /// per-stage micros, work-steal counts, and per-domain breakdowns
+    /// (ring depths included). Serialized with the rest of the stats, so
+    /// an operator dashboard reads it straight off the shutdown JSON.
+    pub fn sched(&self) -> &SchedStats {
+        &self.runtime.sched
     }
 
     /// The accounting invariant every drained server satisfies: every
@@ -147,5 +155,116 @@ mod tests {
         let json = serde::json::to_string(&ServerStats::default());
         assert!(json.contains("\"rejected_overload\""));
         assert!(json.contains("\"runtime\""));
+        // The scheduler-occupancy profile rides along.
+        assert!(json.contains("\"sched\""));
+        assert!(json.contains("\"per_domain\""));
+    }
+
+    #[test]
+    fn sched_profile_round_trips_through_json() {
+        use coruscant_runtime::DomainStats;
+        let sched = SchedStats {
+            mode: "parallel".into(),
+            domains: 2,
+            pop_micros: 11,
+            admit_micros: 22,
+            place_micros: 33,
+            dispatch_micros: 44,
+            ack_micros: 55,
+            busy_micros: 120,
+            wall_micros: 300,
+            occupancy_pct: 40.0,
+            steals: 7,
+            per_domain: vec![
+                DomainStats {
+                    domain: 0,
+                    issued: 10,
+                    jobs: 12,
+                    steals: 7,
+                    busy_micros: 120,
+                    ring_peak: 3,
+                },
+                DomainStats {
+                    domain: 1,
+                    issued: 8,
+                    jobs: 8,
+                    steals: 0,
+                    busy_micros: 90,
+                    ring_peak: 2,
+                },
+            ],
+        };
+        let json = serde::json::to_string(&sched);
+        let back: SchedStats = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, sched);
+        // The fields an occupancy dashboard keys on survive the trip.
+        assert!(json.contains("\"occupancy_pct\""));
+        assert!(json.contains("\"ring_peak\""));
+        assert!(json.contains("\"steals\""));
+    }
+
+    #[test]
+    fn drained_parallel_server_surfaces_its_sched_profile() {
+        use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+        use coruscant_core::program::{PimProgram, Step};
+        use coruscant_mem::{DbcLocation, MemoryConfig, RowAddress};
+        use coruscant_runtime::{RuntimeOptions, SchedMode};
+
+        let loc = DbcLocation::new(0, 0, 0, 0);
+        let program = PimProgram {
+            steps: vec![
+                Step::Load {
+                    addr: RowAddress::new(loc, 4),
+                    values: vec![3; 8],
+                    lane: 8,
+                },
+                Step::Load {
+                    addr: RowAddress::new(loc, 5),
+                    values: vec![4; 8],
+                    lane: 8,
+                },
+                Step::Exec(
+                    CpimInstr::new(
+                        CpimOpcode::Add,
+                        RowAddress::new(loc, 4),
+                        2,
+                        BlockSize::new(8).unwrap(),
+                        Some(RowAddress::new(loc, 20)),
+                    )
+                    .unwrap(),
+                ),
+                Step::Readout {
+                    label: "sum".into(),
+                    addr: RowAddress::new(loc, 20),
+                    lane: 8,
+                },
+            ],
+        };
+        let server = crate::Server::start(
+            MemoryConfig::tiny(),
+            crate::ServerOptions {
+                runtime: RuntimeOptions::default()
+                    .with_shards(2)
+                    .with_sched_mode(SchedMode::Parallel),
+                ..crate::ServerOptions::default()
+            },
+        )
+        .expect("parallel server starts");
+        let client = server.client();
+        let handles: Vec<_> = (0..16)
+            .map(|_| client.submit(program.clone()).expect("accepted"))
+            .collect();
+        for h in handles {
+            h.wait().expect("completes");
+        }
+        let stats = server.shutdown().expect("drains");
+        assert!(stats.balanced(), "{stats:?}");
+        let sched = stats.sched();
+        assert_eq!(sched.mode, "parallel");
+        assert_eq!(sched.domains, 2);
+        assert_eq!(
+            sched.per_domain.iter().map(|d| d.jobs).sum::<u64>(),
+            stats.completed
+        );
     }
 }

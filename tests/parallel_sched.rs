@@ -1,0 +1,279 @@
+//! Parallel-scheduler equivalence: `SchedMode::Parallel` must produce
+//! the same *set* of per-job outcomes as the classic single-loop
+//! scheduler on every program in the workload corpus — fault-free, under
+//! device faults with re-execute protection, and under seeded chaos
+//! panics — at every shard count. Plus the work-stealing starvation
+//! test (one hot bank, idle sibling domains) and the config-surface
+//! rejections the parallel engine documents.
+
+use coruscant::core::program::PimProgram;
+use coruscant::mem::{FaultPlan, MemoryConfig};
+use coruscant::racetrack::FaultConfig;
+use coruscant::runtime::{
+    install_quiet_hook, ChainJob, ChaosPlan, DispatchMode, Placement, ProgramSource,
+    ProtectionPolicy, Runtime, RuntimeError, RuntimeOptions, RuntimeReport, SchedMode,
+    SuperviseOptions, WatchdogOptions,
+};
+use coruscant::workloads::serve::all_workload_programs;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn eight_bank_config() -> MemoryConfig {
+    MemoryConfig {
+        banks: 8,
+        subarrays_per_bank: 2,
+        tiles_per_subarray: 2,
+        dbcs_per_tile: 4,
+        pim_dbcs_per_tile: 1,
+        nanowires_per_dbc: 64,
+        rows_per_dbc: 32,
+        trd: 7,
+        bus_mhz: 1000,
+        memory_cycle_ns: 1.25,
+    }
+}
+
+/// The full serving corpus (bitmap queries at widths 1..=4 in both
+/// compile shapes, plus the matmul), repeated so every domain sees work.
+fn corpus(repeats: usize) -> Vec<PimProgram> {
+    let base = all_workload_programs(&eight_bank_config());
+    let mut programs = Vec::with_capacity(base.len() * repeats);
+    for _ in 0..repeats {
+        programs.extend(base.iter().cloned());
+    }
+    programs
+}
+
+fn run_session(options: RuntimeOptions, programs: &[PimProgram]) -> RuntimeReport {
+    let runtime = Runtime::new(eight_bank_config(), options).expect("runtime starts");
+    for program in programs {
+        runtime
+            .submit(program.clone(), Placement::Auto)
+            .expect("submission accepted");
+    }
+    runtime.finish().expect("session drains")
+}
+
+/// Job id → labeled outputs, the placement-independent outcome a mode
+/// comparison is made against (seqs and banks legitimately differ).
+fn outputs_by_job(report: &RuntimeReport) -> BTreeMap<u64, Vec<(String, Vec<u64>)>> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| (o.job_id, o.outputs.clone()))
+        .collect()
+}
+
+#[test]
+fn parallel_outcome_set_matches_classic_fault_free() {
+    let programs = corpus(4);
+    let classic = run_session(RuntimeOptions::default(), &programs);
+    let want = outputs_by_job(&classic);
+    assert_eq!(want.len(), programs.len(), "classic completes everything");
+    for shards in [1usize, 2, 4, 8] {
+        let parallel = run_session(
+            RuntimeOptions::default()
+                .with_shards(shards)
+                .with_sched_mode(SchedMode::Parallel),
+            &programs,
+        );
+        assert_eq!(parallel.stats.sched.mode, "parallel");
+        assert_eq!(
+            outputs_by_job(&parallel),
+            want,
+            "parallel shards={shards} diverged from classic"
+        );
+        assert_eq!(parallel.stats.jobs, classic.stats.jobs);
+        assert_eq!(parallel.stats.instructions, classic.stats.instructions);
+    }
+}
+
+#[test]
+fn parallel_matches_classic_under_device_faults_with_reexecute() {
+    // A uniform accelerated TR-fault plan with re-execute-and-compare:
+    // both modes must complete the same job-id set, and any job BOTH
+    // modes verified must read out identically (an unverified attempt's
+    // outputs legitimately depend on which bank's fault stream hit it).
+    let plan = FaultPlan::uniform(FaultConfig::NONE.with_tr_fault_rate(1e-3), 0xFA_57).unwrap();
+    let programs = corpus(2);
+    let protected = |shards: usize, sched: SchedMode| {
+        run_session(
+            RuntimeOptions::default()
+                .with_shards(shards)
+                .with_sched_mode(sched)
+                .with_faults(plan.clone())
+                .with_protection(ProtectionPolicy::Reexecute { max_retries: 2 }),
+            &programs,
+        )
+    };
+    let classic = protected(4, SchedMode::Classic);
+    let classic_verified: BTreeMap<u64, Vec<(String, Vec<u64>)>> = classic
+        .outcomes
+        .iter()
+        .filter(|o| o.verified)
+        .map(|o| (o.job_id, o.outputs.clone()))
+        .collect();
+    let classic_ids: BTreeSet<u64> = classic.outcomes.iter().map(|o| o.job_id).collect();
+    for shards in [1usize, 2, 4, 8] {
+        let parallel = protected(shards, SchedMode::Parallel);
+        let parallel_ids: BTreeSet<u64> = parallel.outcomes.iter().map(|o| o.job_id).collect();
+        assert_eq!(
+            parallel_ids, classic_ids,
+            "job-id sets diverged at shards={shards}"
+        );
+        for o in parallel.outcomes.iter().filter(|o| o.verified) {
+            if let Some(want) = classic_verified.get(&o.job_id) {
+                assert_eq!(
+                    &o.outputs, want,
+                    "job {} verified in both modes but read out differently \
+                     (shards={shards})",
+                    o.job_id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_chaos_fates_match_classic() {
+    // Chaos draws are keyed on (job id, attempt) only, so a job's fate —
+    // completed after n crash retries, or abandoned — is a pure function
+    // of the seed and its id. Both engines must agree on the completed
+    // set and on the surviving outputs.
+    install_quiet_hook();
+    let programs = corpus(3);
+    let chaotic = |shards: usize, sched: SchedMode| {
+        run_session(
+            RuntimeOptions::default()
+                .with_shards(shards)
+                .with_sched_mode(sched)
+                .with_chaos(ChaosPlan::panics(0xD15EA5E, 150))
+                .with_supervise(SuperviseOptions {
+                    backoff_base_ms: 1,
+                    backoff_max_ms: 4,
+                    max_job_retries: 3,
+                    ..SuperviseOptions::default()
+                }),
+            &programs,
+        )
+    };
+    let classic = chaotic(4, SchedMode::Classic);
+    let want = outputs_by_job(&classic);
+    assert!(
+        classic.stats.supervision.panics_caught > 0,
+        "the plan must actually inject panics"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let parallel = chaotic(shards, SchedMode::Parallel);
+        assert_eq!(
+            outputs_by_job(&parallel),
+            want,
+            "chaos fates diverged at shards={shards}"
+        );
+        assert_eq!(
+            parallel.stats.supervision.abandoned_jobs, classic.stats.supervision.abandoned_jobs,
+            "abandonment counts diverged at shards={shards}"
+        );
+        assert!(parallel.stats.supervision.panics_caught > 0);
+    }
+}
+
+#[test]
+fn idle_domains_steal_from_a_hot_bank() {
+    // SingleBank dispatch routes every Auto submission to the domain
+    // owning unit 0's bank; the other seven domains start with empty
+    // injectors and must pull their work over by stealing.
+    let programs = corpus(8);
+    let report = run_session(
+        RuntimeOptions::default()
+            .with_shards(8)
+            .with_dispatch(DispatchMode::SingleBank)
+            .with_sched_mode(SchedMode::Parallel),
+        &programs,
+    );
+    assert_eq!(
+        report.outcomes.len(),
+        programs.len(),
+        "starved domains must not drop work"
+    );
+    assert!(
+        report.stats.sched.steals > 0,
+        "idle domains never stole: {:?}",
+        report.stats.sched
+    );
+    let busy_banks = report.stats.per_bank.iter().filter(|b| b.jobs > 0).count();
+    assert!(
+        busy_banks > 1,
+        "stolen work must spread beyond the hot bank (banks used: {busy_banks})"
+    );
+    // The domain breakdown accounts for every steal it reports.
+    let domain_steals: u64 = report.stats.sched.per_domain.iter().map(|d| d.steals).sum();
+    assert_eq!(domain_steals, report.stats.sched.steals);
+}
+
+#[test]
+fn parallel_rejects_unsupported_config_surfaces() {
+    let config = eight_bank_config();
+    let parallel = || {
+        RuntimeOptions::default()
+            .with_shards(4)
+            .with_sched_mode(SchedMode::Parallel)
+    };
+
+    // Watchdog and chaos stalls are refused at construction.
+    let watchdog = Runtime::new(
+        config.clone(),
+        parallel().with_watchdog(WatchdogOptions {
+            enabled: true,
+            ..WatchdogOptions::default()
+        }),
+    );
+    assert!(matches!(watchdog, Err(RuntimeError::Config(_))));
+    let stalls = Runtime::new(
+        config.clone(),
+        parallel().with_chaos(ChaosPlan::stalls(1, 100, 10_000)),
+    );
+    assert!(matches!(stalls, Err(RuntimeError::Config(_))));
+
+    // Chains, dependency gates, and resident pins are refused at submit.
+    let probe = all_workload_programs(&config).remove(0);
+    let runtime = Runtime::new(config, parallel()).expect("plain parallel runtime starts");
+    let chain = runtime.submit_chain(vec![ChainJob {
+        source: ProgramSource::Ready(probe.clone()),
+        placement: Placement::Auto,
+        after: vec![],
+    }]);
+    assert!(matches!(chain, Err(RuntimeError::Config(_))));
+    let gated = runtime.submit_after(probe.clone(), Placement::Auto, &[]);
+    assert!(matches!(gated, Err(RuntimeError::Config(_))));
+    let pin = runtime.pin_resident(probe.clone(), 0);
+    assert!(matches!(pin, Err(RuntimeError::Config(_))));
+
+    // The rejections left the session healthy: plain submissions drain.
+    runtime.submit(probe, Placement::Auto).expect("accepted");
+    let report = runtime.finish().expect("drains");
+    assert_eq!(report.outcomes.len(), 1);
+}
+
+#[test]
+fn parallel_profile_reports_per_domain_activity() {
+    let programs = corpus(6);
+    let report = run_session(
+        RuntimeOptions::default()
+            .with_shards(4)
+            .with_sched_mode(SchedMode::Parallel),
+        &programs,
+    );
+    let sched = &report.stats.sched;
+    assert_eq!(sched.mode, "parallel");
+    assert_eq!(sched.domains, 4);
+    assert_eq!(sched.per_domain.len(), 4);
+    let issued: u64 = sched.per_domain.iter().map(|d| d.issued).sum();
+    let jobs: u64 = sched.per_domain.iter().map(|d| d.jobs).sum();
+    assert!(issued > 0, "domains issued dispatches");
+    assert_eq!(jobs, programs.len() as u64, "every job charged to a domain");
+    assert!(
+        sched.per_domain.iter().filter(|d| d.jobs > 0).count() > 1,
+        "round-robin routing must spread the corpus: {sched:?}"
+    );
+    assert!(sched.wall_micros > 0);
+}
