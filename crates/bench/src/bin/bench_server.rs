@@ -1,13 +1,19 @@
 //! Emits `BENCH_server.json`: the serving-frontend perf trajectory —
 //! closed-loop client-fleet scaling with end-to-end latency percentiles,
-//! plus an admission-on shedding arm.
+//! an admission-on shedding arm, an open-loop offered-rate sweep with
+//! its saturation knee, and the two-tenant weighted-fair QoS arm.
 //!
 //! Usage: `cargo run --release -p coruscant-bench --bin bench_server
 //! [output-path]` (default `BENCH_server.json` in the working
-//! directory).
+//! directory), or `--smoke-qos` to run the seconds-scale QoS gate CI
+//! uses: the misbehaving tenant must stay within its quota (+10%) and
+//! the compliant tenant must hold its p99 SLO.
 
+use coruscant_bench::server_perf::QosBenchProfile;
 use coruscant_bench::{header, server_perf};
 use coruscant_mem::MemoryConfig;
+use coruscant_workloads::bitmap::BitmapDataset;
+use coruscant_workloads::serve::{compile_bitmap_query_with, QueryPlan};
 
 /// The same eight-bank geometry `bench_runtime` uses, so the two
 /// trajectories are comparable.
@@ -41,12 +47,125 @@ fn print_point(point: &server_perf::LoadPoint) {
     );
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_server.json".into());
+fn print_open_loop(sweep: &server_perf::OpenLoopSweep) {
+    header("Open-loop offered-rate sweep (latency in µs)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "offered/s", "actual/s", "achieved/s", "p50", "p90", "p99", "shed"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>10.0} {:>10.0} {:>10.0} {:>9.0} {:>9.0} {:>9.0} {:>8}",
+            p.offered_per_sec,
+            p.actual_offered_per_sec,
+            p.achieved_per_sec,
+            p.latency.p50_us,
+            p.latency.p90_us,
+            p.latency.p99_us,
+            p.shed,
+        );
+    }
+    println!("\nsaturation knee ≈ {:.0} req/s", sweep.knee_per_sec);
+}
+
+fn print_fairness(fair: &server_perf::FairnessArm) {
+    header("Weighted-fair QoS arm at 80% of saturation");
+    println!(
+        "compliant:   {:>8.0} req/s offered, p99 {:>8.0} µs (SLO {:.0} µs), deadline hit rate {:.3}",
+        fair.compliant_offered_per_sec,
+        fair.compliant_latency.p99_us,
+        fair.slo_us,
+        fair.compliant_deadline_hit_rate,
+    );
+    println!(
+        "misbehaving: {:>8.0} req/s offered against a {:.0} req/s quota — {} accepted, {} throttled (cap {:.0})",
+        fair.misbehaving_offered_per_sec,
+        fair.quota_per_sec,
+        fair.misbehaving_accepted,
+        fair.misbehaving_throttled,
+        fair.quota_cap,
+    );
+    println!(
+        "gates: misbehaving within quota = {}, compliant within SLO = {}",
+        fair.misbehaving_within_quota, fair.compliant_within_slo,
+    );
+}
+
+/// The seconds-scale QoS gate: run the open-loop sweep and fairness arm
+/// on the eight-bank geometry and hard-fail unless the throttled tenant
+/// stayed within quota and the compliant tenant held its SLO.
+fn smoke_qos() {
     let config = eight_bank_config();
-    let bench = server_perf::run_full(&config, 16_000, &[1, 2, 4, 8], 400);
+    let ds = BitmapDataset::generate(4_000, 3, 11);
+    let programs =
+        compile_bitmap_query_with(&ds, 3, &config, QueryPlan::Fused).expect("query compiles");
+    let profile = QosBenchProfile::smoke();
+    // Calibrate saturation with one short closed-loop burst.
+    let calibration = server_perf::run_load_point(&config, &programs, 4, 150, None);
+    let rates: Vec<f64> = profile
+        .sweep_fractions
+        .iter()
+        .map(|f| f * calibration.jobs_per_sec)
+        .collect();
+    let sweep = server_perf::run_open_loop_sweep(
+        &config,
+        &programs,
+        &rates,
+        profile.seed,
+        profile.point_duration,
+    );
+    print_open_loop(&sweep);
+    assert!(
+        sweep.points.iter().all(|p| p.submitted > 0),
+        "open-loop generator fired no arrivals"
+    );
+    let knee = if sweep.knee_per_sec > 0.0 {
+        sweep.knee_per_sec
+    } else {
+        calibration.jobs_per_sec
+    };
+    let fair = server_perf::run_fairness(
+        &config,
+        &programs,
+        knee,
+        profile.fairness_duration,
+        profile.slo,
+        profile.seed,
+    );
+    print_fairness(&fair);
+    assert!(fair.stats.balanced(), "accounting must balance: {fair:?}");
+    assert!(
+        fair.misbehaving_within_quota,
+        "misbehaving tenant exceeded its quota ceiling: {} accepted > 1.1 × {:.0}",
+        fair.misbehaving_accepted, fair.quota_cap,
+    );
+    assert!(
+        fair.misbehaving_throttled > 0,
+        "the 5×-quota tenant was never throttled — the fair queue is not engaging"
+    );
+    assert!(
+        fair.compliant_within_slo,
+        "compliant tenant missed its SLO: p99 {:.0} µs > {:.0} µs",
+        fair.compliant_latency.p99_us, fair.slo_us,
+    );
+    println!("\nqos smoke: all gates passed");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--smoke-qos") {
+        smoke_qos();
+        return;
+    }
+    let path = arg.unwrap_or_else(|| "BENCH_server.json".into());
+    let config = eight_bank_config();
+    let bench = server_perf::run_full(
+        &config,
+        16_000,
+        &[1, 2, 4, 8],
+        400,
+        &QosBenchProfile::default(),
+    );
 
     header("Serving frontend: closed-loop fleet scaling (latency in µs)");
     println!(
@@ -57,6 +176,8 @@ fn main() {
         print_point(point);
     }
     print_point(&bench.shedding);
+    print_open_loop(&bench.open_loop);
+    print_fairness(&bench.fairness);
 
     let json = serde::json::to_string(&bench);
     std::fs::write(&path, json + "\n").expect("write bench output");

@@ -8,6 +8,7 @@
 //! path leaves its own perf trajectory in the repository history.
 
 use coruscant_mem::{MemoryConfig, MemoryController};
+use coruscant_qos::{ArrivalGen, ArrivalSpec, ClientConfig, QosOptions, RateQuota};
 use coruscant_server::{
     AdmissionOptions, Rejected, Server, ServerOptions, ServerStats, SubmitOptions,
 };
@@ -111,6 +112,7 @@ pub fn run_load_point(
     let options = ServerOptions {
         runtime,
         admission: admission.unwrap_or_default(),
+        ..ServerOptions::default()
     };
     let server = Server::start(config.clone(), options).expect("server starts");
     let programs: Arc<[PimProgram]> = programs.into();
@@ -158,6 +160,354 @@ pub fn run_load_point(
     }
 }
 
+/// What one open-loop client observed: the generator submits on the
+/// wall-clock arrival schedule regardless of completions, a collector
+/// waits each handle in submission order, and latency is measured from
+/// the *scheduled* arrival (so queueing delay from schedule slip counts
+/// against the server, as open-loop methodology requires).
+struct OpenLoopOutcome {
+    latencies: Vec<Duration>,
+    submitted: u64,
+    accepted: u64,
+    throttled: u64,
+    shed: u64,
+}
+
+fn open_loop_client(
+    client: coruscant_server::Client,
+    programs: Arc<[PimProgram]>,
+    spec: ArrivalSpec,
+    seed: u64,
+    duration: Duration,
+    options: SubmitOptions,
+) -> OpenLoopOutcome {
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, coruscant_server::JobHandle)>();
+    let collector = std::thread::spawn(move || {
+        let mut latencies = Vec::new();
+        for (scheduled, handle) in rx {
+            // Expired or otherwise errored jobs produce no latency
+            // sample; the server-side QoS stats account for them.
+            if handle.wait().is_ok() {
+                latencies.push(scheduled.elapsed());
+            }
+        }
+        latencies
+    });
+    let mut gen = ArrivalGen::new(spec, seed);
+    let start = Instant::now();
+    let mut submitted = 0u64;
+    let mut accepted = 0u64;
+    let mut throttled = 0u64;
+    let mut shed = 0u64;
+    let mut i = 0usize;
+    while let Some(offset) = gen.next_offset() {
+        if offset >= duration {
+            break;
+        }
+        let at = start + offset;
+        let now = Instant::now();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+        submitted += 1;
+        let program = programs[i % programs.len()].clone();
+        i += 1;
+        match client.submit_with(program, options.clone()) {
+            Ok(handle) => {
+                accepted += 1;
+                let _ = tx.send((at, handle));
+            }
+            Err(Rejected::Throttled) => throttled += 1,
+            Err(Rejected::Overload | Rejected::QueueFull) => shed += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    drop(tx);
+    let latencies = collector.join().expect("collector thread");
+    OpenLoopOutcome {
+        latencies,
+        submitted,
+        accepted,
+        throttled,
+        shed,
+    }
+}
+
+/// One open-loop load point: a seeded Poisson arrival process at a fixed
+/// offered rate against one server.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenLoopPoint {
+    /// The arrival process's nominal offered rate, requests per second.
+    pub offered_per_sec: f64,
+    /// The rate the generator actually sustained (submissions over wall
+    /// time) — lower than nominal when the generator itself saturates.
+    pub actual_offered_per_sec: f64,
+    /// Completions per second of wall time.
+    pub achieved_per_sec: f64,
+    /// Arrivals the generator fired.
+    pub submitted: u64,
+    /// Arrivals that entered the runtime queue.
+    pub accepted: u64,
+    /// Arrivals shed by admission control.
+    pub shed: u64,
+    /// Accepted jobs that completed with outputs.
+    pub completed: u64,
+    /// End-to-end latency from *scheduled* arrival to resolution.
+    pub latency: LatencyStats,
+}
+
+/// Runs one open-loop point: Poisson arrivals at `rate_per_sec` for
+/// `duration`, admission control on (non-blocking submission, so the
+/// schedule never distorts into closed-loop backpressure).
+///
+/// # Panics
+///
+/// Panics if the server fails to start or its accounting is unbalanced.
+#[must_use]
+pub fn run_open_loop(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    rate_per_sec: f64,
+    seed: u64,
+    duration: Duration,
+) -> OpenLoopPoint {
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            admission: AdmissionOptions::enabled(),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server starts");
+    let programs: Arc<[PimProgram]> = programs.into();
+    let started = Instant::now();
+    let outcome = open_loop_client(
+        server.client(),
+        programs,
+        ArrivalSpec::Poisson { rate_per_sec },
+        seed,
+        duration,
+        SubmitOptions::default(),
+    );
+    let wall = started.elapsed().as_secs_f64();
+    let stats = server.shutdown().expect("server drains");
+    assert!(stats.balanced(), "open-loop accounting balances: {stats:?}");
+    OpenLoopPoint {
+        offered_per_sec: rate_per_sec,
+        actual_offered_per_sec: outcome.submitted as f64 / wall,
+        achieved_per_sec: outcome.latencies.len() as f64 / wall,
+        submitted: outcome.submitted,
+        accepted: outcome.accepted,
+        shed: outcome.shed,
+        completed: outcome.latencies.len() as u64,
+        latency: latency_stats(outcome.latencies),
+    }
+}
+
+/// An offered-rate sweep with its saturation knee.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenLoopSweep {
+    /// The swept points, in offered-rate order.
+    pub points: Vec<OpenLoopPoint>,
+    /// The saturation knee: the highest actual offered rate whose
+    /// achieved throughput kept within 90% of it *and* whose p99 stayed
+    /// within 10× the lowest-rate point's p99 (floor 2 ms) — a point
+    /// that keeps up on throughput but has already blown up on latency
+    /// is past the knee, not on it. When every point fell short (the
+    /// sweep started past saturation), the best *achieved* rate stands
+    /// in — what the server demonstrably sustained is the only honest
+    /// capacity estimate the sweep produced.
+    pub knee_per_sec: f64,
+}
+
+/// Sweeps offered rates and finds the saturation knee.
+#[must_use]
+pub fn run_open_loop_sweep(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    rates: &[f64],
+    seed: u64,
+    point_duration: Duration,
+) -> OpenLoopSweep {
+    let points: Vec<OpenLoopPoint> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| run_open_loop(config, programs, r, seed ^ (i as u64) << 32, point_duration))
+        .collect();
+    let base_p99_us = points.first().map_or(0.0, |p| p.latency.p99_us);
+    let p99_ceiling_us = (10.0 * base_p99_us).max(2_000.0);
+    let mut knee_per_sec = points
+        .iter()
+        .filter(|p| {
+            p.achieved_per_sec >= 0.9 * p.actual_offered_per_sec
+                && p.latency.p99_us <= p99_ceiling_us
+        })
+        .map(|p| p.actual_offered_per_sec)
+        .fold(0.0, f64::max);
+    if knee_per_sec == 0.0 {
+        // Every point was past saturation: the best achieved rate is
+        // the only demonstrated-sustainable capacity.
+        knee_per_sec = points
+            .iter()
+            .map(|p| p.achieved_per_sec)
+            .fold(0.0, f64::max);
+    }
+    OpenLoopSweep {
+        points,
+        knee_per_sec,
+    }
+}
+
+/// The two-tenant fairness arm: at 80% of measured saturation, a
+/// compliant client (weight 4, deadline = SLO) must hold its p99 while a
+/// misbehaving client offering 5× its rate quota is throttled to it.
+#[derive(Debug, Clone, Serialize)]
+pub struct FairnessArm {
+    /// The saturation estimate the arm was scaled from (requests/s).
+    pub saturation_per_sec: f64,
+    /// The compliant client's offered rate.
+    pub compliant_offered_per_sec: f64,
+    /// The misbehaving client's offered rate (5× its quota).
+    pub misbehaving_offered_per_sec: f64,
+    /// The misbehaving client's rate quota.
+    pub quota_per_sec: f64,
+    /// The quota's burst allowance, in tokens.
+    pub quota_burst: f64,
+    /// Wall time the arm ran, milliseconds.
+    pub wall_ms: f64,
+    /// The compliant client's p99 SLO, microseconds.
+    pub slo_us: f64,
+    /// The compliant client's observed latency distribution.
+    pub compliant_latency: LatencyStats,
+    /// The compliant client's deadline hit rate (server-side QoS view).
+    pub compliant_deadline_hit_rate: f64,
+    /// Submissions the misbehaving client got admitted.
+    pub misbehaving_accepted: u64,
+    /// Submissions the misbehaving client had throttled.
+    pub misbehaving_throttled: u64,
+    /// The quota ceiling for the run: `quota × wall + burst`.
+    pub quota_cap: f64,
+    /// Gate: the misbehaving client's admissions stayed within the
+    /// quota ceiling (+10% tolerance).
+    pub misbehaving_within_quota: bool,
+    /// Gate: the compliant client's p99 held the SLO.
+    pub compliant_within_slo: bool,
+    /// The server's final balanced accounting (QoS view included).
+    pub stats: ServerStats,
+}
+
+/// Runs the fairness arm. `saturation_per_sec` should come from the
+/// open-loop sweep's knee (or a closed-loop calibration); the arm
+/// derives every rate from 80% of it.
+///
+/// # Panics
+///
+/// Panics if the server fails to start or its accounting is unbalanced.
+#[must_use]
+pub fn run_fairness(
+    config: &MemoryConfig,
+    programs: &[PimProgram],
+    saturation_per_sec: f64,
+    duration: Duration,
+    slo: Duration,
+    seed: u64,
+) -> FairnessArm {
+    use coruscant_runtime::IssuePolicy;
+    let s80 = 0.8 * saturation_per_sec;
+    let compliant_rate = 0.3 * s80;
+    // Quota sized so compliant + quota together sit near half the
+    // measured knee: the arm demonstrates *fairness at 80% offered*,
+    // and the admitted mix must leave latency headroom for the
+    // compliant tenant's p99 to be a scheduling signal, not a
+    // queueing-noise lottery.
+    let quota_rate = 0.35 * s80;
+    let quota_burst = 8.0;
+    let misbehaving_rate = 5.0 * quota_rate;
+    let qos = QosOptions::default()
+        .enabled()
+        .with_client(ClientConfig::new("compliant", 4.0))
+        .with_client(
+            ClientConfig::new("misbehaving", 1.0)
+                .with_quota(RateQuota::new(quota_rate, quota_burst)),
+        );
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            runtime: coruscant_runtime::RuntimeOptions::default()
+                .with_issue_policy(IssuePolicy::Edf),
+            admission: AdmissionOptions::enabled(),
+            qos,
+        },
+    )
+    .expect("server starts");
+    let programs: Arc<[PimProgram]> = programs.into();
+    let started = Instant::now();
+    let compliant_join = {
+        let client = server.client();
+        let programs = Arc::clone(&programs);
+        std::thread::spawn(move || {
+            open_loop_client(
+                client,
+                programs,
+                ArrivalSpec::Poisson {
+                    rate_per_sec: compliant_rate,
+                },
+                seed ^ 0xC0,
+                duration,
+                SubmitOptions::default()
+                    .for_client("compliant")
+                    .with_deadline(slo),
+            )
+        })
+    };
+    let misbehaving_join = {
+        let client = server.client();
+        let programs = Arc::clone(&programs);
+        std::thread::spawn(move || {
+            open_loop_client(
+                client,
+                programs,
+                ArrivalSpec::Poisson {
+                    rate_per_sec: misbehaving_rate,
+                },
+                seed ^ 0x5BAD,
+                duration,
+                SubmitOptions::default().for_client("misbehaving"),
+            )
+        })
+    };
+    let compliant = compliant_join.join().expect("compliant client");
+    let misbehaving = misbehaving_join.join().expect("misbehaving client");
+    let wall = started.elapsed().as_secs_f64();
+    let stats = server.shutdown().expect("server drains");
+    assert!(stats.balanced(), "fairness accounting balances: {stats:?}");
+
+    let quota_cap = quota_rate * wall + quota_burst;
+    let compliant_latency = latency_stats(compliant.latencies);
+    let hit_rate = stats
+        .qos
+        .client("compliant")
+        .map_or(1.0, coruscant_qos::ClientQosStats::deadline_hit_rate);
+    let slo_us = slo.as_secs_f64() * 1e6;
+    FairnessArm {
+        saturation_per_sec,
+        compliant_offered_per_sec: compliant_rate,
+        misbehaving_offered_per_sec: misbehaving_rate,
+        quota_per_sec: quota_rate,
+        quota_burst,
+        wall_ms: wall * 1e3,
+        slo_us,
+        compliant_within_slo: compliant_latency.p99_us <= slo_us,
+        compliant_latency,
+        compliant_deadline_hit_rate: hit_rate,
+        misbehaving_accepted: misbehaving.accepted,
+        misbehaving_throttled: misbehaving.throttled,
+        misbehaving_within_quota: (misbehaving.accepted as f64) <= 1.1 * quota_cap,
+        quota_cap,
+        stats,
+    }
+}
+
 /// The full `BENCH_server.json` payload.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServerBench {
@@ -170,6 +520,51 @@ pub struct ServerBench {
     pub backpressure: Vec<LoadPoint>,
     /// The same fleet at the widest point with admission on.
     pub shedding: LoadPoint,
+    /// Open-loop offered-rate sweep with its saturation knee.
+    pub open_loop: OpenLoopSweep,
+    /// The two-tenant weighted-fair QoS arm at 80% of saturation.
+    pub fairness: FairnessArm,
+}
+
+/// Durations and seeds for the open-loop and fairness arms, so the CI
+/// smoke can run the same harness in milliseconds.
+#[derive(Debug, Clone)]
+pub struct QosBenchProfile {
+    /// Offered rates as fractions of the closed-loop saturation estimate.
+    pub sweep_fractions: Vec<f64>,
+    /// Wall time per open-loop sweep point.
+    pub point_duration: Duration,
+    /// Wall time for the fairness arm.
+    pub fairness_duration: Duration,
+    /// The compliant client's p99 SLO (and queueing deadline).
+    pub slo: Duration,
+    /// Arrival-process seed.
+    pub seed: u64,
+}
+
+impl Default for QosBenchProfile {
+    fn default() -> QosBenchProfile {
+        QosBenchProfile {
+            sweep_fractions: vec![0.25, 0.5, 0.75, 0.9, 1.0, 1.25],
+            point_duration: Duration::from_millis(1500),
+            fairness_duration: Duration::from_millis(4000),
+            slo: Duration::from_millis(25),
+            seed: 0xC0C0_5CA7,
+        }
+    }
+}
+
+impl QosBenchProfile {
+    /// A seconds-scale profile for the CI `qos-smoke` job.
+    #[must_use]
+    pub fn smoke() -> QosBenchProfile {
+        QosBenchProfile {
+            sweep_fractions: vec![0.5, 1.0],
+            point_duration: Duration::from_millis(400),
+            fairness_duration: Duration::from_millis(1200),
+            ..QosBenchProfile::default()
+        }
+    }
 }
 
 /// Runs the whole harness: a client-fleet scaling sweep plus one
@@ -180,6 +575,7 @@ pub fn run_full(
     rows: usize,
     fleets: &[usize],
     per_client: usize,
+    qos: &QosBenchProfile,
 ) -> ServerBench {
     let ds = BitmapDataset::generate(rows, 3, 11);
     let programs =
@@ -196,11 +592,40 @@ pub fn run_full(
         per_client,
         Some(AdmissionOptions::enabled()),
     );
+    // The closed-loop throughput at the widest fleet calibrates the
+    // open-loop sweep's rate grid; the sweep's knee then anchors the
+    // fairness arm at 80% of *measured* saturation.
+    let calibration = backpressure
+        .iter()
+        .map(|p| p.jobs_per_sec)
+        .fold(0.0, f64::max)
+        .max(1.0);
+    let rates: Vec<f64> = qos
+        .sweep_fractions
+        .iter()
+        .map(|f| f * calibration)
+        .collect();
+    let open_loop = run_open_loop_sweep(config, &programs, &rates, qos.seed, qos.point_duration);
+    let knee = if open_loop.knee_per_sec > 0.0 {
+        open_loop.knee_per_sec
+    } else {
+        calibration
+    };
+    let fairness = run_fairness(
+        config,
+        &programs,
+        knee,
+        qos.fairness_duration,
+        qos.slo,
+        qos.seed,
+    );
     ServerBench {
         banks: config.banks,
         pim_units: MemoryController::new(config.clone()).pim_unit_count(),
         backpressure,
         shedding,
+        open_loop,
+        fairness,
     }
 }
 
@@ -225,7 +650,13 @@ mod tests {
     #[test]
     fn harness_smoke_on_tiny_geometry() {
         let config = MemoryConfig::tiny();
-        let bench = run_full(&config, 512, &[1, 2], 12);
+        let profile = QosBenchProfile {
+            sweep_fractions: vec![0.5],
+            point_duration: Duration::from_millis(150),
+            fairness_duration: Duration::from_millis(300),
+            ..QosBenchProfile::smoke()
+        };
+        let bench = run_full(&config, 512, &[1, 2], 12, &profile);
         assert_eq!(bench.backpressure.len(), 2);
         for point in &bench.backpressure {
             let want = (point.clients * point.per_client) as u64;
@@ -240,6 +671,19 @@ mod tests {
         assert_eq!(
             shed.stats.completed + shed.stats.rejected(),
             (shed.clients * shed.per_client) as u64
+        );
+        assert_eq!(bench.open_loop.points.len(), 1);
+        for point in &bench.open_loop.points {
+            assert_eq!(point.submitted, point.accepted + point.shed);
+        }
+        let fair = &bench.fairness;
+        assert!(fair.stats.balanced(), "{fair:?}");
+        assert_eq!(
+            fair.misbehaving_accepted + fair.misbehaving_throttled,
+            fair.stats
+                .qos
+                .client("misbehaving")
+                .map_or(0, |c| c.accepted + c.throttled)
         );
     }
 }

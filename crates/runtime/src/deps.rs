@@ -232,6 +232,7 @@ impl DepTracker {
                 id,
                 program,
                 placement,
+                deadline: None,
             }),
             GatedSource::Deferred { dep_ids, build } => {
                 let inputs: Vec<DepOutputs> = dep_ids
@@ -244,6 +245,7 @@ impl DepTracker {
                         id,
                         program: Arc::new(program),
                         placement,
+                        deadline: None,
                     }),
                     Err(_) => self.fail(id, out),
                 }

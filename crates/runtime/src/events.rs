@@ -63,6 +63,13 @@ pub enum Event {
         /// Job id.
         job: u64,
     },
+    /// A still-queued job was found past its deadline at issue time and
+    /// dropped as expired; it never reached a bank and reports no
+    /// outcome.
+    Expired {
+        /// Job id.
+        job: u64,
+    },
     /// A protected job attempt detected at least one fault.
     FaultDetected {
         /// Job id.

@@ -4,6 +4,7 @@ use coruscant_core::program::PimProgram;
 use coruscant_mem::DbcLocation;
 use serde::Serialize;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where a job's program should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +41,12 @@ pub struct PimJob {
     pub program: Arc<PimProgram>,
     /// Requested placement.
     pub placement: Placement,
+    /// Absolute queueing deadline. Under the EDF issue policy it drives
+    /// the within-bank issue order; in every engine a job found past
+    /// its deadline at issue time is dropped as expired instead of
+    /// being dispatched. `None` means no deadline (sorts last under
+    /// EDF, never expires).
+    pub deadline: Option<Instant>,
 }
 
 /// The completion record of one job.

@@ -70,7 +70,7 @@ pub use health::{BankState, HealthPolicy, HealthTracker, ProtectionPolicy};
 pub use job::{JobOutcome, PimJob, Placement};
 pub use notify::JobNotice;
 pub use queue::{JobQueue, Pop, PushError};
-pub use sched::{BankScheduler, BatchGrouping, DispatchMode, IssuedBatch};
+pub use sched::{BankScheduler, BatchGrouping, DispatchMode, IssuePolicy, IssuedBatch};
 pub use stats::{
     BankOccupancy, BatchStats, DomainStats, FaultStats, Histogram, PipelineStats, RuntimeStats,
     SchedStats,
@@ -314,6 +314,10 @@ pub struct RuntimeOptions {
     /// Which scheduling engine runs the session (see [`SchedMode`]).
     /// Classic by default.
     pub sched: SchedMode,
+    /// Within-bank issue order (see [`IssuePolicy`]). FIFO by default;
+    /// [`IssuePolicy::Edf`] issues earliest-deadline-first with
+    /// arrival-order tie-breaking, in every engine.
+    pub issue_policy: IssuePolicy,
 }
 
 impl Default for RuntimeOptions {
@@ -335,6 +339,7 @@ impl Default for RuntimeOptions {
             watchdog: WatchdogOptions::default(),
             chaos: None,
             sched: SchedMode::Classic,
+            issue_policy: IssuePolicy::default(),
         }
     }
 }
@@ -351,6 +356,14 @@ impl RuntimeOptions {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DispatchMode) -> RuntimeOptions {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Options with a given within-bank issue policy, defaults
+    /// elsewhere.
+    #[must_use]
+    pub fn with_issue_policy(mut self, issue_policy: IssuePolicy) -> RuntimeOptions {
+        self.issue_policy = issue_policy;
         self
     }
 
@@ -666,6 +679,8 @@ struct SchedulerOutput {
     splice_hits: u64,
     splice_misses: u64,
     cancelled: u64,
+    /// Jobs dropped at issue time because their deadline had passed.
+    expired: u64,
     redispatches: u64,
     scrubs: u64,
     scrub_total: ScrubOutcome,
@@ -698,7 +713,7 @@ impl SchedulerOutput {
         batches: u64,
         batched_jobs: u64,
         splice: (u64, u64),
-        cancelled: u64,
+        dropped: (u64, u64),
         pipeline: (u64, u64, u64, u64),
         supervision: SupervisionStats,
         lost: Vec<u64>,
@@ -711,7 +726,8 @@ impl SchedulerOutput {
             batched_jobs,
             splice_hits: splice.0,
             splice_misses: splice.1,
-            cancelled,
+            cancelled: dropped.0,
+            expired: dropped.1,
             redispatches: 0,
             scrubs: 0,
             scrub_total: ScrubOutcome::default(),
@@ -786,6 +802,8 @@ struct Canceller {
     notify: Option<mpsc::Sender<JobNotice>>,
     trace: Option<Arc<EventTrace>>,
     cancelled: u64,
+    /// Jobs dropped at issue time because their deadline had passed.
+    expired: u64,
 }
 
 impl Canceller {
@@ -798,6 +816,7 @@ impl Canceller {
             set,
             notify,
             cancelled: 0,
+            expired: 0,
             trace,
         }
     }
@@ -846,6 +865,40 @@ impl Canceller {
                 .collect();
             *jobs = kept;
         }
+        dropped
+    }
+
+    /// Drops members of an issued batch whose queueing deadline has
+    /// already passed, keeping order, and returns the dropped ids (for
+    /// dependency cascade). The deadline sweep companion to
+    /// [`Canceller::filter_issue`]: checked at issue time so an
+    /// expired-in-queue job can never occupy a bank, even between
+    /// server sweeper wakeups.
+    fn filter_expired(&mut self, jobs: &mut Vec<PimJob>) -> Vec<u64> {
+        let mut dropped = Vec::new();
+        if jobs.iter().all(|j| j.deadline.is_none()) {
+            return dropped;
+        }
+        let now = Instant::now();
+        let kept: Vec<PimJob> = jobs
+            .drain(..)
+            .filter_map(|j| {
+                if j.deadline.is_some_and(|d| now >= d) {
+                    self.expired += 1;
+                    if let Some(trace) = &self.trace {
+                        trace.record(&Event::Expired { job: j.id });
+                    }
+                    if let Some(tx) = &self.notify {
+                        let _ = tx.send(JobNotice::Expired { job_id: j.id });
+                    }
+                    dropped.push(j.id);
+                    None
+                } else {
+                    Some(j)
+                }
+            })
+            .collect();
+        *jobs = kept;
         dropped
     }
 
@@ -935,6 +988,7 @@ struct DomainCtx {
     canceller: Canceller,
     notify: Option<mpsc::Sender<JobNotice>>,
     dispatch: DispatchMode,
+    issue_policy: IssuePolicy,
     protection: ProtectionPolicy,
     faults: Option<FaultPlan>,
     batch: BatchOptions,
@@ -956,6 +1010,8 @@ struct DomainOutput {
     splice_hits: u64,
     splice_misses: u64,
     cancelled: u64,
+    /// Jobs dropped at issue time because their deadline had passed.
+    expired: u64,
     redispatches: u64,
     /// Jobs dropped for an unknown residency or a defensively rejected
     /// chain/pin (counted with the cascades).
@@ -1026,7 +1082,8 @@ fn domain_loop(ctx: DomainCtx) -> DomainOutput {
     // Strided seqs: domain d issues d, d+S, d+2S, … — globally unique,
     // so `finish` restores one total issue order with a plain sort.
     let sched =
-        BankScheduler::with_seq_stride(ctx.config.banks, ctx.domain as u64, ctx.domains as u64);
+        BankScheduler::with_seq_stride(ctx.config.banks, ctx.domain as u64, ctx.domains as u64)
+            .with_policy(ctx.issue_policy);
     let out = DomainOutput {
         domain: ctx.domain,
         ..DomainOutput::default()
@@ -1051,6 +1108,7 @@ fn domain_loop(ctx: DomainCtx) -> DomainOutput {
     let mut out = dom.out;
     out.depth_hist = dom.sched.depth_histogram().clone();
     out.cancelled = dom.ctx.canceller.cancelled;
+    out.expired = dom.ctx.canceller.expired;
     let (hits, misses) = dom.splice_cache.as_ref().map_or((0, 0), BatchCache::counts);
     out.splice_hits = hits;
     out.splice_misses = misses;
@@ -1150,6 +1208,7 @@ impl Domain {
                     .issue_next_batch_grouped(max_jobs, grouping, |_| true)
             {
                 self.ctx.canceller.filter_issue(&mut issue.jobs);
+                self.ctx.canceller.filter_expired(&mut issue.jobs);
                 if issue.jobs.is_empty() {
                     continue;
                 }
@@ -1270,6 +1329,7 @@ impl Domain {
                 id: job.id,
                 program,
                 placement: job.placement,
+                deadline: job.deadline,
             },
             unit.bank,
         );
@@ -1438,6 +1498,7 @@ impl Domain {
                         id: member.id,
                         program: Arc::new(member.program.retarget(unit)),
                         placement: member.placement,
+                        deadline: member.deadline,
                     },
                     unit.bank,
                 );
@@ -1626,6 +1687,7 @@ impl Runtime {
             let compile = options.compile;
             let supervise_opts = options.supervise;
             let watchdog = options.watchdog;
+            let issue_policy = options.issue_policy;
             let canceller =
                 Canceller::new(Arc::clone(&cancels), options.notify.clone(), trace.clone());
             let gate = Arc::clone(&gate);
@@ -1653,6 +1715,7 @@ impl Runtime {
                         watchdog,
                         chaos,
                         poison,
+                        issue_policy,
                     )
                 } else {
                     scheduler_loop(
@@ -1667,6 +1730,7 @@ impl Runtime {
                         compile,
                         canceller,
                         supervise_opts,
+                        issue_policy,
                     )
                 }
             })
@@ -1762,6 +1826,7 @@ impl Runtime {
                     ),
                     notify: options.notify.clone(),
                     dispatch: options.dispatch,
+                    issue_policy: options.issue_policy,
                     protection: options.protection,
                     faults: options.faults.clone(),
                     batch: options.batch,
@@ -1913,6 +1978,22 @@ impl Runtime {
     /// or [`RuntimeError::Poisoned`] for a program the watchdog's poison
     /// registry has quarantined.
     pub fn submit(&self, program: PimProgram, placement: Placement) -> Result<u64, RuntimeError> {
+        self.submit_due(program, placement, None)
+    }
+
+    /// Like [`Runtime::submit`], with an absolute queueing deadline: the
+    /// EDF issue policy orders on it, and a job still queued past it is
+    /// dropped as expired at issue time.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::submit`].
+    pub fn submit_due(
+        &self,
+        program: PimProgram,
+        placement: Placement,
+        deadline: Option<Instant>,
+    ) -> Result<u64, RuntimeError> {
         let (program, cache_hit) = self.compile(&program).map_err(RuntimeError::Compile)?;
         self.check_poison(&program)
             .map_err(|fingerprint| RuntimeError::Poisoned { fingerprint })?;
@@ -1927,6 +2008,7 @@ impl Runtime {
             id,
             program,
             placement,
+            deadline,
         });
         match &self.par {
             Some(par) => par.injectors[par.route(placement)]
@@ -1951,6 +2033,21 @@ impl Runtime {
     /// retry), [`PushError::Closed`] after [`Runtime::finish`], or
     /// [`PushError::Poisoned`] for a quarantined program.
     pub fn try_submit(&self, program: PimProgram, placement: Placement) -> Result<u64, PushError> {
+        self.try_submit_due(program, placement, None)
+    }
+
+    /// Like [`Runtime::try_submit`], with an absolute queueing deadline
+    /// (see [`Runtime::submit_due`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::try_submit`].
+    pub fn try_submit_due(
+        &self,
+        program: PimProgram,
+        placement: Placement,
+        deadline: Option<Instant>,
+    ) -> Result<u64, PushError> {
         // On compile failure the original program is submitted verbatim;
         // no defensive clone is needed because the compiler borrows it.
         let (program, cache_hit) = match self.compile(&program) {
@@ -1965,6 +2062,7 @@ impl Runtime {
             id,
             program,
             placement,
+            deadline,
         });
         match &self.par {
             Some(par) => par.injectors[par.route(placement)].try_push(sub)?,
@@ -2162,6 +2260,7 @@ impl Runtime {
                     id,
                     program: Arc::new(program),
                     placement: Placement::Resident(res),
+                    deadline: None,
                 },
             })
             .map_err(|_| RuntimeError::QueueClosed)?;
@@ -2343,7 +2442,7 @@ impl Runtime {
             0,
             0,
             (0, 0),
-            0,
+            (0, 0),
             (0, 0, 0, 0),
             SupervisionStats::default(),
             Vec::new(),
@@ -2362,6 +2461,7 @@ impl Runtime {
             sched_out.splice_hits += o.splice_hits;
             sched_out.splice_misses += o.splice_misses;
             sched_out.cancelled += o.cancelled;
+            sched_out.expired += o.expired;
             sched_out.redispatches += o.redispatches;
             sched_out.cascaded += o.dropped;
             supervision.panics_caught += o.panics;
@@ -2551,6 +2651,7 @@ impl Runtime {
         let stats = RuntimeStats {
             jobs,
             cancelled: sched_out.cancelled,
+            expired: sched_out.expired,
             instructions,
             shards: self.shards,
             optimized_jobs: self.optimized_jobs.load(Ordering::Relaxed),
@@ -2793,6 +2894,7 @@ fn scheduler_loop(
     compile: CompileOptions,
     mut canceller: Canceller,
     supervise_opts: SuperviseOptions,
+    issue_policy: IssuePolicy,
 ) -> SchedulerOutput {
     // A controller used only for PIM-unit geometry (bank-major indexing).
     let units = MemoryController::new(config.clone());
@@ -2803,7 +2905,7 @@ fn scheduler_loop(
     let max_jobs = batch_opts.cap();
     let grouping = batch_opts.grouping;
     let mut splice_cache = batch_opts.splice_cache();
-    let mut sched = BankScheduler::new(config.banks);
+    let mut sched = BankScheduler::new(config.banks).with_policy(issue_policy);
     let mut place_cursor = 0usize;
     let mut issued = 0u64;
     let mut batches = 0u64;
@@ -2970,6 +3072,7 @@ fn scheduler_loop(
                         id: job.id,
                         program,
                         placement: job.placement,
+                        deadline: job.deadline,
                     },
                     unit.bank,
                 );
@@ -2983,6 +3086,13 @@ fn scheduler_loop(
             while let Some(mut issue) = sched.issue_next_batch_grouped(max_jobs, grouping, |_| true)
             {
                 for id in canceller.filter_issue(&mut issue.jobs) {
+                    let rel = deps.on_final(id, true, Vec::new());
+                    for fid in rel.failed {
+                        canceller.drop_cascaded(fid);
+                    }
+                    ready.extend(rel.ready);
+                }
+                for id in canceller.filter_expired(&mut issue.jobs) {
                     let rel = deps.on_final(id, true, Vec::new());
                     for fid in rel.failed {
                         canceller.drop_cascaded(fid);
@@ -3137,7 +3247,7 @@ fn scheduler_loop(
         batches,
         batched_jobs,
         splice_cache.as_ref().map_or((0, 0), BatchCache::counts),
-        canceller.cancelled,
+        (canceller.cancelled, canceller.expired),
         (
             deps.deferred,
             deps.released,
@@ -3296,6 +3406,7 @@ impl FaultSched<'_> {
                     id: job.id,
                     program: Arc::new(relocate_to_tile(&job.program, unit)),
                     placement: job.placement,
+                    deadline: job.deadline,
                 };
                 self.sched.enqueue(relocated, unit.bank);
                 return;
@@ -3305,6 +3416,7 @@ impl FaultSched<'_> {
             id: job.id,
             program: Arc::new(job.program.retarget(unit)),
             placement: job.placement,
+            deadline: job.deadline,
         };
         self.sched.enqueue(retargeted, unit.bank);
     }
@@ -3410,6 +3522,7 @@ impl FaultSched<'_> {
                 id,
                 program: Arc::new(relocate_to_tile(&program, unit)),
                 placement: Placement::Resident(res),
+                deadline: None,
             };
             self.sched.enqueue(relocated, unit.bank);
         }
@@ -3441,6 +3554,9 @@ impl FaultSched<'_> {
                 return;
             };
             for id in self.canceller.filter_issue(&mut issue.jobs) {
+                self.finalize(id, true, Vec::new());
+            }
+            for id in self.canceller.filter_expired(&mut issue.jobs) {
                 self.finalize(id, true, Vec::new());
             }
             if issue.jobs.is_empty() {
@@ -3664,6 +3780,7 @@ impl FaultSched<'_> {
                                 id: member.id,
                                 program,
                                 placement: member.placement,
+                                deadline: member.deadline,
                             };
                             self.sched.enqueue(job, unit.bank);
                             redispatched_now = true;
@@ -3885,6 +4002,7 @@ fn fault_scheduler_loop(
     watchdog: WatchdogOptions,
     chaos: Option<ChaosPlan>,
     poison: Option<Arc<PoisonRegistry>>,
+    issue_policy: IssuePolicy,
 ) -> SchedulerOutput {
     let units = MemoryController::new(config.clone());
     let unit_count = units.pim_unit_count();
@@ -3905,7 +4023,7 @@ fn fault_scheduler_loop(
         watchdog,
         chaos,
         poison,
-        sched: BankScheduler::new(config.banks),
+        sched: BankScheduler::new(config.banks).with_policy(issue_policy),
         health: HealthTracker::new(config.banks, policy),
         inflight: HashMap::new(),
         inflight_per_bank: vec![0; config.banks],
@@ -4063,6 +4181,7 @@ fn fault_scheduler_loop(
             .as_ref()
             .map_or(0, |c| BatchCache::counts(c).1),
         cancelled: state.canceller.cancelled,
+        expired: state.canceller.expired,
         redispatches: state.redispatches,
         scrubs: state.scrubs,
         scrub_total: state.scrub_total,
@@ -4550,6 +4669,7 @@ mod tests {
                 id: 0,
                 program: Arc::new(PimProgram::default()),
                 placement: Placement::Auto,
+                deadline: None,
             })),
             Err(PushError::Closed)
         );

@@ -57,6 +57,13 @@ pub enum JobNotice {
         /// The job's id.
         job_id: u64,
     },
+    /// The job's queueing deadline had already passed when the
+    /// scheduler went to issue it: it was dropped at issue time and
+    /// will produce no outcome.
+    Expired {
+        /// The job's id.
+        job_id: u64,
+    },
     /// The supervision layer gave the job up: its attempts exhausted the
     /// crash/hang retry budget (or the drain deadline arrived first). It
     /// will produce no outcome.
@@ -88,6 +95,7 @@ impl JobNotice {
         match self {
             JobNotice::Attempt { job_id, .. }
             | JobNotice::Cancelled { job_id }
+            | JobNotice::Expired { job_id }
             | JobNotice::Abandoned { job_id, .. } => *job_id,
             JobNotice::Drained => u64::MAX,
             // A batch concerns several jobs; report the first member's.
@@ -102,7 +110,10 @@ impl JobNotice {
     /// exhausted.
     pub fn is_final(&self) -> bool {
         match self {
-            JobNotice::Cancelled { .. } | JobNotice::Abandoned { .. } | JobNotice::Drained => true,
+            JobNotice::Cancelled { .. }
+            | JobNotice::Expired { .. }
+            | JobNotice::Abandoned { .. }
+            | JobNotice::Drained => true,
             JobNotice::Attempt {
                 verified,
                 protection_active,

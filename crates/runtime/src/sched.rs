@@ -28,6 +28,24 @@ pub enum DispatchMode {
     SingleBank,
 }
 
+/// Within-bank issue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IssuePolicy {
+    /// Arrival order: jobs leave a bank's queue exactly as enqueued.
+    #[default]
+    Fifo,
+    /// Earliest-deadline-first within each bank: an enqueued job is
+    /// stably inserted before the first queued job with a *strictly*
+    /// later deadline; deadline-free jobs sort last (`None` =
+    /// +infinity). Equal deadlines — and every deadline-free job —
+    /// keep arrival order, so the issue stream stays deterministic and
+    /// a deadline-free workload is bit-identical to
+    /// [`IssuePolicy::Fifo`]. Cross-bank order is untouched: the
+    /// circular sweep, batch grouping, and seq assignment all operate
+    /// on the (now deadline-sorted) queues unchanged.
+    Edf,
+}
+
 /// A job bound to its resolved bank, carrying its issue sequence number
 /// once the scheduler emits it.
 #[derive(Debug)]
@@ -103,6 +121,8 @@ pub struct BankScheduler {
     /// Queue depth observed at each enqueue.
     depth_hist: Histogram,
     pending: usize,
+    /// Within-bank issue order (enforced at enqueue).
+    policy: IssuePolicy,
 }
 
 impl BankScheduler {
@@ -125,7 +145,14 @@ impl BankScheduler {
             seq_stride: stride,
             depth_hist: Histogram::new(),
             pending: 0,
+            policy: IssuePolicy::Fifo,
         }
+    }
+
+    /// Sets the within-bank issue order (builder style).
+    pub fn with_policy(mut self, policy: IssuePolicy) -> BankScheduler {
+        self.policy = policy;
+        self
     }
 
     /// Jobs enqueued but not yet issued.
@@ -138,10 +165,24 @@ impl BankScheduler {
         &self.depth_hist
     }
 
-    /// Adds a job to its bank's FIFO.
+    /// Adds a job to its bank's queue: at the back under
+    /// [`IssuePolicy::Fifo`], or stably sorted by deadline under
+    /// [`IssuePolicy::Edf`].
     pub fn enqueue(&mut self, job: PimJob, bank: usize) {
         let fifo = &mut self.fifos[bank];
-        fifo.push_back(job);
+        match self.policy {
+            IssuePolicy::Fifo => fifo.push_back(job),
+            IssuePolicy::Edf => {
+                let pos = match job.deadline {
+                    None => fifo.len(),
+                    Some(d) => fifo
+                        .iter()
+                        .position(|queued| queued.deadline.is_none_or(|qd| qd > d))
+                        .unwrap_or(fifo.len()),
+                };
+                fifo.insert(pos, job);
+            }
+        }
         self.depth_hist.record(fifo.len() as u64);
         self.pending += 1;
     }
@@ -281,7 +322,22 @@ mod tests {
             id,
             program: Arc::new(PimProgram::default()),
             placement: Placement::Auto,
+            deadline: None,
         }
+    }
+
+    fn job_due(id: u64, deadline_ms: u64) -> PimJob {
+        PimJob {
+            deadline: Some(base_instant() + std::time::Duration::from_millis(deadline_ms)),
+            ..job(id)
+        }
+    }
+
+    /// A fixed epoch so deadline offsets are comparable within a test.
+    fn base_instant() -> std::time::Instant {
+        use std::sync::OnceLock;
+        static BASE: OnceLock<std::time::Instant> = OnceLock::new();
+        *BASE.get_or_init(std::time::Instant::now)
     }
 
     /// A one-step program pinned to `unit`, so batch grouping sees it.
@@ -296,6 +352,7 @@ mod tests {
                 }],
             }),
             placement: Placement::Fixed(unit),
+            deadline: None,
         }
     }
 
@@ -437,6 +494,7 @@ mod tests {
                 ],
             }),
             placement: Placement::Fixed(a),
+            deadline: None,
         }
     }
 
@@ -514,5 +572,78 @@ mod tests {
         let h = s.depth_histogram();
         assert_eq!(h.count(), 4);
         assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn edf_issues_earliest_deadline_first_within_a_bank() {
+        let mut s = BankScheduler::new(1).with_policy(IssuePolicy::Edf);
+        s.enqueue(job_due(0, 300), 0);
+        s.enqueue(job_due(1, 100), 0);
+        s.enqueue(job(2), 0); // deadline-free: sorts last
+        s.enqueue(job_due(3, 200), 0);
+        let ids: Vec<u64> = s.issue_all().iter().map(|i| i.job.id).collect();
+        assert_eq!(ids, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn edf_breaks_deadline_ties_in_arrival_order() {
+        let mut s = BankScheduler::new(1).with_policy(IssuePolicy::Edf);
+        s.enqueue(job_due(0, 100), 0);
+        s.enqueue(job_due(1, 100), 0);
+        s.enqueue(job_due(2, 50), 0);
+        s.enqueue(job_due(3, 100), 0);
+        let ids: Vec<u64> = s.issue_all().iter().map(|i| i.job.id).collect();
+        assert_eq!(ids, vec![2, 0, 1, 3], "equal deadlines stay FIFO");
+    }
+
+    #[test]
+    fn edf_without_deadlines_is_bit_identical_to_fifo() {
+        let mut fifo = BankScheduler::new(3);
+        let mut edf = BankScheduler::new(3).with_policy(IssuePolicy::Edf);
+        for id in 0..12 {
+            fifo.enqueue(job(id), (id % 3) as usize);
+            edf.enqueue(job(id), (id % 3) as usize);
+        }
+        let a: Vec<(u64, u64, usize)> = fifo
+            .issue_all()
+            .iter()
+            .map(|i| (i.seq, i.job.id, i.bank))
+            .collect();
+        let b: Vec<(u64, u64, usize)> = edf
+            .issue_all()
+            .iter()
+            .map(|i| (i.seq, i.job.id, i.bank))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edf_keeps_cross_bank_circular_order() {
+        // EDF reorders only *within* a bank; the circular sweep still
+        // alternates banks.
+        let mut s = BankScheduler::new(2).with_policy(IssuePolicy::Edf);
+        s.enqueue(job_due(0, 500), 0);
+        s.enqueue(job_due(1, 10), 0);
+        s.enqueue(job_due(2, 900), 1);
+        let order: Vec<(u64, usize)> = s.issue_all().iter().map(|i| (i.job.id, i.bank)).collect();
+        assert_eq!(order, vec![(1, 0), (2, 1), (0, 0)]);
+    }
+
+    #[test]
+    fn edf_batch_grouping_runs_in_deadline_order() {
+        let u0 = DbcLocation::new(0, 0, 0, 0);
+        let mut s = BankScheduler::new(1).with_policy(IssuePolicy::Edf);
+        let due_at = |id: u64, ms: u64| PimJob {
+            deadline: Some(base_instant() + std::time::Duration::from_millis(ms)),
+            ..job_at(id, u0)
+        };
+        s.enqueue(due_at(0, 300), 0);
+        s.enqueue(due_at(1, 100), 0);
+        s.enqueue(due_at(2, 200), 0);
+        // The head run groups same-unit jobs in the deadline-sorted
+        // queue order.
+        let b = s.issue_next_batch_where(8, |_| true).unwrap();
+        let ids: Vec<u64> = b.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
     }
 }

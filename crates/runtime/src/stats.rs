@@ -238,6 +238,9 @@ pub struct RuntimeStats {
     /// Jobs dropped by cancellation before reaching a bank (they report
     /// no outcome and are not in `jobs`).
     pub cancelled: u64,
+    /// Jobs dropped at issue time because their queueing deadline had
+    /// already passed (they report no outcome and are not in `jobs`).
+    pub expired: u64,
     /// `cpim` instructions executed.
     pub instructions: u64,
     /// Worker shards the run used.

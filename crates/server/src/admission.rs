@@ -61,6 +61,10 @@ pub enum Rejected {
     /// high-water mark, or its token bucket is empty. Retry after
     /// backing off.
     Overload,
+    /// Shed by the weighted-fair QoS stage: the client is over its rate
+    /// quota, or it is past its fair share while the queue is congested.
+    /// Retry after backing off.
+    Throttled,
     /// The runtime's bounded submission queue is at capacity.
     QueueFull,
     /// The submission carried a deadline that had already expired.
@@ -83,6 +87,7 @@ impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Rejected::Overload => write!(f, "shed by admission control (overload)"),
+            Rejected::Throttled => write!(f, "throttled by per-client QoS (quota or fair share)"),
             Rejected::QueueFull => write!(f, "submission queue full"),
             Rejected::Deadline => write!(f, "deadline already expired at submission"),
             Rejected::Closed => write!(f, "server closed to new submissions"),

@@ -18,6 +18,14 @@
 //!   signal, with typed [`Rejected`] errors. Disabled (the default) the
 //!   server blocks on the bounded queue instead — backpressure — and the
 //!   whole pipeline stays bit-deterministic versus direct runtime use.
+//! * **Per-client QoS** — an optional weighted-fair (virtual-time WFQ)
+//!   stage after admission: submissions naming a client via
+//!   [`SubmitOptions::for_client`] draw on that client's weight and
+//!   optional rate quota; a client past its quota — or past its fair
+//!   share while the queue is congested — is shed with
+//!   [`Rejected::Throttled`]. Anonymous submissions bypass the stage.
+//!   Per-client accounting surfaces as [`coruscant_qos::QosStats`] in
+//!   the final [`ServerStats`].
 //! * **Deadlines** — a per-job *queueing* deadline: if it expires before
 //!   the scheduler issues the job, the job is cancelled (never touches a
 //!   bank) and the handle resolves [`ServeError::Expired`]; a job whose
@@ -49,6 +57,7 @@ use coruscant_runtime::{
 };
 
 use admission::AdmissionController;
+use coruscant_qos::{FairQueue, QosOptions};
 use handle::Resolver;
 use stats::Counters;
 use std::cmp::Reverse;
@@ -69,6 +78,8 @@ pub struct ServerOptions {
     /// Admission-control configuration (disabled by default, which keeps
     /// the pipeline deterministic).
     pub admission: AdmissionOptions,
+    /// Weighted-fair per-client QoS configuration (disabled by default).
+    pub qos: QosOptions,
 }
 
 /// Errors surfaced by server lifecycle operations.
@@ -99,10 +110,15 @@ impl std::error::Error for ServerError {
 }
 
 /// Per-submission options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SubmitOptions {
     /// Scheduling class for admission control.
     pub priority: Priority,
+    /// Client identity for the weighted-fair QoS stage. `None` (the
+    /// default) bypasses per-client queuing entirely; with QoS enabled a
+    /// named client is weighted, optionally rate-limited, and accounted
+    /// in [`ServerStats::qos`](stats::ServerStats).
+    pub client: Option<String>,
     /// Relative queueing deadline: if the job is still queued when it
     /// elapses, the job is cancelled and its handle resolves
     /// [`ServeError::Expired`]. `None` (default) never expires. A zero
@@ -126,6 +142,20 @@ impl SubmitOptions {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Names the submitting client for the weighted-fair QoS stage.
+    pub fn for_client(mut self, client: &str) -> SubmitOptions {
+        self.client = Some(client.to_string());
+        self
+    }
+}
+
+/// A pending job's QoS identity, consumed when its handle resolves.
+struct QosTag {
+    /// Dense client index inside the server's [`FairQueue`].
+    client: usize,
+    /// Absolute queueing deadline, for deadline-hit accounting.
+    deadline: Option<Instant>,
 }
 
 /// Pending-handle bookkeeping shared between submitters, the router
@@ -147,6 +177,10 @@ struct Registry {
     /// watchdog gives it up, then a late `Attempt` notice when the
     /// detached worker finally completes — and only the first may count.
     resolved: HashSet<u64>,
+    /// QoS identities of pending jobs, inserted with the handle
+    /// registration and consumed (to release the client's backlog in the
+    /// fair queue) when the job resolves.
+    qos_tags: HashMap<u64, QosTag>,
 }
 
 /// The deadline sweeper's work queue.
@@ -163,6 +197,7 @@ struct Shared {
     runtime: RwLock<Option<Runtime>>,
     registry: Mutex<Registry>,
     admission: Mutex<AdmissionController>,
+    qos: Mutex<FairQueue>,
     counters: Counters,
     accepting: AtomicBool,
     sweeper: SweeperState,
@@ -180,14 +215,46 @@ impl Shared {
         }
         self.count(&completion);
         reg.expire_intent.remove(&job_id);
+        let tag = reg.qos_tags.remove(&job_id);
         match reg.pending.remove(&job_id) {
             Some(resolver) => {
                 drop(reg);
+                if let Some(tag) = &tag {
+                    self.qos_record(tag, &completion);
+                }
                 resolver.resolve(completion);
             }
             None => {
+                // The completion raced the registration: no tag can exist
+                // yet (tags are inserted with the registration), so the
+                // register path settles the QoS accounting synchronously.
                 reg.early.insert(job_id, completion);
             }
+        }
+    }
+
+    /// Releases one resolved job's backlog in the fair queue and folds
+    /// its outcome into the client's deadline/served accounting.
+    fn qos_record(&self, tag: &QosTag, completion: &Completion) {
+        let mut fair = sync::lock(&self.qos);
+        match completion {
+            Err(ServeError::Expired) => fair.record_expired(tag.client),
+            Ok(_) => {
+                let met = tag.deadline.map(|d| Instant::now() <= d);
+                fair.record_served(tag.client, met);
+            }
+            // Any other terminal error still releases the backlog; a job
+            // with a deadline that never produced outputs is a miss.
+            Err(_) => fair.record_served(tag.client, tag.deadline.map(|_| false)),
+        }
+    }
+
+    /// Releases a fair-queue admission whose submission then failed at
+    /// the runtime boundary (queue full, closed, poisoned): the client
+    /// must not stay backlogged for a job that never existed.
+    fn qos_unwind(&self, client: Option<usize>) {
+        if let Some(id) = client {
+            sync::lock(&self.qos).record_expired(id);
         }
     }
 
@@ -209,12 +276,26 @@ impl Shared {
     /// Registers a handle for a freshly accepted job, claiming any
     /// completion that raced ahead of the registration.
     fn register(&self, job_id: u64) -> JobHandle {
+        self.register_tagged(job_id, None)
+    }
+
+    /// Registers a handle together with the job's QoS identity. If the
+    /// completion raced ahead of the registration, the QoS accounting is
+    /// settled here, synchronously — the router never saw a tag.
+    fn register_tagged(&self, job_id: u64, tag: Option<QosTag>) -> JobHandle {
         let mut reg = sync::lock(&self.registry);
         if let Some(completion) = reg.early.remove(&job_id) {
+            drop(reg);
+            if let Some(tag) = &tag {
+                self.qos_record(tag, &completion);
+            }
             return handle::resolved(job_id, completion);
         }
         let (h, resolver) = handle::oneshot(job_id);
         reg.pending.insert(job_id, resolver);
+        if let Some(tag) = tag {
+            reg.qos_tags.insert(job_id, tag);
+        }
         h
     }
 
@@ -290,6 +371,11 @@ fn router_loop(shared: &Shared, rx: &mpsc::Receiver<JobNotice>, chaos: Option<Ch
                         }),
                     };
                     shared.route(job_id, completion);
+                }
+                JobNotice::Expired { job_id } => {
+                    // The scheduler found the job past its deadline at
+                    // issue time and dropped it before any bank saw it.
+                    shared.route(job_id, Err(ServeError::Expired));
                 }
                 JobNotice::Cancelled { job_id } => {
                     let expired = {
@@ -382,6 +468,7 @@ impl Server {
             runtime: RwLock::new(Some(runtime)),
             registry: Mutex::new(Registry::default()),
             admission: Mutex::new(AdmissionController::new(options.admission, Instant::now())),
+            qos: Mutex::new(FairQueue::new(options.qos)),
             counters: Counters::default(),
             accepting: AtomicBool::new(true),
             sweeper: SweeperState::default(),
@@ -478,16 +565,26 @@ impl Server {
                             verified: outcome.verified,
                         });
                         self.shared.count(&completion);
+                        if let Some(tag) = reg.qos_tags.remove(&outcome.job_id) {
+                            self.shared.qos_record(&tag, &completion);
+                        }
                         resolver.resolve(completion);
                     }
                 }
+                let leftover_tags: Vec<(u64, QosTag)> = reg.qos_tags.drain().collect();
                 for (_, resolver) in reg.pending.drain() {
                     let completion = Err(ServeError::Lost);
                     self.shared.count(&completion);
                     resolver.resolve(completion);
                 }
                 drop(reg);
-                Ok(self.shared.counters.snapshot(report.stats))
+                // Jobs drained without a final signal still release their
+                // client's backlog (as misses if they carried a deadline).
+                for (_, tag) in leftover_tags {
+                    self.shared.qos_record(&tag, &Err(ServeError::Lost));
+                }
+                let qos = sync::lock(&self.shared.qos).stats();
+                Ok(self.shared.counters.snapshot(report.stats, qos))
             }
             Err(e) => {
                 let mut reg = sync::lock(&self.shared.registry);
@@ -569,27 +666,52 @@ impl Client {
             }
             adm.enabled()
         };
+        // The weighted-fair QoS stage runs after admission so priority
+        // shedding still applies first; anonymous submissions (no client
+        // name) bypass it, as do all submissions when QoS is off.
+        let deadline_at = options.deadline.map(|d| now + d);
+        let qos_client = match &options.client {
+            Some(name) => {
+                let mut fair = sync::lock(&self.shared.qos);
+                if fair.is_enabled() {
+                    match fair.admit(name, 1.0, rt.queue_len(), rt.queue_capacity(), now) {
+                        Ok(idx) => Some(idx),
+                        Err(_) => {
+                            c.rejected_throttled.fetch_add(1, Ordering::Relaxed);
+                            return Err(Rejected::Throttled);
+                        }
+                    }
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
         let id = if admission_on {
-            match rt.try_submit(program, options.placement) {
+            match rt.try_submit_due(program, options.placement, deadline_at) {
                 Ok(id) => id,
                 Err(PushError::Full) => {
                     c.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                    self.shared.qos_unwind(qos_client);
                     return Err(Rejected::QueueFull);
                 }
                 Err(PushError::Closed) => {
                     c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                    self.shared.qos_unwind(qos_client);
                     return Err(Rejected::Closed);
                 }
                 Err(PushError::Poisoned { fingerprint }) => {
                     c.rejected_poison.fetch_add(1, Ordering::Relaxed);
+                    self.shared.qos_unwind(qos_client);
                     return Err(Rejected::Poison { fingerprint });
                 }
             }
         } else {
-            match rt.submit(program, options.placement) {
+            match rt.submit_due(program, options.placement, deadline_at) {
                 Ok(id) => id,
                 Err(RuntimeError::Poisoned { fingerprint }) => {
                     c.rejected_poison.fetch_add(1, Ordering::Relaxed);
+                    self.shared.qos_unwind(qos_client);
                     return Err(Rejected::Poison { fingerprint });
                 }
                 Err(_) => {
@@ -597,14 +719,19 @@ impl Client {
                     // queue or a compiler rejection (differential-verify
                     // divergence); either way the job was not accepted.
                     c.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                    self.shared.qos_unwind(qos_client);
                     return Err(Rejected::Closed);
                 }
             }
         };
         c.accepted.fetch_add(1, Ordering::Relaxed);
-        let handle = self.shared.register(id);
-        if let Some(d) = options.deadline {
-            self.shared.sweeper_push(now + d, id);
+        let tag = qos_client.map(|client| QosTag {
+            client,
+            deadline: deadline_at,
+        });
+        let handle = self.shared.register_tagged(id, tag);
+        if let Some(at) = deadline_at {
+            self.shared.sweeper_push(at, id);
         }
         Ok(handle)
     }
@@ -619,7 +746,7 @@ impl Client {
     {
         let handles = programs
             .into_iter()
-            .map(|p| match self.submit_with(p, options) {
+            .map(|p| match self.submit_with(p, options.clone()) {
                 Ok(h) => h,
                 Err(r) => handle::resolved(u64::MAX, Err(ServeError::Rejected(r))),
             })

@@ -1,6 +1,7 @@
 //! Server-level accounting: submission/rejection/completion counters
 //! plus the wrapped runtime's final [`RuntimeStats`].
 
+use coruscant_qos::QosStats;
 use coruscant_runtime::{RuntimeStats, SchedStats};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +20,9 @@ pub struct ServerStats {
     pub failed: u64,
     /// Submissions shed by admission control (depth or rate).
     pub rejected_overload: u64,
+    /// Submissions shed by the weighted-fair QoS stage (per-client rate
+    /// quota or fair-share lag under congestion).
+    pub rejected_throttled: u64,
     /// Submissions refused because the runtime queue was at capacity.
     pub rejected_queue_full: u64,
     /// Submissions refused because their deadline had already expired.
@@ -44,6 +48,8 @@ pub struct ServerStats {
     /// Accepted jobs whose fate the server never learned (worker lost or
     /// session failure).
     pub lost: u64,
+    /// Per-client weighted-fair QoS accounting (empty when QoS is off).
+    pub qos: QosStats,
     /// The wrapped runtime session's aggregate statistics.
     pub runtime: RuntimeStats,
 }
@@ -52,6 +58,7 @@ impl ServerStats {
     /// All rejections, across reasons.
     pub fn rejected(&self) -> u64 {
         self.rejected_overload
+            + self.rejected_throttled
             + self.rejected_queue_full
             + self.rejected_deadline
             + self.rejected_closed
@@ -91,6 +98,7 @@ pub(crate) struct Counters {
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     pub rejected_overload: AtomicU64,
+    pub rejected_throttled: AtomicU64,
     pub rejected_queue_full: AtomicU64,
     pub rejected_deadline: AtomicU64,
     pub rejected_closed: AtomicU64,
@@ -104,13 +112,14 @@ pub(crate) struct Counters {
 }
 
 impl Counters {
-    pub fn snapshot(&self, runtime: RuntimeStats) -> ServerStats {
+    pub fn snapshot(&self, runtime: RuntimeStats, qos: QosStats) -> ServerStats {
         ServerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_throttled: self.rejected_throttled.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
@@ -121,6 +130,7 @@ impl Counters {
             hung: self.hung.load(Ordering::Relaxed),
             crashed: self.crashed.load(Ordering::Relaxed),
             lost: self.lost.load(Ordering::Relaxed),
+            qos,
             runtime,
         }
     }

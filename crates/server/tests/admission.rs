@@ -59,7 +59,11 @@ proptest! {
         runtime.queue_capacity = queue_capacity;
         let server = Server::start(
             config.clone(),
-            ServerOptions { runtime, admission: AdmissionOptions::enabled() },
+            ServerOptions {
+                runtime,
+                admission: AdmissionOptions::enabled(),
+                ..ServerOptions::default()
+            },
         ).unwrap();
         let client = server.client();
 
@@ -106,7 +110,11 @@ proptest! {
         let runtime = RuntimeOptions { queue_capacity, ..RuntimeOptions::default() };
         let server = Server::start(
             config.clone(),
-            ServerOptions { runtime, admission: AdmissionOptions::default() },
+            ServerOptions {
+                runtime,
+                admission: AdmissionOptions::default(),
+                ..ServerOptions::default()
+            },
         ).unwrap();
         let client = server.client();
         let handles: Vec<_> = operands

@@ -1,0 +1,242 @@
+//! Server-level QoS: weighted-fair per-client quotas, throttled
+//! rejections, deadline expiry accounting, and the [`QosStats`] surface.
+
+use coruscant_core::isa::{BlockSize, CpimInstr, CpimOpcode};
+use coruscant_core::program::{PimProgram, Step};
+use coruscant_mem::{DbcLocation, MemoryConfig, RowAddress};
+use coruscant_qos::{ClientConfig, QosOptions, RateQuota};
+use coruscant_runtime::RuntimeOptions;
+use coruscant_server::{Rejected, ServeError, Server, ServerOptions, SubmitOptions};
+use std::time::Duration;
+
+fn and_program(config: &MemoryConfig, a: u64, b: u64) -> PimProgram {
+    let loc = DbcLocation::new(0, 0, 0, 0);
+    let width = config.nanowires_per_dbc;
+    let lanes = width.div_ceil(64);
+    let bs = BlockSize::new(64.min(width)).unwrap();
+    let row = |r| RowAddress::new(loc, r);
+    PimProgram {
+        steps: vec![
+            Step::Load {
+                addr: row(4),
+                values: vec![a; lanes],
+                lane: 64,
+            },
+            Step::Load {
+                addr: row(5),
+                values: vec![b; lanes],
+                lane: 64,
+            },
+            Step::Exec(CpimInstr::new(CpimOpcode::And, row(4), 2, bs, Some(row(20))).unwrap()),
+            Step::Readout {
+                label: "and".into(),
+                addr: row(20),
+                lane: 64,
+            },
+        ],
+    }
+}
+
+/// A zero-rate quota admits exactly its burst, then throttles; the
+/// rejections surface as [`Rejected::Throttled`] and the final stats
+/// count them in both `rejected_throttled` and the per-client QoS view.
+#[test]
+fn quota_throttles_to_burst_and_stats_balance() {
+    let config = MemoryConfig::tiny();
+    let qos = QosOptions::default()
+        .enabled()
+        .with_client(ClientConfig::new("tenant", 1.0).with_quota(RateQuota::new(0.0, 3.0)));
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            qos,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let opts = SubmitOptions::default().for_client("tenant");
+    let mut handles = Vec::new();
+    let mut throttled = 0u64;
+    for i in 0..8 {
+        match client.submit_with(and_program(&config, i, i + 1), opts.clone()) {
+            Ok(h) => handles.push(h),
+            Err(Rejected::Throttled) => throttled += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert_eq!(handles.len(), 3, "zero-rate quota admits exactly burst");
+    assert_eq!(throttled, 5);
+    for h in handles {
+        h.wait().expect("admitted jobs complete");
+    }
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.rejected_throttled, 5);
+    let tenant = stats.qos.client("tenant").expect("tenant accounted");
+    assert_eq!(tenant.accepted, 3);
+    assert_eq!(tenant.throttled, 5);
+    assert_eq!(tenant.served, 3);
+}
+
+/// Anonymous submissions (no client name) bypass the fair queue even
+/// when QoS is enabled — they are never throttled and never accounted.
+#[test]
+fn anonymous_submissions_bypass_qos() {
+    let config = MemoryConfig::tiny();
+    let qos = QosOptions::default()
+        .enabled()
+        .with_client(ClientConfig::new("tenant", 1.0).with_quota(RateQuota::new(0.0, 1.0)));
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            qos,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            client
+                .submit(and_program(&config, i, i))
+                .expect("anonymous submissions are never throttled")
+        })
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.rejected_throttled, 0);
+    assert_eq!(stats.qos.client("tenant").unwrap().accepted, 0);
+}
+
+/// With the scheduler gate held closed, short-deadline jobs expire at
+/// issue time; the server resolves them [`ServeError::Expired`], counts
+/// them, and the client's fair-queue backlog is released as expiries.
+#[test]
+fn paused_scheduler_expires_deadline_jobs() {
+    const JOBS: u64 = 4;
+    let config = MemoryConfig::tiny();
+    let qos = QosOptions::default()
+        .enabled()
+        .with_client(ClientConfig::new("tenant", 2.0));
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            runtime: RuntimeOptions::default().paused(),
+            qos,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let opts = SubmitOptions::default()
+        .for_client("tenant")
+        .with_deadline(Duration::from_millis(20));
+    let handles: Vec<_> = (0..JOBS)
+        .map(|i| {
+            client
+                .submit_with(and_program(&config, i, i + 2), opts.clone())
+                .expect("paused queue accepts")
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+    server.resume();
+    for h in handles {
+        match h.wait() {
+            Err(ServeError::Expired) => {}
+            other => panic!("expected Expired, got {other:?}"),
+        }
+    }
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.expired, JOBS);
+    let tenant = stats.qos.client("tenant").expect("tenant accounted");
+    assert_eq!(tenant.accepted, JOBS);
+    assert_eq!(tenant.expired, JOBS);
+    assert_eq!(tenant.served, 0);
+}
+
+/// Deadline-hit accounting: generously-deadlined jobs that complete
+/// count as hits, and the QoS stats ride the shutdown JSON.
+#[test]
+fn deadline_hits_and_stats_serialize() {
+    let config = MemoryConfig::tiny();
+    let qos = QosOptions::default()
+        .enabled()
+        .with_client(ClientConfig::new("tenant", 1.0));
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            qos,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let opts = SubmitOptions::default()
+        .for_client("tenant")
+        .with_deadline(Duration::from_secs(30));
+    let handles: Vec<_> = (0..5)
+        .map(|i| {
+            client
+                .submit_with(and_program(&config, i, 7), opts.clone())
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+    let tenant = stats.qos.client("tenant").unwrap();
+    assert_eq!(tenant.deadline_hits, 5);
+    assert_eq!(tenant.deadline_misses, 0);
+    assert!((tenant.deadline_hit_rate() - 1.0).abs() < 1e-12);
+    let json = serde::json::to_string(&stats);
+    assert!(json.contains("\"qos\""));
+    assert!(json.contains("\"rejected_throttled\""));
+    assert!(json.contains("\"tenant\""));
+}
+
+/// Two named clients with equal offered load but unequal weights: the
+/// fair queue tracks both and total accepted balances against the
+/// server-level accounting.
+#[test]
+fn two_clients_account_independently() {
+    let config = MemoryConfig::tiny();
+    let qos = QosOptions::default()
+        .enabled()
+        .with_client(ClientConfig::new("gold", 4.0))
+        .with_client(ClientConfig::new("bronze", 1.0));
+    let server = Server::start(
+        config.clone(),
+        ServerOptions {
+            qos,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let name = if i % 2 == 0 { "gold" } else { "bronze" };
+        let opts = SubmitOptions::default().for_client(name);
+        handles.push(
+            client
+                .submit_with(and_program(&config, i, 3), opts)
+                .unwrap(),
+        );
+    }
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = server.shutdown().unwrap();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.qos.total_accepted(), 6);
+    assert_eq!(stats.qos.client("gold").unwrap().accepted, 3);
+    assert_eq!(stats.qos.client("bronze").unwrap().accepted, 3);
+    assert!((stats.qos.client("gold").unwrap().weight - 4.0).abs() < 1e-12);
+}

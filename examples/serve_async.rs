@@ -61,6 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerOptions {
             runtime,
             admission: AdmissionOptions::enabled(),
+            ..ServerOptions::default()
         },
     )?;
     let client = server.client();
@@ -94,6 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerOptions {
             runtime: RuntimeOptions::default().paused(),
             admission: AdmissionOptions::default(),
+            ..ServerOptions::default()
         },
     )?;
     let client = server.client();

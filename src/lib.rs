@@ -58,6 +58,7 @@ pub use coruscant_dwmcache as dwmcache;
 pub use coruscant_mem as mem;
 pub use coruscant_nn as nn;
 pub use coruscant_pipeline as pipeline;
+pub use coruscant_qos as qos;
 pub use coruscant_racetrack as racetrack;
 pub use coruscant_reliability as reliability;
 pub use coruscant_runtime as runtime;

@@ -66,6 +66,7 @@ fn serve_logits_with_stats(
         ServerOptions {
             runtime,
             admission: AdmissionOptions::default(),
+            ..ServerOptions::default()
         },
     )
     .expect("server starts");

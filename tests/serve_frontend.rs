@@ -23,6 +23,7 @@ fn assert_server_matches_direct(options: RuntimeOptions) {
     let server_options = ServerOptions {
         runtime: options,
         admission: AdmissionOptions::default(),
+        ..ServerOptions::default()
     };
     let (served, stats) = serve_programs_streamed(&config, programs, server_options).unwrap();
 
@@ -74,6 +75,7 @@ fn overload_shedding_is_typed_and_balanced() {
         ServerOptions {
             runtime,
             admission: AdmissionOptions::enabled(),
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -114,6 +116,7 @@ fn low_priority_sheds_before_high() {
         ServerOptions {
             runtime,
             admission: AdmissionOptions::enabled(),
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -148,6 +151,7 @@ fn queued_deadline_expires_and_counts() {
         ServerOptions {
             runtime: RuntimeOptions::default().paused(),
             admission: AdmissionOptions::default(),
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -203,6 +207,7 @@ fn explicit_cancel_resolves_cancelled() {
         ServerOptions {
             runtime: RuntimeOptions::default().paused(),
             admission: AdmissionOptions::default(),
+            ..ServerOptions::default()
         },
     )
     .unwrap();
